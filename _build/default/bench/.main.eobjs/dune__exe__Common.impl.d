@@ -1,0 +1,1 @@
+bench/common.ml: Fun Levelheaded Lh_baseline Lh_sql Lh_util List Option Printf String Sys

@@ -1,0 +1,1 @@
+bench/exp_ablations.ml: Common Fun Levelheaded Lh_blas Lh_datagen Lh_util List Queries

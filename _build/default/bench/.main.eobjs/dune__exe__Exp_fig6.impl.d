@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Array Common Hashtbl Levelheaded Lh_baseline Lh_blas Lh_datagen Lh_ml Lh_sql Lh_storage Lh_util List Option Printf String

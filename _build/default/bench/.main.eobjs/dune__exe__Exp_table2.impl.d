@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Common Levelheaded Lh_blas Lh_datagen Lh_storage Lh_util List Option Printf Queries

@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Common Float Fun Levelheaded Lh_blas Lh_datagen Lh_util List Printf Queries

@@ -1,0 +1,1 @@
+bench/exp_table4.ml: Common Exp_table2 Levelheaded Lh_blas Lh_datagen Lh_storage List Printf Queries

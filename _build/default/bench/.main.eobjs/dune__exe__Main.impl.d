@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner Common Exp_ablations Exp_fig5 Exp_fig6 Exp_table2 Exp_table3 Exp_table4 List Printf String Term

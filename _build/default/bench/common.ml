@@ -1,0 +1,127 @@
+(* Shared benchmark infrastructure: engine setup, the paper's measurement
+   protocol, and table rendering. *)
+
+module L = Levelheaded
+module Budget = Lh_util.Budget
+module Timing = Lh_util.Timing
+
+type params = {
+  sfs : float list;  (* TPC-H scale factors *)
+  la_scale : float;  (* multiplier on the default matrix scales *)
+  dense_sizes : int list;
+  runs : int;
+  timeout : float;  (* per-measurement budget, seconds *)
+  mem_words : int;  (* per-measurement live-word budget *)
+  seed : int;
+}
+
+let default_params =
+  {
+    sfs = [ 0.01; 0.05 ];
+    la_scale = 1.0;
+    dense_sizes = [ 96; 128; 192 ];
+    runs = 3;
+    timeout = 60.0;
+    mem_words = 250_000_000;
+    seed = 42;
+  }
+
+type outcome = Time of float | Oom | Timeout | Unsupported
+
+let outcome_to_string = function
+  | Time t -> Timing.duration_to_string t
+  | Oom -> "oom"
+  | Timeout -> "t/o"
+  | Unsupported -> "-"
+
+let relative ~baseline = function
+  | Time t -> (
+      match baseline with
+      | Time b when b > 0.0 -> Printf.sprintf "%.2fx" (t /. b)
+      | _ -> Timing.duration_to_string t)
+  | o -> outcome_to_string o
+
+(* §VI-A protocol: one warm-up run (index construction excluded via the
+   trie cache), then [runs] hot measurements with min/max trimmed. A
+   budget violation on any run reports oom / t/o. *)
+let measure ?budget ~runs f =
+  let budget = Option.value budget ~default:Budget.unlimited in
+  Budget.start budget;
+  match f () with
+  | exception Budget.Out_of_memory_budget -> Oom
+  | exception Budget.Timed_out -> Timeout
+  | _ -> (
+      let guarded () =
+        Budget.start budget;
+        ignore (Sys.opaque_identity (f ()))
+      in
+      match Timing.measure ~runs guarded with
+      | t -> Time t
+      | exception Budget.Out_of_memory_budget -> Oom
+      | exception Budget.Timed_out -> Timeout)
+
+(* ---------------- engines over one dataset ---------------- *)
+
+type system = Lh | Lh_logicblox | Hyper_like | Monet_like | Mkl_like
+
+let system_name = function
+  | Lh -> "LevelHeaded"
+  | Lh_logicblox -> "LogicBlox-like"
+  | Hyper_like -> "HyPer-like"
+  | Monet_like -> "MonetDB-like"
+  | Mkl_like -> "MKL-like"
+
+(* Run [sql] on [system] against the master engine. Engine configs are
+   swapped in place; the trie cache is content-addressed so configurations
+   share only identical tries. *)
+let run_system eng params system sql =
+  let budget = Budget.create ~max_live_words:params.mem_words ~max_seconds:params.timeout () in
+  let lookup n = L.Catalog.find_exn (L.Engine.catalog eng) n in
+  let with_cfg cfg f =
+    let saved = L.Engine.config eng in
+    L.Engine.set_config eng { cfg with L.Config.budget } ;
+    Fun.protect ~finally:(fun () -> L.Engine.set_config eng saved) f
+  in
+  match system with
+  | Lh -> with_cfg L.Config.default (fun () -> measure ~runs:params.runs (fun () -> L.Engine.query eng sql))
+  | Lh_logicblox ->
+      with_cfg L.Config.logicblox_like (fun () ->
+          measure ~runs:params.runs (fun () -> L.Engine.query eng sql))
+  | Hyper_like ->
+      let ast = Lh_sql.Parser.parse sql in
+      measure ~runs:params.runs (fun () ->
+          Lh_baseline.Pairwise.query ~lookup ~mode:Lh_baseline.Pairwise.Pipelined ~budget ast)
+  | Monet_like ->
+      let ast = Lh_sql.Parser.parse sql in
+      measure ~runs:params.runs (fun () ->
+          Lh_baseline.Pairwise.query ~lookup ~mode:Lh_baseline.Pairwise.Materializing ~budget ast)
+  | Mkl_like -> Unsupported
+
+(* ---------------- table rendering ---------------- *)
+
+let print_header title columns =
+  Printf.printf "\n%s\n" title;
+  let line = String.make (String.length title) '=' in
+  Printf.printf "%s\n" line;
+  Printf.printf "%-22s" "";
+  List.iter (fun c -> Printf.printf "%14s" c) columns;
+  print_newline ()
+
+let print_row label cells =
+  Printf.printf "%-22s" label;
+  List.iter (fun c -> Printf.printf "%14s" c) cells;
+  print_newline ()
+
+(* baseline = fastest Time cell, as in Table II *)
+let best_of outcomes =
+  List.fold_left
+    (fun acc o -> match (acc, o) with
+      | None, Time t -> Some (Time t)
+      | Some (Time b), Time t when t < b -> Some (Time t)
+      | acc, _ -> acc)
+    None outcomes
+
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | _ -> exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int (List.length xs))

@@ -1,0 +1,50 @@
+(* Extra ablations beyond the paper's Table III, for the execution-path
+   design choices DESIGN.md calls out: the sorted-emit / sparse-accumulator
+   output path (vs hashing the output like a trie-materializing engine
+   would) and the §V-A2 relaxation on its own. *)
+
+module L = Levelheaded
+module C = Common
+
+let run params =
+  let eng = L.Engine.create () in
+  let dict = L.Engine.dict eng in
+  let harbor = Lh_datagen.Matrices.harbor_like ~dict ~scale:(0.04 *. params.C.la_scale) () in
+  L.Engine.register eng harbor.Lh_datagen.Matrices.table;
+  let n = harbor.Lh_datagen.Matrices.coo.Lh_blas.Coo.nrows in
+  let hv, _ = Lh_datagen.Matrices.dense_vector ~dict ~name:"harbor_x" ~n () in
+  L.Engine.register eng hv;
+  let budget =
+    Lh_util.Budget.create ~max_live_words:params.C.mem_words ~max_seconds:params.C.timeout ()
+  in
+  let run_cfg cfg sql =
+    let saved = L.Engine.config eng in
+    L.Engine.set_config eng { cfg with L.Config.budget };
+    Fun.protect
+      ~finally:(fun () -> L.Engine.set_config eng saved)
+      (fun () -> C.measure ~runs:params.C.runs (fun () -> L.Engine.query eng sql))
+  in
+  let cases =
+    [
+      ("SMV harbor", Queries.smv ~matrix:"harbor" ~vector:"harbor_x");
+      ("SMM harbor", Queries.smm ~matrix:"harbor");
+    ]
+  in
+  let variants =
+    [
+      ("-sorted-emit", { L.Config.default with sorted_emit = false });
+      ("-relaxation", { L.Config.default with relax_materialized_first = false });
+      ("-both", { L.Config.default with sorted_emit = false; relax_materialized_first = false });
+    ]
+  in
+  C.print_header "Execution-path ablations (extension)"
+    ("LH" :: List.map fst variants);
+  List.iter
+    (fun (label, sql) ->
+      let base = run_cfg L.Config.default sql in
+      let cells =
+        C.outcome_to_string base
+        :: List.map (fun (_, cfg) -> C.relative ~baseline:base (run_cfg cfg sql)) variants
+      in
+      C.print_row label cells)
+    cases

@@ -1,0 +1,178 @@
+(* Figure 6: the voter-classification application (§VII) — a pipeline of
+   (1) a SQL join+filter producing the feature set, (2) categorical
+   feature encoding, and (3) five iterations of logistic regression.
+
+   Four pipelines model the paper's four systems (see EXPERIMENTS.md for
+   the modeling rationale):
+
+   - LevelHeaded: the SQL result is a dictionary-coded columnar table;
+     the encoder reads code buffers directly — no data transformation
+     between phases.
+   - MonetDB/Scikit-like: operator-at-a-time SQL (full materialization),
+     then a row-boxed handoff: every cell crosses the boundary as a boxed
+     value and categorical cells are re-encoded by string.
+   - Pandas/Scikit-like: row-at-a-time pipelined join, same row-boxed
+     handoff.
+   - Spark-like: operator-at-a-time SQL plus a serialization round-trip
+     (rows printed to strings and re-parsed) before encoding — the
+     exchange/py-boundary cost. *)
+
+module L = Levelheaded
+module C = Common
+module Dtype = Lh_storage.Dtype
+module Dense = Lh_blas.Dense
+
+let sql =
+  "select v.v_id, v.v_age, v.v_income, v.v_party, p.p_urban, v.v_voted from voters v, \
+   precincts p where v.v_precinct = p.p_id and v.v_age >= 21 group by v.v_id, v.v_age, \
+   v.v_income, v.v_party, p.p_urban, v.v_voted"
+
+(* Row-boxed feature encoding: what a dataframe/NumPy handoff pays. *)
+let encode_rows rows =
+  let rows = Array.of_list rows in
+  let n = Array.length rows in
+  let cat_codes tag =
+    let tbl = Hashtbl.create 16 in
+    Array.iter
+      (fun row ->
+        let v = Dtype.value_to_string (List.nth row tag) in
+        if not (Hashtbl.mem tbl v) then Hashtbl.replace tbl v (Hashtbl.length tbl))
+      rows;
+    tbl
+  in
+  let party = cat_codes 3 and urban = cat_codes 4 in
+  let k = 3 + Hashtbl.length party + Hashtbl.length urban in
+  let m = Dense.create ~rows:n ~cols:k in
+  let y = Array.make n 0.0 in
+  Array.iteri
+    (fun r row ->
+      Dense.set m r 0 1.0;
+      Dense.set m r 1 (Dtype.numeric (List.nth row 1));
+      Dense.set m r 2 (Dtype.numeric (List.nth row 2));
+      let pc = Hashtbl.find party (Dtype.value_to_string (List.nth row 3)) in
+      Dense.set m r (3 + pc) 1.0;
+      let uc = Hashtbl.find urban (Dtype.value_to_string (List.nth row 4)) in
+      Dense.set m r (3 + Hashtbl.length party + uc) 1.0;
+      y.(r) <- Dtype.numeric (List.nth row 5))
+    rows;
+  (* standardize the two numeric columns, as the columnar encoder does *)
+  List.iter
+    (fun c ->
+      let mean = ref 0.0 and sq = ref 0.0 in
+      for r = 0 to n - 1 do
+        let v = Dense.get m r c in
+        mean := !mean +. v;
+        sq := !sq +. (v *. v)
+      done;
+      let mean = !mean /. float_of_int (max n 1) in
+      let var = (!sq /. float_of_int (max n 1)) -. (mean *. mean) in
+      let sd = if var <= 1e-12 then 1.0 else sqrt var in
+      for r = 0 to n - 1 do
+        Dense.set m r c ((Dense.get m r c -. mean) /. sd)
+      done)
+    [ 1; 2 ];
+  (m, y)
+
+(* The Spark-like exchange: serialize rows to delimited strings and parse
+   them back. *)
+let serialization_roundtrip rows =
+  List.map
+    (fun row ->
+      let line = String.concat "|" (List.map Dtype.value_to_string row) in
+      let fields = String.split_on_char '|' line in
+      List.map2
+        (fun v field ->
+          match v with
+          | Dtype.VInt _ -> Dtype.VInt (int_of_string field)
+          | Dtype.VFloat _ -> Dtype.VFloat (float_of_string field)
+          | Dtype.VString _ -> Dtype.VString field
+          | Dtype.VDate _ -> Dtype.VDate (Lh_storage.Date.of_string field))
+        row fields)
+    rows
+
+type phases = { sql_t : float; encode_t : float; train_t : float }
+
+let total p = p.sql_t +. p.encode_t +. p.train_t
+
+let run params =
+  let nvoters = int_of_float (60_000.0 *. params.C.la_scale) in
+  let eng = L.Engine.create () in
+  let dict = L.Engine.dict eng in
+  let voters, precincts = Lh_datagen.Voter.generate ~dict ~nvoters ~nprecincts:300 () in
+  L.Engine.register eng voters;
+  L.Engine.register eng precincts;
+  let lookup n = L.Catalog.find_exn (L.Engine.catalog eng) n in
+  let ast = Lh_sql.Parser.parse sql in
+  let time f =
+    let _, t = Lh_util.Timing.time f in
+    t
+  in
+  let lh () =
+    let table = ref None in
+    let sql_t = time (fun () -> table := Some (L.Engine.query eng sql)) in
+    let table = Option.get !table in
+    let enc = ref None in
+    let encode_t =
+      time (fun () ->
+          enc :=
+            Some
+              ( Lh_ml.Encoder.encode ~table ~numeric:[ "v_age"; "v_income" ]
+                  ~categorical:[ "v_party"; "p_urban" ],
+                Lh_ml.Encoder.labels ~table ~column:"v_voted" ))
+    in
+    let e, y = Option.get !enc in
+    let train_t =
+      time (fun () ->
+          ignore (Lh_ml.Logreg.train ~x:e.Lh_ml.Encoder.matrix ~y ~iterations:5 ()))
+    in
+    { sql_t; encode_t; train_t }
+  in
+  let rowbased ~mode ~serialize () =
+    let rows = ref [] in
+    let sql_t = time (fun () -> rows := Lh_baseline.Pairwise.query ~lookup ~mode ast) in
+    let data = ref ([||], [||]) in
+    let encode_t =
+      time (fun () ->
+          let rs = if serialize then serialization_roundtrip !rows else !rows in
+          let m, y = encode_rows rs in
+          data := (m.Dense.data, y))
+    in
+    let xdata, y = !data in
+    let k = Array.length xdata / max 1 (Array.length y) in
+    let x = Dense.of_array ~rows:(Array.length y) ~cols:k xdata in
+    let train_t = time (fun () -> ignore (Lh_ml.Logreg.train ~x ~y ~iterations:5 ())) in
+    { sql_t; encode_t; train_t }
+  in
+  let pipelines =
+    [
+      ("LevelHeaded", lh);
+      ("MonetDB/Scikit-like", rowbased ~mode:Lh_baseline.Pairwise.Materializing ~serialize:false);
+      ("Pandas/Scikit-like", rowbased ~mode:Lh_baseline.Pairwise.Pipelined ~serialize:false);
+      ("Spark-like", rowbased ~mode:Lh_baseline.Pairwise.Materializing ~serialize:true);
+    ]
+  in
+  C.print_header
+    (Printf.sprintf "Figure 6 — voter classification (%d voters)" nvoters)
+    [ "sql"; "encode"; "train"; "total"; "vs LH" ];
+  let results =
+    List.map
+      (fun (name, f) ->
+        ignore (f ());
+        (* warm-up *)
+        let p = f () in
+        (name, p))
+      pipelines
+  in
+  let lh_total = total (snd (List.hd results)) in
+  List.iter
+    (fun (name, p) ->
+      C.print_row name
+        [
+          Lh_util.Timing.duration_to_string p.sql_t;
+          Lh_util.Timing.duration_to_string p.encode_t;
+          Lh_util.Timing.duration_to_string p.train_t;
+          Lh_util.Timing.duration_to_string (total p);
+          Printf.sprintf "%.2fx" (total p /. lh_total);
+        ])
+    results;
+  results

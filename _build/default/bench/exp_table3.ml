@@ -1,0 +1,65 @@
+(* Table III: LevelHeaded runtime and relative slowdown with each
+   optimization disabled — attribute elimination (§IV) and the cost-based
+   attribute ordering (§V). *)
+
+module L = Levelheaded
+module C = Common
+
+let run params =
+  let sf = List.fold_left Float.max 0.01 params.C.sfs in
+  let eng = L.Engine.create () in
+  let dict = L.Engine.dict eng in
+  let tables = Lh_datagen.Tpch.generate ~dict ~sf ~seed:params.C.seed () in
+  List.iter (L.Engine.register eng) tables;
+  let harbor = Lh_datagen.Matrices.harbor_like ~dict ~scale:(0.04 *. params.C.la_scale) () in
+  L.Engine.register eng harbor.Lh_datagen.Matrices.table;
+  let hn = harbor.Lh_datagen.Matrices.coo.Lh_blas.Coo.nrows in
+  let hv, _ = Lh_datagen.Matrices.dense_vector ~dict ~name:"harbor_x" ~n:hn () in
+  L.Engine.register eng hv;
+  let nlp = Lh_datagen.Matrices.nlpkkt_like ~dict ~scale:(0.0005 *. params.C.la_scale) () in
+  L.Engine.register eng nlp.Lh_datagen.Matrices.table;
+  let nn = nlp.Lh_datagen.Matrices.coo.Lh_blas.Coo.nrows in
+  let nv, _ = Lh_datagen.Matrices.dense_vector ~dict ~name:"nlpkkt_x" ~n:nn () in
+  L.Engine.register eng nv;
+  let dn = List.fold_left max 64 params.C.dense_sizes in
+  let dname = Printf.sprintf "dense%d" dn in
+  let dt, _ = Lh_datagen.Matrices.dense ~dict ~name:dname ~n:dn () in
+  L.Engine.register eng dt;
+  let dv, _ = Lh_datagen.Matrices.dense_vector ~dict ~name:(dname ^ "_x") ~n:dn () in
+  L.Engine.register eng dv;
+
+  let budget = Lh_util.Budget.create ~max_live_words:params.C.mem_words ~max_seconds:params.C.timeout () in
+  let run_cfg cfg sql =
+    let saved = L.Engine.config eng in
+    L.Engine.set_config eng { cfg with L.Config.budget };
+    Fun.protect
+      ~finally:(fun () -> L.Engine.set_config eng saved)
+      (fun () -> C.measure ~runs:params.C.runs (fun () -> L.Engine.query eng sql))
+  in
+  let no_attr_elim =
+    { L.Config.default with attribute_elimination = false; blas_targeting = false }
+  in
+  let worst_order =
+    { L.Config.default with attr_order = L.Config.Worst_cost; relax_materialized_first = false }
+  in
+  let cases =
+    List.map (fun (n, q) -> (Printf.sprintf "%s sf=%g" n sf, q)) Queries.tpch
+    @ [
+        ("SMV harbor", Queries.smv ~matrix:"harbor" ~vector:"harbor_x");
+        ("SMM harbor", Queries.smm ~matrix:"harbor");
+        ("SMV nlpkkt", Queries.smv ~matrix:"nlpkkt" ~vector:"nlpkkt_x");
+        ("SMM nlpkkt", Queries.smm ~matrix:"nlpkkt");
+        (Printf.sprintf "DMV %d" dn, Queries.dmv ~matrix:dname ~vector:(dname ^ "_x"));
+        (Printf.sprintf "DMM %d" dn, Queries.dmm ~matrix:dname);
+      ]
+  in
+  C.print_header "Table III — optimization ablations" [ "LH"; "-Attr.Elim"; "-Attr.Ord" ];
+  List.map
+    (fun (label, sql) ->
+      let lh = run_cfg L.Config.default sql in
+      let no_ae = run_cfg no_attr_elim sql in
+      let no_ord = run_cfg worst_order sql in
+      C.print_row label
+        [ C.outcome_to_string lh; C.relative ~baseline:lh no_ae; C.relative ~baseline:lh no_ord ];
+      (label, lh, no_ae, no_ord))
+    cases

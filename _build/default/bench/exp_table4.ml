@@ -1,0 +1,35 @@
+(* Table IV: the cost of converting a column-store matrix to the sparse
+   BLAS CSR format (the mkl_scsrcoo-equivalent) versus LevelHeaded's
+   trie-native SMV time, and the ratio — how many SMV queries LevelHeaded
+   answers while a column store is still converting. *)
+
+module L = Levelheaded
+module C = Common
+
+let run params =
+  let eng = L.Engine.create () in
+  let dict = L.Engine.dict eng in
+  let datasets = Exp_table2.sparse_datasets params dict in
+  C.print_header "Table IV — conversion cost vs SMV" [ "conversion"; "SMV (LH)"; "ratio" ];
+  List.map
+    (fun (name, (m : Lh_datagen.Matrices.sparse)) ->
+      L.Engine.register eng m.Lh_datagen.Matrices.table;
+      let n = m.Lh_datagen.Matrices.coo.Lh_blas.Coo.nrows in
+      let vt, _ = Lh_datagen.Matrices.dense_vector ~dict ~name:(name ^ "_x") ~n () in
+      L.Engine.register eng vt;
+      let conv =
+        C.measure ~runs:params.C.runs (fun () -> Lh_blas.Csr.of_coo m.Lh_datagen.Matrices.coo)
+      in
+      let tname = m.Lh_datagen.Matrices.table.Lh_storage.Table.name in
+      let smv =
+        C.measure ~runs:params.C.runs (fun () ->
+            L.Engine.query eng (Queries.smv ~matrix:tname ~vector:(name ^ "_x")))
+      in
+      let ratio =
+        match (conv, smv) with
+        | C.Time c, C.Time s when s > 0.0 -> Printf.sprintf "%.2f" (c /. s)
+        | _ -> "-"
+      in
+      C.print_row name [ C.outcome_to_string conv; C.outcome_to_string smv; ratio ];
+      (name, conv, smv))
+    datasets

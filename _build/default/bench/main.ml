@@ -1,0 +1,120 @@
+(* Benchmark driver: one target per table/figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index).
+
+     dune exec bench/main.exe                  # everything
+     dune exec bench/main.exe -- table2-bi fig5a --sf 0.01 --runs 3
+*)
+
+module C = Common
+
+let fig1 bi la =
+  (* Figure 1: relative performance on BI vs LA, per engine — the
+     geometric-mean slowdown vs the per-row best. *)
+  let slowdowns rows system =
+    List.filter_map
+      (fun { Exp_table2.outcomes; _ } ->
+        match (C.best_of (List.map snd outcomes), List.assoc_opt system outcomes) with
+        | Some (C.Time b), Some (C.Time t) when b > 0.0 -> Some (t /. b)
+        | _ -> None)
+      rows
+  in
+  C.print_header "Figure 1 — geometric-mean slowdown vs best (BI, LA)" [ "BI"; "LA" ];
+  List.iter
+    (fun s ->
+      let cell rows =
+        match slowdowns rows s with
+        | [] -> "-"
+        | xs -> Printf.sprintf "%.2fx" (C.geomean xs)
+      in
+      C.print_row (C.system_name s) [ cell bi; cell la ])
+    [ C.Lh; C.Hyper_like; C.Monet_like; C.Lh_logicblox; C.Mkl_like ]
+
+let all_ids = [ "table2-bi"; "table2-la"; "table3"; "table4"; "fig1"; "fig5a"; "fig5b"; "fig5c"; "fig6"; "ablations" ]
+
+let run_ids params ids =
+  let wants id = List.mem id ids in
+  let table2 = ref None in
+  let ensure_table2 () =
+    match !table2 with
+    | Some r -> r
+    | None ->
+        let r = Exp_table2.run params in
+        table2 := Some r;
+        r
+  in
+  if wants "table2-bi" || wants "table2-la" then ignore (ensure_table2 ());
+  if wants "table3" then ignore (Exp_table3.run params);
+  if wants "table4" then ignore (Exp_table4.run params);
+  if wants "fig1" then begin
+    let bi, la = ensure_table2 () in
+    fig1 bi la
+  end;
+  if wants "fig5a" then Exp_fig5.run_fig5a params;
+  if wants "fig5b" then Exp_fig5.run_fig5b params;
+  if wants "fig5c" then Exp_fig5.run_fig5c params;
+  if wants "fig6" then ignore (Exp_fig6.run params);
+  if wants "ablations" then Exp_ablations.run params
+
+open Cmdliner
+
+let ids_arg =
+  let doc = "Experiments to run: table2-bi table2-la table3 table4 fig1 fig5a fig5b fig5c fig6 ablations. Default: all." in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let sf_arg =
+  let doc = "Comma-separated TPC-H scale factors (analogues of the paper's SF 1/10/100)." in
+  Arg.(value & opt string "0.01,0.05" & info [ "sf" ] ~doc)
+
+let la_scale_arg =
+  let doc = "Multiplier on the default matrix/voter dataset scales." in
+  Arg.(value & opt float 1.0 & info [ "la-scale" ] ~doc)
+
+let dense_arg =
+  let doc = "Comma-separated dense matrix dimensions." in
+  Arg.(value & opt string "96,128,192" & info [ "dense" ] ~doc)
+
+let runs_arg =
+  let doc = "Hot measurement runs per cell (the paper uses 7 and trims min/max)." in
+  Arg.(value & opt int 3 & info [ "runs" ] ~doc)
+
+let timeout_arg =
+  let doc = "Per-measurement timeout in seconds (reported as t/o)." in
+  Arg.(value & opt float 60.0 & info [ "timeout" ] ~doc)
+
+let mem_arg =
+  let doc = "Per-measurement live-heap budget in machine words (reported as oom)." in
+  Arg.(value & opt int 250_000_000 & info [ "mem-words" ] ~doc)
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Data generation seed.")
+
+let main ids sf la_scale dense runs timeout mem_words seed =
+  let parse_list conv s = String.split_on_char ',' s |> List.map String.trim |> List.map conv in
+  let params =
+    {
+      C.sfs = parse_list float_of_string sf;
+      la_scale;
+      dense_sizes = parse_list int_of_string dense;
+      runs;
+      timeout;
+      mem_words;
+      seed;
+    }
+  in
+  let ids = if ids = [] then all_ids else ids in
+  List.iter
+    (fun id ->
+      if not (List.mem id all_ids) then begin
+        Printf.eprintf "unknown experiment %S; available: %s\n" id (String.concat " " all_ids);
+        exit 2
+      end)
+    ids;
+  run_ids params ids
+
+let cmd =
+  let info = Cmd.info "lh-bench" ~doc:"Regenerate the LevelHeaded paper's tables and figures" in
+  Cmd.v info
+    Term.(
+      const main $ ids_arg $ sf_arg $ la_scale_arg $ dense_arg $ runs_arg $ timeout_arg $ mem_arg
+      $ seed_arg)
+
+let () = exit (Cmd.eval cmd)

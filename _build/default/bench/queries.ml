@@ -1,0 +1,69 @@
+(* The benchmark queries (§VI): seven TPC-H queries (ORDER BY dropped, as
+   in the paper; Q8/Q9 flattened because subqueries are out of scope) and
+   the four LA kernels as SQL templates. *)
+
+let q1 =
+  "select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty, sum(l_extendedprice) as \
+   sum_base_price, sum(l_extendedprice*(1-l_discount)) as sum_disc_price, \
+   sum(l_extendedprice*(1-l_discount)*(1+l_tax)) as sum_charge, avg(l_quantity) as avg_qty, \
+   avg(l_extendedprice) as avg_price, avg(l_discount) as avg_disc, count(*) as count_order from \
+   lineitem where l_shipdate <= date '1998-12-01' - interval '90' day group by l_returnflag, \
+   l_linestatus"
+
+let q3 =
+  "select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue, o_orderdate, \
+   o_shippriority from customer, orders, lineitem where c_mktsegment = 'BUILDING' and c_custkey \
+   = o_custkey and l_orderkey = o_orderkey and o_orderdate < date '1995-03-15' and l_shipdate > \
+   date '1995-03-15' group by l_orderkey, o_orderdate, o_shippriority"
+
+let q5 =
+  "select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue from customer, orders, \
+   lineitem, supplier, nation, region where c_custkey = o_custkey and l_orderkey = o_orderkey \
+   and l_suppkey = s_suppkey and c_nationkey = s_nationkey and s_nationkey = n_nationkey and \
+   n_regionkey = r_regionkey and r_name = 'ASIA' and o_orderdate >= date '1994-01-01' and \
+   o_orderdate < date '1995-01-01' group by n_name"
+
+let q6 =
+  "select sum(l_extendedprice * l_discount) as revenue from lineitem where l_shipdate >= date \
+   '1994-01-01' and l_shipdate < date '1995-01-01' and l_discount between 0.05 and 0.07 and \
+   l_quantity < 24"
+
+let q8 =
+  "select extract(year from o_orderdate) as o_year, sum(case when n2.n_name = 'BRAZIL' then \
+   l_extendedprice * (1 - l_discount) else 0 end) as brazil_volume, sum(l_extendedprice * (1 - \
+   l_discount)) as total_volume from part, supplier, lineitem, orders, customer, nation n1, \
+   nation n2, region where p_partkey = l_partkey and s_suppkey = l_suppkey and l_orderkey = \
+   o_orderkey and o_custkey = c_custkey and c_nationkey = n1.n_nationkey and n1.n_regionkey = \
+   r_regionkey and r_name = 'AMERICA' and s_nationkey = n2.n_nationkey and o_orderdate between \
+   date '1995-01-01' and date '1996-12-31' and p_type = 'ECONOMY ANODIZED STEEL' group by \
+   extract(year from o_orderdate)"
+
+let q9 =
+  "select n_name as nation, extract(year from o_orderdate) as o_year, sum(l_extendedprice * (1 \
+   - l_discount) - ps_supplycost * l_quantity) as sum_profit from part, supplier, lineitem, \
+   partsupp, orders, nation where s_suppkey = l_suppkey and ps_suppkey = l_suppkey and \
+   ps_partkey = l_partkey and p_partkey = l_partkey and o_orderkey = l_orderkey and s_nationkey \
+   = n_nationkey and p_name like '%green%' group by n_name, extract(year from o_orderdate)"
+
+let q10 =
+  "select c_custkey, c_name, sum(l_extendedprice * (1 - l_discount)) as revenue, c_acctbal, \
+   n_name, c_address, c_phone from customer, orders, lineitem, nation where c_custkey = \
+   o_custkey and l_orderkey = o_orderkey and o_orderdate >= date '1993-10-01' and o_orderdate < \
+   date '1994-01-01' and l_returnflag = 'R' and c_nationkey = n_nationkey group by c_custkey, \
+   c_name, c_acctbal, c_phone, n_name, c_address"
+
+let tpch = [ ("Q1", q1); ("Q3", q3); ("Q5", q5); ("Q6", q6); ("Q8", q8); ("Q9", q9); ("Q10", q10) ]
+
+let smv ~matrix ~vector =
+  Printf.sprintf
+    "select m.row, sum(m.v * x.v) as y from %s m, %s x where m.col = x.idx group by m.row" matrix
+    vector
+
+let smm ~matrix =
+  Printf.sprintf
+    "select m1.row, m2.col, sum(m1.v * m2.v) as v from %s m1, %s m2 where m1.col = m2.row group \
+     by m1.row, m2.col"
+    matrix matrix
+
+let dmv = smv
+let dmm = smm

@@ -1,0 +1,137 @@
+(* lhcli — load delimited files into a LevelHeaded engine and query them.
+
+   Subcommands:
+
+     gen    generate benchmark datasets as delimited files
+     query  load tables and run SQL (or EXPLAIN it)
+
+   Examples:
+
+     lhcli gen tpch --sf 0.01 --out /tmp/tpch
+     lhcli query \
+       --table "lineitem:/tmp/tpch/lineitem.tbl:l_orderkey int key,l_partkey int key,..." \
+       --sql "select count(*) c from lineitem"
+     lhcli query --tpch /tmp/tpch --sql "select ... " --explain
+*)
+
+module L = Levelheaded
+module Schema = Lh_storage.Schema
+module Table = Lh_storage.Table
+open Cmdliner
+
+(* ---- schema syntax: "name dtype [key]" comma-separated ---- *)
+
+let parse_schema spec =
+  let col s =
+    match String.split_on_char ' ' (String.trim s) |> List.filter (fun x -> x <> "") with
+    | [ name; dtype ] -> (name, Lh_storage.Dtype.of_string dtype, Schema.Annotation)
+    | [ name; dtype; "key" ] -> (name, Lh_storage.Dtype.of_string dtype, Schema.Key)
+    | _ -> failwith (Printf.sprintf "bad column spec %S (want: name dtype [key])" s)
+  in
+  Schema.create (List.map col (String.split_on_char ',' spec))
+
+let parse_table_arg arg =
+  match String.split_on_char ':' arg with
+  | name :: path :: rest when rest <> [] ->
+      (name, path, parse_schema (String.concat ":" rest))
+  | _ -> failwith (Printf.sprintf "bad --table %S (want name:path:schema)" arg)
+
+(* ---- gen ---- *)
+
+let write_table dir sep (t : Table.t) =
+  let path = Filename.concat dir (t.Table.name ^ ".tbl") in
+  let rows =
+    List.init t.Table.nrows (fun r ->
+        List.init (Schema.ncols t.Table.schema) (fun c ->
+            Lh_storage.Dtype.value_to_string (Table.value t ~row:r ~col:c)))
+  in
+  Lh_util.Csv.write_file ~sep path rows;
+  Printf.printf "wrote %s (%d rows)\n%!" path t.Table.nrows
+
+let gen_run dataset sf n out seed =
+  if not (Sys.file_exists out) then Unix.mkdir out 0o755;
+  let dict = Lh_storage.Dict.create () in
+  (match dataset with
+  | "tpch" -> List.iter (write_table out '|') (Lh_datagen.Tpch.generate ~dict ~sf ~seed ())
+  | "matrix" ->
+      let m = Lh_datagen.Matrices.banded ~dict ~name:"matrix" ~n ~nnz_per_row:20 ~seed () in
+      write_table out ',' m.Lh_datagen.Matrices.table
+  | "voter" ->
+      let voters, precincts = Lh_datagen.Voter.generate ~dict ~nvoters:n ~nprecincts:(max 1 (n / 200)) ~seed () in
+      write_table out ',' voters;
+      write_table out ',' precincts
+  | other -> failwith (Printf.sprintf "unknown dataset %S (tpch | matrix | voter)" other));
+  0
+
+let gen_cmd =
+  let dataset = Arg.(required & pos 0 (some string) None & info [] ~docv:"DATASET" ~doc:"tpch, matrix or voter") in
+  let sf = Arg.(value & opt float 0.01 & info [ "sf" ] ~doc:"TPC-H scale factor") in
+  let n = Arg.(value & opt int 10_000 & info [ "size"; "n" ] ~doc:"matrix dimension / voter count") in
+  let out = Arg.(value & opt string "." & info [ "out"; "o" ] ~doc:"output directory") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"generator seed") in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate benchmark datasets as delimited files")
+    Term.(const gen_run $ dataset $ sf $ n $ out $ seed)
+
+(* ---- query ---- *)
+
+let tpch_schema_sep name =
+  (List.assoc name Lh_datagen.Tpch.schemas, '|')
+
+let query_run tables tpch_dir sql explain_only sep =
+  let eng = L.Engine.create () in
+  (match tpch_dir with
+  | None -> ()
+  | Some dir ->
+      List.iter
+        (fun (name, _) ->
+          let path = Filename.concat dir (name ^ ".tbl") in
+          if Sys.file_exists path then begin
+            let schema, sep = tpch_schema_sep name in
+            ignore (L.Engine.load_csv eng ~name ~schema ~sep path);
+            Printf.printf "loaded %s\n%!" path
+          end)
+        Lh_datagen.Tpch.schemas);
+  List.iter
+    (fun arg ->
+      let name, path, schema = parse_table_arg arg in
+      ignore (L.Engine.load_csv eng ~name ~schema ~sep path);
+      Printf.printf "loaded %s as %s\n%!" path name)
+    tables;
+  (match sql with
+  | None -> Printf.eprintf "no --sql given\n"
+  | Some sql ->
+      if explain_only then print_string (L.Engine.explain eng sql).L.Engine.etext
+      else begin
+        let (result, ex), dt = Lh_util.Timing.time (fun () -> L.Engine.query_explain eng sql) in
+        for c = 0 to Schema.ncols result.Table.schema - 1 do
+          if c > 0 then print_char '|';
+          print_string (Schema.col result.Table.schema c).Schema.name
+        done;
+        print_newline ();
+        for r = 0 to result.Table.nrows - 1 do
+          Format.printf "%a@." (fun fmt () -> Table.pp_row fmt result r) ()
+        done;
+        Printf.eprintf "-- %d rows in %s (%s path)\n" result.Table.nrows
+          (Lh_util.Timing.duration_to_string dt)
+          (match ex.L.Engine.epath with
+          | L.Engine.Scan_path -> "scan"
+          | L.Engine.Wcoj_path -> "wcoj"
+          | L.Engine.Blas_path -> "blas")
+      end);
+  0
+
+let query_cmd =
+  let tables =
+    Arg.(value & opt_all string [] & info [ "table"; "t" ] ~docv:"NAME:PATH:SCHEMA"
+           ~doc:"Load a delimited file; SCHEMA is 'col dtype [key], ...'")
+  in
+  let tpch = Arg.(value & opt (some string) None & info [ "tpch" ] ~doc:"Directory of lhcli-generated TPC-H .tbl files to load") in
+  let sql = Arg.(value & opt (some string) None & info [ "sql"; "q" ] ~doc:"SQL to run") in
+  let explain = Arg.(value & flag & info [ "explain" ] ~doc:"Print the plan instead of executing") in
+  let sep = Arg.(value & opt char ',' & info [ "sep" ] ~doc:"Field separator for --table files") in
+  Cmd.v (Cmd.info "query" ~doc:"Load delimited files and run SQL")
+    Term.(const query_run $ tables $ tpch $ sql $ explain $ sep)
+
+let () =
+  let info = Cmd.info "lhcli" ~doc:"LevelHeaded command-line interface" in
+  exit (Cmd.eval' (Cmd.group info [ gen_cmd; query_cmd ]))

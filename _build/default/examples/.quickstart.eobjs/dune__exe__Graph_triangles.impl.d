@@ -1,0 +1,1 @@
+examples/graph_triangles.ml: Array Hashtbl Levelheaded Lh_baseline Lh_sql Lh_storage Lh_util Printf Sys

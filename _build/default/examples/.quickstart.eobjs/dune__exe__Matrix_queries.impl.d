@@ -1,0 +1,1 @@
+examples/matrix_queries.ml: Levelheaded Lh_blas Lh_datagen Lh_storage Lh_util Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Format Levelheaded Lh_storage Lh_util Sys Unix

@@ -1,0 +1,1 @@
+examples/tpch_analytics.ml: Array Format Levelheaded Lh_datagen Lh_storage Lh_util List Printf Sys

@@ -1,0 +1,1 @@
+examples/voter_pipeline.ml: Array Float Levelheaded Lh_datagen Lh_ml Lh_storage Lh_util Printf String Sys

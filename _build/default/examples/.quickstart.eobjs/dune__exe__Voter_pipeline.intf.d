@@ -1,0 +1,1 @@
+examples/voter_pipeline.mli:

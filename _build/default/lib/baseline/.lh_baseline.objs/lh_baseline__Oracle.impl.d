@@ -1,0 +1,1 @@
+lib/baseline/oracle.ml: Array Ast Float Hashtbl Lh_sql Lh_storage List String Xcompile

@@ -1,0 +1,1 @@
+lib/baseline/oracle.mli: Lh_sql Lh_storage

@@ -1,0 +1,1 @@
+lib/baseline/pairwise.ml: Array Ast Float Fun Hashtbl Lh_sql Lh_storage Lh_util List Option String Xcompile

@@ -1,0 +1,1 @@
+lib/baseline/pairwise.mli: Lh_sql Lh_storage Lh_util

@@ -1,0 +1,1 @@
+lib/baseline/xcompile.ml: Array Ast Lh_sql Lh_storage List Option Printf String

@@ -1,0 +1,1 @@
+lib/baseline/xcompile.mli: Lh_sql Lh_storage

@@ -1,0 +1,159 @@
+open Lh_sql
+module T = Lh_storage.Table
+module Dtype = Lh_storage.Dtype
+
+let rec conjuncts = function Ast.And (a, b) -> conjuncts a @ conjuncts b | p -> [ p ]
+
+type group_acc = {
+  mutable count : int;
+  sums : float array;  (* one per aggregate select item *)
+  mins : float array;
+  maxs : float array;
+  counts : int array;  (* per-item COUNT *)
+}
+
+let agg_columns (q : Ast.query) =
+  List.map (function Ast.Plain (_, n) -> n | Ast.Aggregate (_, _, n) -> n) q.Ast.select
+
+let query ~lookup (q : Ast.query) =
+  let spec = List.map (fun (tname, alias) -> (alias, lookup tname)) q.Ast.from in
+  let n = List.length spec in
+  let preds =
+    match q.Ast.where with
+    | None -> []
+    | Some w ->
+        List.map
+          (fun p ->
+            let aliases = Xcompile.pred_aliases spec p in
+            let depth =
+              List.fold_left
+                (fun acc a ->
+                  match List.find_index (fun (al, _) -> String.equal al a) spec with
+                  | Some i -> max acc i
+                  | None -> acc)
+                0 aliases
+            in
+            (depth, Xcompile.pred spec p))
+          (conjuncts w)
+  in
+  let gb_codes = List.map (Xcompile.code spec) q.Ast.group_by in
+  let gb_dtypes = List.map (Xcompile.code_dtype spec) q.Ast.group_by in
+  let items = Array.of_list q.Ast.select in
+  let nitems = Array.length items in
+  let item_fns =
+    Array.map
+      (function
+        | Ast.Plain _ | Ast.Aggregate (_, None, _) -> None
+        | Ast.Aggregate (_, Some e, _) -> Some (Xcompile.scalar spec e))
+      items
+  in
+  let groups : (int list, group_acc) Hashtbl.t = Hashtbl.create 64 in
+  let env = Array.make (max n 1) 0 in
+  let visit () =
+    let key = List.map (fun f -> f env) gb_codes in
+    let acc =
+      match Hashtbl.find_opt groups key with
+      | Some a -> a
+      | None ->
+          let a =
+            {
+              count = 0;
+              sums = Array.make nitems 0.0;
+              mins = Array.make nitems infinity;
+              maxs = Array.make nitems neg_infinity;
+              counts = Array.make nitems 0;
+            }
+          in
+          Hashtbl.replace groups key a;
+          a
+    in
+    acc.count <- acc.count + 1;
+    Array.iteri
+      (fun i f ->
+        match f with
+        | None -> ()
+        | Some f ->
+            let v = f env in
+            acc.sums.(i) <- acc.sums.(i) +. v;
+            acc.mins.(i) <- Float.min acc.mins.(i) v;
+            acc.maxs.(i) <- Float.max acc.maxs.(i) v;
+            acc.counts.(i) <- acc.counts.(i) + 1)
+      item_fns
+  in
+  (* Predicates are checked right after the deepest binding they mention
+     becomes bound. *)
+  let rec walk_checked depth =
+    if depth = n then visit ()
+    else begin
+      let _, table = List.nth spec depth in
+      for r = 0 to table.T.nrows - 1 do
+        env.(depth) <- r;
+        if
+          List.for_all
+            (fun (d, f) -> if d = depth then f env else true)
+            preds
+        then walk_checked (depth + 1)
+      done
+    end
+  in
+  if n > 0 then walk_checked 0;
+  (* Scalar aggregate over an empty input still yields one row. *)
+  if Hashtbl.length groups = 0 && q.Ast.group_by = [] then begin
+    let a =
+      {
+        count = 0;
+        sums = Array.make nitems 0.0;
+        mins = Array.make nitems infinity;
+        maxs = Array.make nitems neg_infinity;
+        counts = Array.make nitems 0;
+      }
+    in
+    Hashtbl.replace groups [] a
+  end;
+  let gb_sigs =
+    List.map
+      (fun e ->
+        (* signature for matching Plain items to GROUP BY positions *)
+        e)
+      q.Ast.group_by
+  in
+  let decode_code dtype code =
+    match dtype with
+    | Dtype.Int -> Dtype.VInt code
+    | Dtype.Date -> Dtype.VDate code
+    | Dtype.String -> Dtype.VString (Lh_storage.Dict.decode (snd (List.hd spec)).T.dict code)
+    | Dtype.Float -> failwith "Oracle: float GROUP BY column"
+  in
+  let rows =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) groups []
+    |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+    |> List.map (fun (key, acc) ->
+           List.mapi
+             (fun i item ->
+               match item with
+               | Ast.Plain (e, _) -> (
+                   match List.find_index (fun g -> g = e) gb_sigs with
+                   | Some gi -> decode_code (List.nth gb_dtypes gi) (List.nth key gi)
+                   | None -> (
+                       (* The engines also accept a differently-spelled
+                          reference to the same column; match structurally
+                          on the unqualified column name. *)
+                       match
+                         List.find_index
+                           (fun g ->
+                             match (g, e) with
+                             | Ast.Col a, Ast.Col b -> String.equal a.Ast.column b.Ast.column
+                             | ga, eb -> ga = eb)
+                           gb_sigs
+                       with
+                       | Some gi -> decode_code (List.nth gb_dtypes gi) (List.nth key gi)
+                       | None -> failwith "Oracle: SELECT column not in GROUP BY"))
+               | Ast.Aggregate (Ast.Count, _, _) -> Dtype.VInt acc.count
+               | Ast.Aggregate (Ast.Sum, _, _) -> Dtype.VFloat acc.sums.(i)
+               | Ast.Aggregate (Ast.Avg, _, _) ->
+                   Dtype.VFloat (if acc.counts.(i) = 0 then 0.0 else acc.sums.(i) /. float_of_int acc.counts.(i))
+               | Ast.Aggregate (Ast.Min, _, _) -> Dtype.VFloat acc.mins.(i)
+               | Ast.Aggregate (Ast.Max, _, _) -> Dtype.VFloat acc.maxs.(i))
+             (Array.to_list items))
+  in
+  rows

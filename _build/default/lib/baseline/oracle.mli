@@ -1,0 +1,16 @@
+(** Brute-force reference evaluator — the correctness oracle for every
+    query engine in this repository.
+
+    Evaluates the query by backtracking over the Cartesian product of the
+    FROM bindings, applying each WHERE conjunct as soon as all of its
+    bindings are bound, then hash-grouping and aggregating. Obviously
+    correct, deliberately unoptimized: use on small inputs only. *)
+
+val query :
+  lookup:(string -> Lh_storage.Table.t) -> Lh_sql.Ast.query -> Lh_storage.Dtype.value list list
+(** Result rows in SELECT column order, sorted by the GROUP BY codes.
+    Scalar aggregate queries return exactly one row (with 0 for empty SUM /
+    COUNT). *)
+
+val agg_columns : Lh_sql.Ast.query -> string list
+(** Output column names, for building comparison tables. *)

@@ -1,0 +1,349 @@
+open Lh_sql
+module T = Lh_storage.Table
+module Dtype = Lh_storage.Dtype
+module Vec = Lh_util.Vec
+
+type mode = Pipelined | Materializing
+
+let rec conjuncts = function Ast.And (a, b) -> conjuncts a @ conjuncts b | p -> [ p ]
+
+(* A join step: attach [binding] to the bound prefix by probing a hash on
+   [build_cols] (its columns) keyed by [probe] (evaluated on the bound
+   environment). *)
+type step = {
+  binding : int;
+  build_cols : int array array;  (* code columns of the new table forming the key *)
+  probe_cols : (int * int array) array;  (* (bound binding, code column) per key part *)
+  residuals : (int array -> bool) list;  (* predicates decidable once this binds *)
+}
+
+type plan = {
+  base : int;
+  steps : step list;
+  base_residuals : (int array -> bool) list;
+}
+
+exception Unsupported of string
+
+let key_of_build cols r = Array.map (fun c -> c.(r)) cols
+let key_of_probe probes (env : int array) = Array.map (fun (b, c) -> c.(env.(b))) probes
+
+let make_plan spec (q : Ast.query) =
+  let n = List.length spec in
+  let tables = Array.of_list (List.map snd spec) in
+  let preds = match q.Ast.where with None -> [] | Some w -> conjuncts w in
+  let alias_index a =
+    match List.find_index (fun (al, _) -> String.equal al a) spec with
+    | Some i -> i
+    | None -> raise (Unsupported "unknown alias")
+  in
+  (* Split into single-binding filters, equi-joins, and residuals. *)
+  let filters = Array.make n [] in
+  let joins = ref [] in
+  let residuals = ref [] in
+  List.iter
+    (fun p ->
+      match Xcompile.pred_aliases spec p with
+      | [ a ] -> filters.(alias_index a) <- p :: filters.(alias_index a)
+      | _ -> (
+          match p with
+          | Ast.Cmp (Ast.Eq, Ast.Col ca, Ast.Col cb) ->
+              let ia, cola = Xcompile.resolve spec ca and ib, colb = Xcompile.resolve spec cb in
+              joins := (ia, cola, ib, colb) :: !joins
+          | _ -> residuals := p :: !residuals))
+    preds;
+  (* Filtered row ids per binding (selection pushdown in both modes). *)
+  let filtered =
+    Array.init n (fun i ->
+        let table = tables.(i) in
+        match filters.(i) with
+        | [] -> Array.init table.T.nrows Fun.id
+        | ps ->
+            let fs = List.map (Xcompile.pred spec) ps in
+            let out = Vec.Int.create ~capacity:256 () in
+            let env = Array.make n 0 in
+            for r = 0 to table.T.nrows - 1 do
+              env.(i) <- r;
+              if List.for_all (fun f -> f env) fs then Vec.Int.push out r
+            done;
+            Vec.Int.to_array out)
+  in
+  (* Left-deep order: probe stream = largest filtered relation; then
+     greedily attach the connected relation with the smallest estimated
+     fanout (filtered rows per distinct value of its probe key) — the
+     Selinger-style heuristic that prefers key-lookup joins. *)
+  let base = ref 0 in
+  for i = 1 to n - 1 do
+    if Array.length filtered.(i) > Array.length filtered.(!base) then base := i
+  done;
+  let bound = Array.make n false in
+  bound.(!base) <- true;
+  let steps = ref [] in
+  let remaining = ref (List.filter (fun i -> i <> !base) (List.init n Fun.id)) in
+  let fanout i =
+    (* distinct values of this relation's probe-key tuple over its
+       filtered rows, given the currently bound relations *)
+    let key_cols =
+      List.filter_map
+        (fun (ia, ca, ib, cb) ->
+          if ia = i && bound.(ib) then Some ca
+          else if ib = i && bound.(ia) then Some cb
+          else None)
+        !joins
+    in
+    let cols = List.map (fun c -> T.icol tables.(i) c) key_cols in
+    let distinct = Hashtbl.create 256 in
+    Array.iter
+      (fun r -> Hashtbl.replace distinct (List.map (fun col -> col.(r)) cols) ())
+      filtered.(i);
+    float_of_int (Array.length filtered.(i)) /. float_of_int (max 1 (Hashtbl.length distinct))
+  in
+  while !remaining <> [] do
+    let connected =
+      List.filter
+        (fun i ->
+          List.exists
+            (fun (ia, _, ib, _) -> (ia = i && bound.(ib)) || (ib = i && bound.(ia)))
+            !joins)
+        !remaining
+    in
+    let next =
+      match connected with
+      | [] -> raise (Unsupported "Cartesian product")
+      | l ->
+          let score i = (fanout i, Array.length filtered.(i)) in
+          List.fold_left
+            (fun best i -> if score i < score best then i else best)
+            (List.hd l) (List.tl l)
+    in
+    let key_pairs =
+      List.filter_map
+        (fun (ia, ca, ib, cb) ->
+          if ia = next && bound.(ib) then Some (ca, (ib, cb))
+          else if ib = next && bound.(ia) then Some (cb, (ia, ca))
+          else None)
+        !joins
+    in
+    let build_cols = Array.of_list (List.map (fun (c, _) -> T.icol tables.(next) c) key_pairs) in
+    let probe_cols =
+      Array.of_list (List.map (fun (_, (b, c)) -> (b, T.icol tables.(b) c)) key_pairs)
+    in
+    bound.(next) <- true;
+    (* Residual predicates decidable now. *)
+    let ready, later =
+      List.partition
+        (fun p ->
+          List.for_all (fun a -> bound.(alias_index a)) (Xcompile.pred_aliases spec p))
+        !residuals
+    in
+    residuals := later;
+    steps :=
+      { binding = next; build_cols; probe_cols; residuals = List.map (Xcompile.pred spec) ready }
+      :: !steps;
+    remaining := List.filter (fun i -> i <> next) !remaining
+  done;
+  if !residuals <> [] then raise (Unsupported "residual predicate never became decidable");
+  ({ base = !base; steps = List.rev !steps; base_residuals = [] }, filtered)
+
+(* Aggregation of the joined stream, shared by both modes. *)
+type agg = {
+  gb_codes : (int array -> int) list;
+  gb_dtypes : Dtype.t list;
+  items : Ast.select_item array;
+  item_fns : (int array -> float) option array;
+  groups : (int list, float array * int array * int ref) Hashtbl.t;
+      (* sums/mins/maxs packed: [|sum0..; min0..; max0..|], counts, total *)
+}
+
+let make_agg spec (q : Ast.query) =
+  {
+    gb_codes = List.map (Xcompile.code spec) q.Ast.group_by;
+    gb_dtypes = List.map (Xcompile.code_dtype spec) q.Ast.group_by;
+    items = Array.of_list q.Ast.select;
+    item_fns =
+      Array.of_list
+        (List.map
+           (function
+             | Ast.Plain _ | Ast.Aggregate (_, None, _) -> None
+             | Ast.Aggregate (_, Some e, _) -> Some (Xcompile.scalar spec e))
+           q.Ast.select);
+    groups = Hashtbl.create 256;
+  }
+
+let agg_visit agg env =
+  let nitems = Array.length agg.items in
+  let key = List.map (fun f -> f env) agg.gb_codes in
+  let sums, counts, total =
+    match Hashtbl.find_opt agg.groups key with
+    | Some g -> g
+    | None ->
+        let packed = Array.make (3 * nitems) 0.0 in
+        for i = 0 to nitems - 1 do
+          packed.(nitems + i) <- infinity;
+          packed.((2 * nitems) + i) <- neg_infinity
+        done;
+        let g = (packed, Array.make nitems 0, ref 0) in
+        Hashtbl.replace agg.groups key g;
+        g
+  in
+  incr total;
+  Array.iteri
+    (fun i f ->
+      match f with
+      | None -> ()
+      | Some f ->
+          let v = f env in
+          sums.(i) <- sums.(i) +. v;
+          sums.(Array.length agg.items + i) <- Float.min sums.(Array.length agg.items + i) v;
+          sums.((2 * Array.length agg.items) + i) <-
+            Float.max sums.((2 * Array.length agg.items) + i) v;
+          counts.(i) <- counts.(i) + 1)
+    agg.item_fns
+
+let agg_rows spec (q : Ast.query) agg =
+  let nitems = Array.length agg.items in
+  if Hashtbl.length agg.groups = 0 && q.Ast.group_by = [] then begin
+    let packed = Array.make (3 * nitems) 0.0 in
+    for i = 0 to nitems - 1 do
+      packed.(nitems + i) <- infinity;
+      packed.((2 * nitems) + i) <- neg_infinity
+    done;
+    Hashtbl.replace agg.groups [] (packed, Array.make nitems 0, ref 0)
+  end;
+  let dict = (snd (List.hd spec)).T.dict in
+  let decode dtype code =
+    match dtype with
+    | Dtype.Int -> Dtype.VInt code
+    | Dtype.Date -> Dtype.VDate code
+    | Dtype.String -> Dtype.VString (Lh_storage.Dict.decode dict code)
+    | Dtype.Float -> failwith "Pairwise: float GROUP BY column"
+  in
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) agg.groups []
+  |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+  |> List.map (fun (key, (packed, counts, total)) ->
+         List.mapi
+           (fun i item ->
+             match item with
+             | Ast.Plain (e, _) -> (
+                 match
+                   List.find_index
+                     (fun g ->
+                       g = e
+                       ||
+                       match (g, e) with
+                       | Ast.Col a, Ast.Col b -> String.equal a.Ast.column b.Ast.column
+                       | _ -> false)
+                     q.Ast.group_by
+                 with
+                 | Some gi -> decode (List.nth agg.gb_dtypes gi) (List.nth key gi)
+                 | None -> failwith "Pairwise: SELECT column not in GROUP BY")
+             | Ast.Aggregate (Ast.Count, _, _) -> Dtype.VInt !total
+             | Ast.Aggregate (Ast.Sum, _, _) -> Dtype.VFloat packed.(i)
+             | Ast.Aggregate (Ast.Avg, _, _) ->
+                 Dtype.VFloat
+                   (if counts.(i) = 0 then 0.0 else packed.(i) /. float_of_int counts.(i))
+             | Ast.Aggregate (Ast.Min, _, _) -> Dtype.VFloat packed.(nitems + i)
+             | Ast.Aggregate (Ast.Max, _, _) -> Dtype.VFloat packed.((2 * nitems) + i))
+           (Array.to_list agg.items))
+
+let query ~lookup ~mode ?(budget = Lh_util.Budget.unlimited) (q : Ast.query) =
+  let spec = List.map (fun (tname, alias) -> (alias, lookup tname)) q.Ast.from in
+  let n = List.length spec in
+  Lh_util.Budget.start budget;
+  let agg = make_agg spec q in
+  if n = 1 then begin
+    (* Pure scan. *)
+    let plan_filters =
+      match q.Ast.where with
+      | None -> fun _ -> true
+      | Some w -> Xcompile.pred spec w
+    in
+    let table = snd (List.hd spec) in
+    let env = Array.make 1 0 in
+    for r = 0 to table.T.nrows - 1 do
+      if r land 4095 = 0 then Lh_util.Budget.check budget;
+      env.(0) <- r;
+      if plan_filters env then agg_visit agg env
+    done;
+    agg_rows spec q agg
+  end
+  else begin
+    let plan, filtered = make_plan spec q in
+    (* Hash tables for every step (build side). *)
+    let hashes =
+      List.map
+        (fun step ->
+          let h : (int array, int list) Hashtbl.t =
+            Hashtbl.create (max 16 (Array.length filtered.(step.binding)))
+          in
+          Array.iter
+            (fun r ->
+              let key = key_of_build step.build_cols r in
+              Lh_util.Budget.check budget;
+              Hashtbl.replace h key
+                (r :: Option.value (Hashtbl.find_opt h key) ~default:[]))
+            filtered.(step.binding);
+          (step, h))
+        plan.steps
+    in
+    match mode with
+    | Pipelined ->
+        let env = Array.make n 0 in
+        let rec probe steps env =
+          match steps with
+          | [] -> agg_visit agg env
+          | (step, h) :: rest ->
+              let key = key_of_probe step.probe_cols env in
+              (match Hashtbl.find_opt h key with
+              | None -> ()
+              | Some rows ->
+                  List.iter
+                    (fun r ->
+                      env.(step.binding) <- r;
+                      if List.for_all (fun f -> f env) step.residuals then probe rest env)
+                    rows)
+        in
+        Array.iteri
+          (fun i r ->
+            if i land 1023 = 0 then Lh_util.Budget.check budget;
+            env.(plan.base) <- r;
+            probe hashes env)
+          filtered.(plan.base);
+        agg_rows spec q agg
+    | Materializing ->
+        (* Operator-at-a-time: materialize the full intermediate after
+           every join (the MonetDB-style execution model). *)
+        let current =
+          ref
+            (Array.map
+               (fun r ->
+                 let env = Array.make n 0 in
+                 env.(plan.base) <- r;
+                 env)
+               filtered.(plan.base))
+        in
+        List.iter
+          (fun (step, h) ->
+            let out = ref [] in
+            let count = ref 0 in
+            Array.iter
+              (fun env ->
+                incr count;
+                if !count land 255 = 0 then Lh_util.Budget.check budget;
+                let key = key_of_probe step.probe_cols env in
+                match Hashtbl.find_opt h key with
+                | None -> ()
+                | Some rows ->
+                    List.iter
+                      (fun r ->
+                        let env' = Array.copy env in
+                        env'.(step.binding) <- r;
+                        if List.for_all (fun f -> f env') step.residuals then
+                          out := env' :: !out)
+                      rows)
+              !current;
+            current := Array.of_list (List.rev !out))
+          hashes;
+        Array.iter (fun env -> agg_visit agg env) !current;
+        agg_rows spec q agg
+  end

@@ -1,0 +1,26 @@
+(** Pairwise hash-join engine — the repository's stand-in for the
+    comparison RDBMSs (DESIGN.md):
+
+    - [Pipelined] (HyPer-like): filters fused into the probe pipeline; one
+      left-deep pass over the largest filtered relation probing hash
+      tables built on the others, aggregating as matches stream out.
+    - [Materializing] (MonetDB-like): operator-at-a-time; every filter and
+      every join materializes its full intermediate result (all bound row
+      ids per tuple) before the next operator runs.
+
+    Both use classic Selinger-style pairwise join plans — never a WCOJ —
+    which is exactly the architecture the paper compares against: fine on
+    BI joins, catastrophic on LA self-joins (the intermediate explosion
+    reproduces the [oom] / [t/o] cells of Table II). *)
+
+type mode = Pipelined | Materializing
+
+val query :
+  lookup:(string -> Lh_storage.Table.t) ->
+  mode:mode ->
+  ?budget:Lh_util.Budget.t ->
+  Lh_sql.Ast.query ->
+  Lh_storage.Dtype.value list list
+(** Result rows in SELECT order, sorted by GROUP BY codes — same contract
+    as {!Oracle.query}. Budget violations raise the {!Lh_util.Budget}
+    exceptions ([start] is called internally). *)

@@ -1,0 +1,177 @@
+open Lh_sql
+module T = Lh_storage.Table
+module Schema = Lh_storage.Schema
+module Dtype = Lh_storage.Dtype
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+type env_spec = (string * T.t) list
+
+let resolve (spec : env_spec) (c : Ast.col_ref) =
+  let hits =
+    List.mapi (fun i (alias, table) -> (i, alias, table)) spec
+    |> List.filter_map (fun (i, alias, table) ->
+           match c.Ast.relation with
+           | Some a when not (String.equal a alias) -> None
+           | _ -> Option.map (fun col -> (i, col)) (Schema.find table.T.schema c.Ast.column))
+  in
+  match hits with
+  | [ hit ] -> hit
+  | [] -> unsupported "unknown column %s" c.Ast.column
+  | _ -> unsupported "ambiguous column %s" c.Ast.column
+
+let table_of spec i = snd (List.nth spec i)
+let col_dtype spec (i, col) = (Schema.col (table_of spec i).T.schema col).Schema.dtype
+
+let numeric_col spec (i, col) =
+  let table = table_of spec i in
+  match (table.T.cols.(col), col_dtype spec (i, col)) with
+  | T.Fcol a, _ -> fun (env : int array) -> Array.unsafe_get a env.(i)
+  | T.Icol _, Dtype.String -> unsupported "string column in numeric position"
+  | T.Icol a, _ -> fun env -> float_of_int (Array.unsafe_get a env.(i))
+
+let rec scalar spec e =
+  match e with
+  | Ast.Col c -> numeric_col spec (resolve spec c)
+  | Ast.Int_lit n ->
+      let v = float_of_int n in
+      fun _ -> v
+  | Ast.Float_lit v -> fun _ -> v
+  | Ast.Date_lit d ->
+      let v = float_of_int d in
+      fun _ -> v
+  | Ast.String_lit s -> unsupported "string literal %S in numeric position" s
+  | Ast.Interval_day _ -> unsupported "unfolded interval"
+  | Ast.Neg a ->
+      let fa = scalar spec a in
+      fun env -> -.fa env
+  | Ast.Add (a, b) ->
+      let fa = scalar spec a and fb = scalar spec b in
+      fun env -> fa env +. fb env
+  | Ast.Sub (a, b) ->
+      let fa = scalar spec a and fb = scalar spec b in
+      fun env -> fa env -. fb env
+  | Ast.Mul (a, b) ->
+      let fa = scalar spec a and fb = scalar spec b in
+      fun env -> fa env *. fb env
+  | Ast.Div (a, b) ->
+      let fa = scalar spec a and fb = scalar spec b in
+      fun env -> fa env /. fb env
+  | Ast.Case_when (p, a, b) ->
+      let fp = pred spec p in
+      let fa = scalar spec a and fb = scalar spec b in
+      fun env -> if fp env then fa env else fb env
+  | Ast.Extract_year a -> (
+      match a with
+      | Ast.Col c ->
+          let ((i, col) as rc) = resolve spec c in
+          if col_dtype spec rc <> Dtype.Date then unsupported "EXTRACT(YEAR) from non-date";
+          let codes = T.icol (table_of spec i) col in
+          fun env -> float_of_int (Lh_storage.Date.year codes.(env.(i)))
+      | _ -> unsupported "EXTRACT(YEAR) of a computed expression")
+
+and pred spec p =
+  match p with
+  | Ast.And (a, b) ->
+      let fa = pred spec a and fb = pred spec b in
+      fun env -> fa env && fb env
+  | Ast.Or (a, b) ->
+      let fa = pred spec a and fb = pred spec b in
+      fun env -> fa env || fb env
+  | Ast.Not a ->
+      let fa = pred spec a in
+      fun env -> not (fa env)
+  | Ast.Between (e, lo, hi) ->
+      let fe = scalar spec e and flo = scalar spec lo and fhi = scalar spec hi in
+      fun env ->
+        let v = fe env in
+        flo env <= v && v <= fhi env
+  | Ast.Like (e, pat) ->
+      let get = string_getter spec e in
+      fun env -> Ast.like_match ~pattern:pat (get env)
+  | Ast.Not_like (e, pat) ->
+      let get = string_getter spec e in
+      fun env -> not (Ast.like_match ~pattern:pat (get env))
+  | Ast.Cmp (op, a, b) ->
+      if is_stringy spec a || is_stringy spec b then string_cmp spec op a b
+      else
+        let fa = scalar spec a and fb = scalar spec b in
+        let test =
+          match op with
+          | Ast.Eq -> ( = )
+          | Ast.Ne -> ( <> )
+          | Ast.Lt -> ( < )
+          | Ast.Le -> ( <= )
+          | Ast.Gt -> ( > )
+          | Ast.Ge -> ( >= )
+        in
+        fun env -> test (fa env) (fb env)
+
+and is_stringy spec = function
+  | Ast.String_lit _ -> true
+  | Ast.Col c -> col_dtype spec (resolve spec c) = Dtype.String
+  | _ -> false
+
+and string_getter spec = function
+  | Ast.Col c ->
+      let ((i, col) as rc) = resolve spec c in
+      if col_dtype spec rc <> Dtype.String then unsupported "LIKE on non-string column";
+      let table = table_of spec i in
+      let codes = T.icol table col in
+      fun env -> Lh_storage.Dict.decode table.T.dict codes.(env.(i))
+  | _ -> unsupported "LIKE on a computed expression"
+
+and string_cmp spec op a b =
+  let eq =
+    match op with
+    | Ast.Eq -> true
+    | Ast.Ne -> false
+    | _ -> unsupported "order comparison on strings"
+  in
+  let code_of = function
+    | Ast.Col c ->
+        let i, col = resolve spec c in
+        let codes = T.icol (table_of spec i) col in
+        `Col (fun (env : int array) -> codes.(env.(i)))
+    | Ast.String_lit s -> `Lit s
+    | _ -> unsupported "string comparison on computed expressions"
+  in
+  match (code_of a, code_of b) with
+  | `Col fa, `Col fb -> fun env -> eq = (fa env = fb env)
+  | `Col f, `Lit s | `Lit s, `Col f -> (
+      (* Every binding shares the engine dictionary. *)
+      let dict = (table_of spec 0).T.dict in
+      match Lh_storage.Dict.find dict s with
+      | None -> fun _ -> not eq
+      | Some code -> fun env -> eq = (f env = code))
+  | `Lit s1, `Lit s2 ->
+      let v = eq = String.equal s1 s2 in
+      fun _ -> v
+
+let code spec e =
+  match e with
+  | Ast.Col c -> (
+      let i, col = resolve spec c in
+      match (table_of spec i).T.cols.(col) with
+      | T.Icol a -> fun (env : int array) -> a.(env.(i))
+      | T.Fcol _ -> unsupported "GROUP BY on a float column")
+  | Ast.Extract_year (Ast.Col c) ->
+      let ((i, col) as rc) = resolve spec c in
+      if col_dtype spec rc <> Dtype.Date then unsupported "EXTRACT(YEAR) from non-date";
+      let codes = T.icol (table_of spec i) col in
+      fun env -> Lh_storage.Date.year codes.(env.(i))
+  | _ -> unsupported "GROUP BY expression must be a column or EXTRACT(YEAR FROM column)"
+
+let code_dtype spec = function
+  | Ast.Col c -> col_dtype spec (resolve spec c)
+  | Ast.Extract_year _ -> Dtype.Int
+  | _ -> unsupported "GROUP BY expression must be a column or EXTRACT(YEAR FROM column)"
+
+let pred_aliases spec p =
+  Ast.pred_columns p
+  |> List.map (fun c ->
+         let i, _ = resolve spec c in
+         fst (List.nth spec i))
+  |> List.sort_uniq compare

@@ -1,0 +1,27 @@
+(** Expression compilation over multi-relation environments.
+
+    Where {!Levelheaded.Compile} compiles single-relation expressions for
+    the WCOJ engine, this compiles arbitrary expressions over an
+    environment of one current row per FROM binding — what a pairwise
+    (tuple-at-a-time) engine evaluates. An environment is an int array of
+    row ids, indexed by binding position. *)
+
+exception Unsupported of string
+
+type env_spec = (string * Lh_storage.Table.t) list
+(** FROM bindings in order; environment index = list position. *)
+
+val scalar : env_spec -> Lh_sql.Ast.expr -> int array -> float
+val code : env_spec -> Lh_sql.Ast.expr -> int array -> int
+(** GROUP BY code evaluator (column codes, or EXTRACT(YEAR)). *)
+
+val code_dtype : env_spec -> Lh_sql.Ast.expr -> Lh_storage.Dtype.t
+val pred : env_spec -> Lh_sql.Ast.pred -> int array -> bool
+
+val pred_aliases : env_spec -> Lh_sql.Ast.pred -> string list
+(** Bindings a predicate mentions (used to place predicates at the
+    earliest join depth where all inputs are bound). *)
+
+val resolve : env_spec -> Lh_sql.Ast.col_ref -> int * int
+(** (binding position, column index). Raises {!Unsupported} on unknown or
+    ambiguous columns. *)

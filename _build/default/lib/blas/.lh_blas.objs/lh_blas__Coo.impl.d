@@ -1,0 +1,1 @@
+lib/blas/coo.ml: Array Dense

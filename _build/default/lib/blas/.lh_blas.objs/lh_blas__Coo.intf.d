@@ -1,0 +1,1 @@
+lib/blas/coo.mli: Dense

@@ -1,0 +1,1 @@
+lib/blas/csr.ml: Array Coo Dense Lh_util

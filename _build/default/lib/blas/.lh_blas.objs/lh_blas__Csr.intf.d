@@ -1,0 +1,1 @@
+lib/blas/csr.mli: Coo Dense

@@ -1,0 +1,1 @@
+lib/blas/dense.ml: Array Float

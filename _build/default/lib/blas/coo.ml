@@ -1,0 +1,25 @@
+type t = {
+  nrows : int;
+  ncols : int;
+  row : int array;
+  col : int array;
+  value : float array;
+}
+
+let create ~nrows ~ncols ~row ~col ~value =
+  let n = Array.length row in
+  if Array.length col <> n || Array.length value <> n then
+    invalid_arg "Coo.create: ragged arrays";
+  Array.iter (fun i -> if i < 0 || i >= nrows then invalid_arg "Coo.create: row out of range") row;
+  Array.iter (fun j -> if j < 0 || j >= ncols then invalid_arg "Coo.create: col out of range") col;
+  { nrows; ncols; row; col; value }
+
+let nnz t = Array.length t.row
+
+let to_dense t =
+  let d = Dense.create ~rows:t.nrows ~cols:t.ncols in
+  for k = 0 to nnz t - 1 do
+    let i = t.row.(k) and j = t.col.(k) in
+    Dense.set d i j (Dense.get d i j +. t.value.(k))
+  done;
+  d

@@ -1,0 +1,18 @@
+(** Sparse matrices in coordinate (triplet) form — the layout a relational
+    column store naturally holds a matrix relation [(i, j, v)] in. Table IV
+    times the conversion from this form to {!Csr}. *)
+
+type t = {
+  nrows : int;
+  ncols : int;
+  row : int array;
+  col : int array;
+  value : float array;
+}
+
+val create : nrows:int -> ncols:int -> row:int array -> col:int array -> value:float array -> t
+(** Validates equal lengths and in-range indices. Entries need not be
+    sorted; duplicates are allowed (they sum on conversion). *)
+
+val nnz : t -> int
+val to_dense : t -> Dense.t

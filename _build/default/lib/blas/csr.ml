@@ -1,0 +1,149 @@
+type t = {
+  nrows : int;
+  ncols : int;
+  row_ptr : int array;
+  col_idx : int array;
+  values : float array;
+}
+
+let nnz t = t.row_ptr.(t.nrows)
+
+(* Two-pass bucket sort by row, then an in-row sort with duplicate folding.
+   This mirrors what mkl_?csrcoo has to do, which is the point of timing it
+   in Table IV. *)
+let of_coo (c : Coo.t) =
+  let n = Coo.nnz c in
+  let counts = Array.make (c.Coo.nrows + 1) 0 in
+  Array.iter (fun i -> counts.(i + 1) <- counts.(i + 1) + 1) c.Coo.row;
+  for i = 1 to c.Coo.nrows do
+    counts.(i) <- counts.(i) + counts.(i - 1)
+  done;
+  let cursor = Array.copy counts in
+  let col_idx = Array.make n 0 and values = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    let i = c.Coo.row.(k) in
+    let p = cursor.(i) in
+    col_idx.(p) <- c.Coo.col.(k);
+    values.(p) <- c.Coo.value.(k);
+    cursor.(i) <- p + 1
+  done;
+  (* Sort each row segment by column and fold duplicates in place. *)
+  let write = ref 0 in
+  let row_ptr = Array.make (c.Coo.nrows + 1) 0 in
+  for i = 0 to c.Coo.nrows - 1 do
+    let lo = counts.(i) and hi = cursor.(i) in
+    let seg = Array.init (hi - lo) (fun k -> (col_idx.(lo + k), values.(lo + k))) in
+    Array.sort (fun (a, _) (b, _) -> compare a b) seg;
+    row_ptr.(i) <- !write;
+    Array.iter
+      (fun (j, v) ->
+        if !write > row_ptr.(i) && col_idx.(!write - 1) = j then
+          values.(!write - 1) <- values.(!write - 1) +. v
+        else begin
+          col_idx.(!write) <- j;
+          values.(!write) <- v;
+          incr write
+        end)
+      seg
+  done;
+  row_ptr.(c.Coo.nrows) <- !write;
+  {
+    nrows = c.Coo.nrows;
+    ncols = c.Coo.ncols;
+    row_ptr;
+    col_idx = Array.sub col_idx 0 !write;
+    values = Array.sub values 0 !write;
+  }
+
+let spmv t x =
+  if Array.length x <> t.ncols then invalid_arg "Csr.spmv: dimension mismatch";
+  let y = Array.make t.nrows 0.0 in
+  for i = 0 to t.nrows - 1 do
+    let acc = ref 0.0 in
+    for p = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      acc :=
+        !acc +. (Array.unsafe_get t.values p *. Array.unsafe_get x (Array.unsafe_get t.col_idx p))
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+let spgemm a b =
+  if a.ncols <> b.nrows then invalid_arg "Csr.spgemm: dimension mismatch";
+  let acc = Array.make b.ncols 0.0 in
+  let in_touched = Array.make b.ncols false in
+  let touched = Array.make b.ncols 0 in
+  let out_ptr = Lh_util.Vec.Int.create ~capacity:(a.nrows + 1) () in
+  let out_col = Lh_util.Vec.Int.create () in
+  let out_val = Lh_util.Vec.Float.create () in
+  Lh_util.Vec.Int.push out_ptr 0;
+  for i = 0 to a.nrows - 1 do
+    let ntouched = ref 0 in
+    for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      let k = a.col_idx.(p) in
+      let av = a.values.(p) in
+      for q = b.row_ptr.(k) to b.row_ptr.(k + 1) - 1 do
+        let j = Array.unsafe_get b.col_idx q in
+        if not (Array.unsafe_get in_touched j) then begin
+          Array.unsafe_set in_touched j true;
+          Array.unsafe_set touched !ntouched j;
+          incr ntouched
+        end;
+        Array.unsafe_set acc j (Array.unsafe_get acc j +. (av *. Array.unsafe_get b.values q))
+      done
+    done;
+    let seg = Array.sub touched 0 !ntouched in
+    Array.sort compare seg;
+    Array.iter
+      (fun j ->
+        let v = acc.(j) in
+        if v <> 0.0 then begin
+          Lh_util.Vec.Int.push out_col j;
+          Lh_util.Vec.Float.push out_val v
+        end;
+        acc.(j) <- 0.0;
+        in_touched.(j) <- false)
+      seg;
+    Lh_util.Vec.Int.push out_ptr (Lh_util.Vec.Int.length out_col)
+  done;
+  {
+    nrows = a.nrows;
+    ncols = b.ncols;
+    row_ptr = Lh_util.Vec.Int.to_array out_ptr;
+    col_idx = Lh_util.Vec.Int.to_array out_col;
+    values = Lh_util.Vec.Float.to_array out_val;
+  }
+
+let transpose t =
+  let counts = Array.make (t.ncols + 1) 0 in
+  Array.iter (fun j -> counts.(j + 1) <- counts.(j + 1) + 1) t.col_idx;
+  for j = 1 to t.ncols do
+    counts.(j) <- counts.(j) + counts.(j - 1)
+  done;
+  let cursor = Array.copy counts in
+  let col_idx = Array.make (nnz t) 0 and values = Array.make (nnz t) 0.0 in
+  for i = 0 to t.nrows - 1 do
+    for p = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      let j = t.col_idx.(p) in
+      let q = cursor.(j) in
+      col_idx.(q) <- i;
+      values.(q) <- t.values.(p);
+      cursor.(j) <- q + 1
+    done
+  done;
+  { nrows = t.ncols; ncols = t.nrows; row_ptr = counts; col_idx; values }
+
+let to_dense t =
+  let d = Dense.create ~rows:t.nrows ~cols:t.ncols in
+  for i = 0 to t.nrows - 1 do
+    for p = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      Dense.set d i t.col_idx.(p) t.values.(p)
+    done
+  done;
+  d
+
+let row_nnz t i = t.row_ptr.(i + 1) - t.row_ptr.(i)
+
+let equal ?(tol = 1e-9) a b =
+  a.nrows = b.nrows && a.ncols = b.ncols
+  && Dense.max_abs_diff (to_dense a) (to_dense b) <= tol

@@ -1,0 +1,28 @@
+(** Compressed sparse row matrices — the "(normally) accepted" sparse BLAS
+    format (§III-D). {!of_coo} is the [mkl_scsrcoo]-equivalent conversion
+    whose cost Table IV compares against LevelHeaded's trie-native SMV. *)
+
+type t = {
+  nrows : int;
+  ncols : int;
+  row_ptr : int array;  (** length [nrows + 1] *)
+  col_idx : int array;  (** column indices, ascending within each row *)
+  values : float array;
+}
+
+val of_coo : Coo.t -> t
+(** Bucket-sort conversion; duplicate coordinates are summed. *)
+
+val nnz : t -> int
+
+val spmv : t -> float array -> float array
+(** Sparse matrix – dense vector product (the SMV kernel). *)
+
+val spgemm : t -> t -> t
+(** Gustavson row-by-row sparse product with a dense accumulator and
+    touched-list per row (the SMM kernel). *)
+
+val transpose : t -> t
+val to_dense : t -> Dense.t
+val row_nnz : t -> int -> int
+val equal : ?tol:float -> t -> t -> bool

@@ -1,0 +1,97 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Dense.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let of_array ~rows ~cols data =
+  if Array.length data <> rows * cols then invalid_arg "Dense.of_array: length mismatch";
+  { rows; cols; data }
+
+let init ~rows ~cols f =
+  let m = create ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j v = m.data.((i * m.cols) + j) <- v
+
+let gemv m x =
+  if Array.length x <> m.cols then invalid_arg "Dense.gemv: dimension mismatch";
+  let y = Array.make m.rows 0.0 in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let acc = ref 0.0 in
+    for j = 0 to m.cols - 1 do
+      acc := !acc +. (Array.unsafe_get m.data (base + j) *. Array.unsafe_get x j)
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+let transpose m =
+  init ~rows:m.cols ~cols:m.rows (fun i j -> get m j i)
+
+(* Block size tuned for L1-resident panels of doubles. *)
+let block = 64
+
+let gemm a b =
+  if a.cols <> b.rows then invalid_arg "Dense.gemm: dimension mismatch";
+  let n = a.rows and k = a.cols and m = b.cols in
+  let bt = transpose b in
+  let c = create ~rows:n ~cols:m in
+  let cd = c.data and ad = a.data and btd = bt.data in
+  (* jc/ic blocking over the transposed right operand keeps both panels hot;
+     the innermost loop is a stride-1 dot product. *)
+  let i0 = ref 0 in
+  while !i0 < n do
+    let ihi = min (!i0 + block) n in
+    let j0 = ref 0 in
+    while !j0 < m do
+      let jhi = min (!j0 + block) m in
+      for i = !i0 to ihi - 1 do
+        let abase = i * k in
+        for j = !j0 to jhi - 1 do
+          let bbase = j * k in
+          let acc = ref 0.0 in
+          for p = 0 to k - 1 do
+            acc := !acc +. (Array.unsafe_get ad (abase + p) *. Array.unsafe_get btd (bbase + p))
+          done;
+          Array.unsafe_set cd ((i * m) + j) !acc
+        done
+      done;
+      j0 := jhi
+    done;
+    i0 := ihi
+  done;
+  c
+
+let gemm_naive a b =
+  if a.cols <> b.rows then invalid_arg "Dense.gemm_naive: dimension mismatch";
+  init ~rows:a.rows ~cols:b.cols (fun i j ->
+      let acc = ref 0.0 in
+      for p = 0 to a.cols - 1 do
+        acc := !acc +. (get a i p *. get b p j)
+      done;
+      !acc)
+
+let scale s m = { m with data = Array.map (fun v -> s *. v) m.data }
+
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Dense.add: dimension mismatch";
+  { a with data = Array.mapi (fun i v -> v +. b.data.(i)) a.data }
+
+let frobenius m = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 m.data)
+
+let max_abs_diff a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Dense.max_abs_diff: dimension mismatch";
+  let worst = ref 0.0 in
+  Array.iteri (fun i v -> worst := Float.max !worst (Float.abs (v -. b.data.(i)))) a.data;
+  !worst
+
+let equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols && max_abs_diff a b <= tol

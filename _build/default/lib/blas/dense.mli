@@ -1,0 +1,37 @@
+(** Dense matrices in row-major BLAS layout.
+
+    This module is the repository's stand-in for Intel MKL's dense kernels
+    (DESIGN.md, substitutions): the [data] buffer of a matrix is exactly the
+    "BLAS compatible buffer" LevelHeaded's attribute elimination produces
+    for a dense annotation, so the engine can hand buffers here without any
+    data transformation (§III-D). *)
+
+type t = { rows : int; cols : int; data : float array }
+(** [data.(i * cols + j)] is element (i, j). *)
+
+val create : rows:int -> cols:int -> t
+(** Zero-filled. *)
+
+val of_array : rows:int -> cols:int -> float array -> t
+(** Validates the length; the array is used directly (not copied). *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val gemv : t -> float array -> float array
+(** Matrix–vector product. *)
+
+val gemm : t -> t -> t
+(** Blocked matrix–matrix product (the DMM kernel). The inner kernel runs
+    over a packed transpose of the right operand for stride-1 access. *)
+
+val gemm_naive : t -> t -> t
+(** Textbook triple loop; the correctness oracle for {!gemm}. *)
+
+val transpose : t -> t
+val scale : float -> t -> t
+val add : t -> t -> t
+val frobenius : t -> float
+val max_abs_diff : t -> t -> float
+val equal : ?tol:float -> t -> t -> bool

@@ -1,0 +1,1 @@
+lib/core/attr_order.ml: Config Float List

@@ -1,0 +1,1 @@
+lib/core/blas_bridge.ml: Array Ast Bytes Executor Lh_blas Lh_sql Lh_storage List Logical Option

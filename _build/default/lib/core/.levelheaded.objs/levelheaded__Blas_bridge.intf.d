@@ -1,0 +1,1 @@
+lib/core/blas_bridge.mli: Executor Lh_storage Logical

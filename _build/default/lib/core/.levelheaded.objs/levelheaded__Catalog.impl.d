@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Hashtbl Lh_storage List Printf

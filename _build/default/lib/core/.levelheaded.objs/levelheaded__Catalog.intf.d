@@ -1,0 +1,1 @@
+lib/core/catalog.mli: Lh_storage

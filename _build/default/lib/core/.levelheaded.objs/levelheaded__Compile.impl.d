@@ -1,0 +1,1 @@
+lib/core/compile.ml: Array Ast Lh_sql Lh_storage Printf String

@@ -1,0 +1,1 @@
+lib/core/compile.mli: Lh_sql Lh_storage

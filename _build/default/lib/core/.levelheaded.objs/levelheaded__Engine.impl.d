@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Blas_bridge Buffer Catalog Config Executor Float Format Ghd Hashtbl Lh_sql Lh_storage Lh_util List Logical Option Printf

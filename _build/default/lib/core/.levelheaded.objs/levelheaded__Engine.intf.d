@@ -1,0 +1,1 @@
+lib/core/engine.mli: Catalog Config Lh_sql Lh_storage

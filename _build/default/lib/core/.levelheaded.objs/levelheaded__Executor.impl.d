@@ -1,0 +1,1 @@
+lib/core/executor.ml: Array Ast Attr_order Compile Config Float Format Fun Ghd Hashtbl Lh_set Lh_sql Lh_storage Lh_util List Logical Option Printf String

@@ -1,0 +1,1 @@
+lib/core/executor.mli: Attr_order Config Format Ghd Hashtbl Lh_storage Logical

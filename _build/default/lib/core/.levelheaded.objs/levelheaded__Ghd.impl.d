@@ -1,0 +1,1 @@
+lib/core/ghd.ml: Array Float Format Fun Hashtbl Lh_util List Logical Printf String

@@ -1,0 +1,1 @@
+lib/core/ghd.mli: Format Logical

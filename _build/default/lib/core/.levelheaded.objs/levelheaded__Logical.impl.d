@@ -1,0 +1,1 @@
+lib/core/logical.ml: Array Ast Catalog Compile Format Hashtbl Lh_sql Lh_storage List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/logical.mli: Catalog Format Lh_sql Lh_storage

@@ -1,0 +1,142 @@
+type layout_guess = Guess_bs | Guess_uint
+
+let icost_pair a b =
+  match (a, b) with
+  | Guess_bs, Guess_bs -> 1
+  | Guess_bs, Guess_uint | Guess_uint, Guess_bs -> 10
+  | Guess_uint, Guess_uint -> 50
+
+type rel_info = {
+  rvertices : int list;
+  rcard : int;
+  reselected : bool;
+  rdense : bool;
+}
+
+let scores rels =
+  let heavy = List.fold_left (fun acc r -> max acc r.rcard) 1 rels in
+  List.map (fun r -> Float.ceil (100.0 *. float_of_int r.rcard /. float_of_int heavy)) rels
+
+let vertex_weights rels =
+  let ss = scores rels in
+  fun v ->
+    let here = List.filter (fun (r, _) -> List.mem v r.rvertices) (List.combine rels ss) in
+    match here with
+    | [] -> 1.0
+    | _ ->
+        let any_selected = List.exists (fun (r, _) -> r.reselected) here in
+        let pick = if any_selected then Float.max else Float.min in
+        List.fold_left
+          (fun acc (_, s) -> pick acc s)
+          (if any_selected then neg_infinity else infinity)
+          here
+
+let vertex_icost ~rels ~order pos =
+  let v = List.nth order pos in
+  let before = List.filteri (fun i _ -> i < pos) order in
+  let layouts =
+    List.filter_map
+      (fun r ->
+        if r.rdense || not (List.mem v r.rvertices) then None
+        else if List.exists (fun u -> List.mem u r.rvertices) before then Some Guess_uint
+        else Some Guess_bs (* first trie level of this relation: Obs. 5.1 *))
+      rels
+  in
+  let layouts = List.sort compare layouts (* Guess_bs < Guess_uint: bs processed first *) in
+  match layouts with
+  | [] | [ _ ] -> 0.0
+  | first :: rest ->
+      let total, _ =
+        List.fold_left
+          (fun (acc, cur) l ->
+            let c = icost_pair cur l in
+            let res = if cur = Guess_bs && l = Guess_bs then Guess_bs else Guess_uint in
+            (acc + c, res))
+          (0, first) rest
+      in
+      float_of_int total
+
+let cost ~rels ~weights order =
+  List.fold_left ( +. ) 0.0
+    (List.mapi (fun pos v -> vertex_icost ~rels ~order pos *. weights v) order)
+
+type result = { order : int list; relaxed : bool; ocost : float }
+
+(* All permutations of a list. Node bags are tiny (<= ~6 vertices). *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (fun y -> y <> x) l)))
+        l
+
+let respects_global ~global_order order =
+  let positions = List.filter_map (fun v -> List.find_index (( = ) v) global_order) order in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  increasing positions
+
+let valid_orders ~relax ~vertices ~materialized ~global_order =
+  let is_mat v = List.mem v materialized in
+  let base =
+    permutations vertices
+    |> List.filter (fun order ->
+           (* materialized attributes first *)
+           let rec check seen_proj = function
+             | [] -> true
+             | v :: rest ->
+                 if is_mat v then (not seen_proj) && check false rest
+                 else check true rest
+           in
+           check false order)
+    |> List.filter (fun order ->
+           respects_global ~global_order (List.filter is_mat order))
+  in
+  let relaxed_variants =
+    if not relax then []
+    else
+      List.filter_map
+        (fun order ->
+          (* §V-A2: swap a trailing [materialized; projected] pair. *)
+          match List.rev order with
+          | p :: m :: rest when (not (is_mat p)) && is_mat m ->
+              Some (List.rev (m :: p :: rest), true)
+          | _ -> None)
+        base
+  in
+  List.map (fun o -> (o, false)) base @ relaxed_variants
+
+let choose ~policy ~relax ~rels ~weights ~vertices ~materialized ~global_order =
+  let cands = valid_orders ~relax ~vertices ~materialized ~global_order in
+  let cands = if cands = [] then valid_orders ~relax:false ~vertices ~materialized ~global_order:[] else cands in
+  let with_cost = List.map (fun (o, rx) -> (cost ~rels ~weights o, rx, o)) cands in
+  match policy with
+  | Config.Naive ->
+      (* What a WCOJ engine without the optimizer picks: the first valid
+         order in vertex-id order, never relaxed. *)
+      let o = List.sort compare materialized @ List.sort compare (List.filter (fun v -> not (List.mem v materialized)) vertices) in
+      if respects_global ~global_order (List.filter (fun v -> List.mem v materialized) o) then
+        { order = o; relaxed = false; ocost = cost ~rels ~weights o }
+      else
+        let c, rx, o = List.hd (List.filter (fun (_, rx, _) -> not rx) with_cost) in
+        { order = o; relaxed = rx; ocost = c }
+  | Config.Worst_cost ->
+      let non_relaxed = List.filter (fun (_, rx, _) -> not rx) with_cost in
+      let c, rx, o =
+        List.fold_left (fun (bc, brx, bo) (c, rx, o) -> if c > bc then (c, rx, o) else (bc, brx, bo))
+          (List.hd non_relaxed) (List.tl non_relaxed)
+      in
+      { order = o; relaxed = rx; ocost = c }
+  | Config.Cost_based ->
+      (* Relaxed variants only beat their base order when they lower the
+         cost; choosing the global minimum (ties: unrelaxed first, then
+         lexicographic) implements exactly that. *)
+      let sorted =
+        List.sort
+          (fun (c1, rx1, o1) (c2, rx2, o2) -> compare (c1, rx1, o1) (c2, rx2, o2))
+          with_cost
+      in
+      let c, rx, o = List.hd sorted in
+      { order = o; relaxed = rx; ocost = c }

@@ -1,0 +1,69 @@
+(** The cost-based WCOJ attribute-ordering optimizer (§V).
+
+    For every GHD node the optimizer enumerates the attribute orders that
+    put materialized attributes first (optionally relaxing the rule by one
+    last-two swap, §V-A2) and respect the global materialized order, and
+    picks the cheapest under
+
+    {v cost = Σ_i icost(v_i) × weight(v_i) v}
+
+    icost (§V-A): every relation guesses the layout of its [v]-sets as
+    dense (bs) when [v] is the relation's first trie level in the order and
+    sparse (uint) otherwise (Obs. 5.1); the per-vertex icost folds the
+    pairwise costs bs∩bs = 1, bs∩uint = 10, uint∩uint = 50 with bs operands
+    processed first. A completely dense relation needs no intersection and
+    contributes nothing; a vertex with at most one (non-dense) relation
+    costs 0.
+
+    weight (§V-B): every relation gets a cardinality score
+    [ceil(100·|r|/|r_heavy|)]; a vertex weighs the {e maximum} score of its
+    relations when one of them carries an equality selection (work that can
+    be eliminated early) and the {e minimum} score otherwise (an
+    intersection is at most as large as its smallest set) — Obs. 5.2. *)
+
+type layout_guess = Guess_bs | Guess_uint
+
+val icost_pair : layout_guess -> layout_guess -> int
+(** The Fig. 5a-derived constants: 1 / 10 / 50. *)
+
+type rel_info = {
+  rvertices : int list;  (** this relation's vertices within the node *)
+  rcard : int;
+  reselected : bool;
+  rdense : bool;  (** completely dense: contributes icost 0 *)
+}
+
+val scores : rel_info list -> float list
+(** Per-relation cardinality scores out of 100. *)
+
+val vertex_weights : rel_info list -> int -> float
+(** Weight function over vertex ids, derived from [scores] and the
+    min/max rule above. The list should contain {e all} query relations,
+    not just one node's. *)
+
+val vertex_icost : rels:rel_info list -> order:int list -> int -> float
+(** icost of the vertex at the given position of [order]. *)
+
+val cost : rels:rel_info list -> weights:(int -> float) -> int list -> float
+(** Total cost of an order. *)
+
+type result = { order : int list; relaxed : bool; ocost : float }
+
+val choose :
+  policy:Config.attr_order_policy ->
+  relax:bool ->
+  rels:rel_info list ->
+  weights:(int -> float) ->
+  vertices:int list ->
+  materialized:int list ->
+  global_order:int list ->
+  result
+(** Selects the attribute order for one GHD node. [materialized] vertices
+    must precede projected ones (modulo relaxation); materialized vertices
+    present in [global_order] keep their relative order. *)
+
+val valid_orders :
+  relax:bool -> vertices:int list -> materialized:int list -> global_order:int list ->
+  (int list * bool) list
+(** All candidate (order, relaxed) pairs — exposed for tests and Fig. 5
+    experiments. *)

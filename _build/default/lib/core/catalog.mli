@@ -1,0 +1,19 @@
+(** Table registry of one engine instance. All tables share one string
+    dictionary so string equi-joins compare int codes. *)
+
+type t
+
+val create : unit -> t
+val dict : t -> Lh_storage.Dict.t
+
+val register : t -> Lh_storage.Table.t -> unit
+(** Replaces any previous table of the same name. Raises [Failure] when the
+    table was built against a different dictionary. *)
+
+val find : t -> string -> Lh_storage.Table.t option
+val find_exn : t -> string -> Lh_storage.Table.t
+val names : t -> string list
+
+val load_csv :
+  t -> name:string -> schema:Lh_storage.Schema.t -> ?sep:char -> string -> Lh_storage.Table.t
+(** Ingest a delimited file and register the result. *)

@@ -1,0 +1,33 @@
+(** Compilation of single-relation expressions and predicates to closures
+    over a table's column buffers.
+
+    Column references are resolved by the caller-supplied [resolve]
+    function (the translator knows which alias binds to which table); the
+    compiled closures then read the column arrays directly, so evaluation
+    per row performs no name lookups or dispatch on dtype. *)
+
+exception Unsupported of string
+
+val scalar :
+  Lh_storage.Table.t -> resolve:(Lh_sql.Ast.col_ref -> int) -> Lh_sql.Ast.expr -> int -> float
+(** Numeric evaluator (row -> float). Dates evaluate to their day code.
+    Raises {!Unsupported} at compile time on string-typed subexpressions in
+    numeric position. *)
+
+val code :
+  Lh_storage.Table.t -> resolve:(Lh_sql.Ast.col_ref -> int) -> Lh_sql.Ast.expr -> int -> int
+(** Int-code evaluator for GROUP BY expressions: a plain int/date/string
+    column yields its stored code; [EXTRACT(YEAR ...)] yields the year. *)
+
+val code_dtype :
+  Lh_storage.Table.t -> resolve:(Lh_sql.Ast.col_ref -> int) -> Lh_sql.Ast.expr -> Lh_storage.Dtype.t
+(** The dtype the codes of {!code} decode as. *)
+
+val pred :
+  Lh_storage.Table.t -> resolve:(Lh_sql.Ast.col_ref -> int) -> Lh_sql.Ast.pred -> int -> bool
+(** Row predicate. String columns support [=], [<>], [LIKE] and
+    [NOT LIKE]; order comparisons on strings raise {!Unsupported} (the
+    shared dictionary is not order-preserving). *)
+
+val const_value : Lh_sql.Ast.expr -> Lh_storage.Dtype.value option
+(** Evaluates a column-free expression to a constant, if it is one. *)

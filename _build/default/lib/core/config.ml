@@ -1,0 +1,34 @@
+type attr_order_policy = Cost_based | Naive | Worst_cost
+
+type t = {
+  attribute_elimination : bool;
+  attr_order : attr_order_policy;
+  relax_materialized_first : bool;
+  sorted_emit : bool;
+  blas_targeting : bool;
+  ghd_heuristics : bool;
+  domains : int;
+  budget : Lh_util.Budget.t;
+}
+
+let default =
+  {
+    attribute_elimination = true;
+    attr_order = Cost_based;
+    relax_materialized_first = true;
+    sorted_emit = true;
+    blas_targeting = true;
+    ghd_heuristics = true;
+    domains = 1;
+    budget = Lh_util.Budget.unlimited;
+  }
+
+let logicblox_like =
+  {
+    default with
+    attribute_elimination = false;
+    attr_order = Naive;
+    relax_materialized_first = false;
+    blas_targeting = false;
+    ghd_heuristics = false;
+  }

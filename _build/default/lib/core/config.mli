@@ -1,0 +1,35 @@
+(** Engine configuration and ablation toggles.
+
+    The defaults are the full LevelHeaded design. Each toggle disables one
+    of the paper's optimizations so the micro-benchmarks (Table III) can
+    measure its contribution, and so the "LogicBlox-like" comparison engine
+    (a WCOJ engine without LevelHeaded's optimizations) can be expressed as
+    a configuration. *)
+
+type attr_order_policy =
+  | Cost_based  (** the §V cost-based optimizer *)
+  | Naive  (** first valid order (what a WCOJ engine without the optimizer,
+               e.g. EmptyHeaded, might select) *)
+  | Worst_cost  (** highest-cost valid order; used by Table III / Fig. 5 *)
+
+type t = {
+  attribute_elimination : bool;
+      (** §IV-A: only referenced attributes enter the hypergraph and only
+          referenced buffers are touched. Disabling also disables BLAS
+          targeting (dense annotations are no longer isolated buffers). *)
+  attr_order : attr_order_policy;
+  relax_materialized_first : bool;  (** §V-A2 last-two-attribute swap *)
+  sorted_emit : bool;
+      (** stream GROUP BY prefixes with a sparse accumulator instead of
+          hashing the output — the path that keeps SMM's output out of a
+          hash table. Disable to measure its contribution. *)
+  blas_targeting : bool;  (** §III-D: hand dense LA kernels to the BLAS substrate *)
+  ghd_heuristics : bool;  (** §IV-B tie-breaking among equal-FHW GHDs *)
+  domains : int;  (** worker domains for the outermost WCOJ loop *)
+  budget : Lh_util.Budget.t;  (** memory/time budget; checked cooperatively *)
+}
+
+val default : t
+val logicblox_like : t
+(** WCOJ engine without LevelHeaded's optimizations: no attribute
+    elimination, naive attribute order, no relaxation, no BLAS targeting. *)

@@ -1,0 +1,174 @@
+module T = Lh_storage.Table
+module Schema = Lh_storage.Schema
+module Dtype = Lh_storage.Dtype
+
+type t = {
+  cat : Catalog.t;
+  mutable cfg : Config.t;
+  dense_cache : (string, Blas_bridge.dense_info option) Hashtbl.t;
+  trie_cache : Executor.trie_cache;
+}
+
+type path = Scan_path | Wcoj_path | Blas_path
+
+type explain = { epath : path; efhw : float option; etext : string }
+
+let create ?(config = Config.default) () =
+  {
+    cat = Catalog.create ();
+    cfg = config;
+    dense_cache = Hashtbl.create 8;
+    trie_cache = Hashtbl.create 32;
+  }
+
+let config t = t.cfg
+let set_config t cfg = t.cfg <- cfg
+let catalog t = t.cat
+let register t table =
+  (* Re-registering a name invalidates cached plans/tries for it. *)
+  Hashtbl.reset t.trie_cache;
+  Hashtbl.reset t.dense_cache;
+  Catalog.register t.cat table
+let dict t = Catalog.dict t.cat
+
+let register_rows t ~name ~schema rows =
+  let table = T.of_rows ~name ~schema ~dict:(Catalog.dict t.cat) rows in
+  Catalog.register t.cat table;
+  table
+
+let load_csv t ~name ~schema ?sep path =
+  Hashtbl.reset t.trie_cache;
+  Hashtbl.reset t.dense_cache;
+  Catalog.load_csv t.cat ~name ~schema ?sep path
+
+let dense_info t (table : T.t) =
+  let key = Printf.sprintf "%s/%d" table.T.name table.T.nrows in
+  match Hashtbl.find_opt t.dense_cache key with
+  | Some i -> i
+  | None ->
+      let i = Blas_bridge.dense_rect table in
+      Hashtbl.replace t.dense_cache key i;
+      i
+
+(* ------------------------------------------------------------------ *)
+(* Result assembly                                                      *)
+
+let finalize_rows (lq : Logical.t) (rows : Executor.row list) ~dict ~name =
+  let n = List.length rows in
+  let rows_arr = Array.of_list rows in
+  let columns =
+    List.map
+      (fun (o : Logical.out_col) ->
+        match o.Logical.okind with
+        | Logical.Out_group i ->
+            T.Icol (Array.init n (fun r -> rows_arr.(r).Executor.gcodes.(i)))
+        | Logical.Out_sum slots ->
+            let value r =
+              List.fold_left (fun acc j -> acc +. rows_arr.(r).Executor.slots.(j)) 0.0 slots
+            in
+            if o.Logical.odtype = Dtype.Int then
+              T.Icol (Array.init n (fun r -> int_of_float (Float.round (value r))))
+            else T.Fcol (Array.init n value)
+        | Logical.Out_avg (slots, cnt) ->
+            T.Fcol
+              (Array.init n (fun r ->
+                   let c = rows_arr.(r).Executor.slots.(cnt) in
+                   if c = 0.0 then 0.0
+                   else
+                     List.fold_left (fun acc j -> acc +. rows_arr.(r).Executor.slots.(j)) 0.0 slots
+                     /. c))
+        | Logical.Out_minmax j -> T.Fcol (Array.init n (fun r -> rows_arr.(r).Executor.slots.(j))))
+      lq.Logical.outputs
+  in
+  let schema =
+    Schema.create
+      (List.map
+         (fun (o : Logical.out_col) ->
+           let kind =
+             match o.Logical.okind with
+             | Logical.Out_group i -> (
+                 match lq.Logical.group_by.(i) with
+                 | Logical.Group_key _ -> Schema.Key
+                 | Logical.Group_ann _ -> Schema.Annotation)
+             | Logical.Out_sum _ | Logical.Out_avg _ | Logical.Out_minmax _ -> Schema.Annotation
+           in
+           (o.Logical.oname, o.Logical.odtype, kind))
+         lq.Logical.outputs)
+  in
+  T.create ~name ~schema ~dict (Array.of_list columns)
+
+(* ------------------------------------------------------------------ *)
+
+type decided =
+  | Use_scan
+  | Use_blas
+  | Use_wcoj of Ghd.t * Executor.pnode
+
+let decide t (lq : Logical.t) =
+  if Array.length lq.Logical.vertices = 0 then Use_scan
+  else begin
+    let blas_ok =
+      t.cfg.Config.blas_targeting && t.cfg.Config.attribute_elimination
+      && Option.is_some (Blas_bridge.match_kernel lq ~dense_of:(dense_info t))
+    in
+    if blas_ok then Use_blas
+    else begin
+      let ghd = Ghd.plan lq ~heuristics:t.cfg.Config.ghd_heuristics in
+      let dense_of (e : Logical.edge) = Option.is_some (dense_info t e.Logical.table) in
+      let pnode = Executor.physical t.cfg lq ~dense_of ghd in
+      Use_wcoj (ghd, pnode)
+    end
+  end
+
+let explain_of t lq decided =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.fprintf fmt "%a@." Logical.pp lq;
+  let path, fhw =
+    match decided with
+    | Use_scan ->
+        Format.fprintf fmt "path: columnar scan (no join keys)@.";
+        (Scan_path, None)
+    | Use_blas ->
+        Format.fprintf fmt "path: dense BLAS kernel (attribute-eliminated buffers)@.";
+        (Blas_path, None)
+    | Use_wcoj (ghd, pnode) ->
+        Format.fprintf fmt "%a@.%a@." (Ghd.pp lq) ghd (Executor.pp_plan lq) pnode;
+        (Wcoj_path, Some ghd.Ghd.fhw)
+  in
+  Format.pp_print_flush fmt ();
+  ignore t;
+  { epath = path; efhw = fhw; etext = Buffer.contents buf }
+
+let run_decided t lq decided =
+  let rows =
+    match decided with
+    | Use_scan -> Executor.run_scan t.cfg lq
+    | Use_blas -> (
+        match Blas_bridge.try_blas lq ~dense_of:(dense_info t) with
+        | Some rows -> rows
+        | None -> failwith "Engine: BLAS path vanished between planning and execution")
+    | Use_wcoj (_, pnode) -> Executor.run t.cfg ~cache:t.trie_cache lq pnode
+  in
+  finalize_rows lq rows ~dict:(Catalog.dict t.cat) ~name:"result"
+
+let query_ast t ast =
+  let lq = Logical.translate t.cat ~attribute_elimination:t.cfg.Config.attribute_elimination ast in
+  let d = decide t lq in
+  Lh_util.Budget.start t.cfg.Config.budget;
+  run_decided t lq d
+
+let query t sql = query_ast t (Lh_sql.Parser.parse sql)
+
+let query_explain t sql =
+  let ast = Lh_sql.Parser.parse sql in
+  let lq = Logical.translate t.cat ~attribute_elimination:t.cfg.Config.attribute_elimination ast in
+  let d = decide t lq in
+  let ex = explain_of t lq d in
+  Lh_util.Budget.start t.cfg.Config.budget;
+  (run_decided t lq d, ex)
+
+let explain t sql =
+  let ast = Lh_sql.Parser.parse sql in
+  let lq = Logical.translate t.cat ~attribute_elimination:t.cfg.Config.attribute_elimination ast in
+  explain_of t lq (decide t lq)

@@ -1,0 +1,49 @@
+(** The LevelHeaded engine: the public entry point of this library.
+
+    {[
+      let eng = Engine.create () in
+      let matrix = Lh_storage.Schema.create [ ("i", Int, Key); ("j", Int, Key); ("v", Float, Annotation) ] in
+      let _ = Engine.load_csv eng ~name:"m" ~schema:matrix "matrix.csv" in
+      let result = Engine.query eng
+        "select m1.i, m2.j, sum(m1.v * m2.v) as v from m m1, m m2 where m1.j = m2.i group by m1.i, m2.j"
+    ]}
+
+    A query runs through: SQL parse → hypergraph translation (§IV-A) →
+    either the scan path (no join keys), the BLAS path (dense LA kernels,
+    §III-D), or GHD selection (§IV-B) + cost-based attribute ordering (§V)
+    + the generic WCOJ interpreter. The result is an ordinary table
+    registered against the same catalog, so results can be queried again
+    (e.g. a matrix product fed into another multiplication). *)
+
+type t
+
+type path = Scan_path | Wcoj_path | Blas_path
+
+type explain = {
+  epath : path;
+  efhw : float option;  (** fractional hypertree width of the chosen GHD *)
+  etext : string;  (** human-readable plan: hypergraph, GHD, attribute orders *)
+}
+
+val create : ?config:Config.t -> unit -> t
+val config : t -> Config.t
+val set_config : t -> Config.t -> unit
+val catalog : t -> Catalog.t
+
+val register : t -> Lh_storage.Table.t -> unit
+val register_rows : t -> name:string -> schema:Lh_storage.Schema.t -> Lh_storage.Dtype.value list list -> Lh_storage.Table.t
+val load_csv : t -> name:string -> schema:Lh_storage.Schema.t -> ?sep:char -> string -> Lh_storage.Table.t
+val dict : t -> Lh_storage.Dict.t
+
+val query : t -> string -> Lh_storage.Table.t
+(** Parse and execute; the result table is named ["result"] (not
+    registered). Raises [Lh_sql.Parser.Parse_error],
+    {!Logical.Unsupported_query}, {!Compile.Unsupported}, or the
+    {!Lh_util.Budget} exceptions. *)
+
+val query_ast : t -> Lh_sql.Ast.query -> Lh_storage.Table.t
+
+val query_explain : t -> string -> Lh_storage.Table.t * explain
+
+val explain : t -> string -> explain
+(** Plan without executing (the BLAS/scan decision is still reported). *)

@@ -1,0 +1,221 @@
+type bag = {
+  bag_vertices : int list;
+  bag_edges : int list;
+  interface : int list;
+  children : bag list;
+}
+
+type t = { root : bag; fhw : float }
+
+let union_all lists = List.sort_uniq compare (List.concat lists)
+let subset a b = List.for_all (fun x -> List.mem x b) a
+let inter a b = List.filter (fun x -> List.mem x b) a
+
+(* All decompositions of the component [avail] (edge ids) whose root bag
+   must contain [interface].  Bags are unions of edge vertex sets. *)
+let rec decompose ~edge_verts ~memo avail interface =
+  let key = (avail, interface) in
+  match Hashtbl.find_opt memo key with
+  | Some r -> r
+  | None ->
+      let avail_arr = Array.of_list avail in
+      let n = Array.length avail_arr in
+      let results = ref [] in
+      let seen_bags = Hashtbl.create 16 in
+      for mask = 1 to (1 lsl n) - 1 do
+        let s = List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list avail_arr) in
+        let bagv = union_all (List.map (fun e -> edge_verts.(e)) s) in
+        if subset interface bagv && not (Hashtbl.mem seen_bags bagv) then begin
+          Hashtbl.replace seen_bags bagv ();
+          let assigned, rest =
+            List.partition (fun e -> subset edge_verts.(e) bagv) avail
+          in
+          if rest = [] then
+            results := { bag_vertices = bagv; bag_edges = assigned; interface; children = [] } :: !results
+          else begin
+            (* Split [rest] into components connected through non-bag
+               vertices; components sharing only bag vertices are
+               independent subtrees (running intersection holds). *)
+            let rest_arr = Array.of_list rest in
+            let m = Array.length rest_arr in
+            let comp = Array.make m (-1) in
+            let rec mark i c =
+              if comp.(i) = -1 then begin
+                comp.(i) <- c;
+                for j = 0 to m - 1 do
+                  if comp.(j) = -1 then begin
+                    let shared =
+                      inter edge_verts.(rest_arr.(i)) edge_verts.(rest_arr.(j))
+                      |> List.filter (fun v -> not (List.mem v bagv))
+                    in
+                    if shared <> [] then mark j c
+                  end
+                done
+              end
+            in
+            let ncomp = ref 0 in
+            for i = 0 to m - 1 do
+              if comp.(i) = -1 then begin
+                mark i !ncomp;
+                incr ncomp
+              end
+            done;
+            let components =
+              List.init !ncomp (fun c ->
+                  List.filteri (fun i _ -> comp.(i) = c) (Array.to_list rest_arr))
+            in
+            let child_options =
+              List.map
+                (fun c ->
+                  let iface = inter (union_all (List.map (fun e -> edge_verts.(e)) c)) bagv in
+                  decompose ~edge_verts ~memo c iface)
+                components
+            in
+            (* Cartesian product of per-component choices. *)
+            let combos =
+              List.fold_left
+                (fun acc opts -> List.concat_map (fun tail -> List.map (fun o -> o :: tail) opts) acc)
+                [ [] ] child_options
+            in
+            List.iter
+              (fun children ->
+                results :=
+                  { bag_vertices = bagv; bag_edges = assigned; interface; children = List.rev children }
+                  :: !results)
+              combos
+          end
+        end
+      done;
+      let r = List.rev !results in
+      Hashtbl.replace memo key r;
+      r
+
+let rec all_bags ?(depth = 0) bag = (depth, bag) :: List.concat_map (all_bags ~depth:(depth + 1)) bag.children
+
+let nodes t = List.map snd (all_bags t.root)
+
+(* Fractional cover width of one bag, using every query edge projected onto
+   the bag (the standard FHW node width). *)
+let bag_width ~edge_verts bagv =
+  let vs = Array.of_list bagv in
+  let index = Hashtbl.create 8 in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) vs;
+  let projected =
+    Array.to_list edge_verts
+    |> List.filter_map (fun verts ->
+           match List.filter_map (fun v -> Hashtbl.find_opt index v) verts with
+           | [] -> None
+           | proj -> Some proj)
+  in
+  if bagv = [] then 0.0
+  else
+    (Lh_util.Simplex.fractional_edge_cover ~nvertices:(Array.length vs)
+       ~edges:(Array.of_list projected))
+      .Lh_util.Simplex.width
+
+let fhw_of ~edge_verts root =
+  List.fold_left (fun acc (_, b) -> Float.max acc (bag_width ~edge_verts b.bag_vertices)) 0.0
+    (all_bags root)
+
+(* Heuristic score (§IV-B), lexicographic minimize:
+   node count, depth, shared vertices, negated selection depth. *)
+let score (lq : Logical.t) root =
+  let bags = all_bags root in
+  let nnodes = List.length bags in
+  let depth = List.fold_left (fun acc (d, _) -> max acc d) 0 bags in
+  let shared =
+    List.fold_left (fun acc (_, b) -> acc + List.length b.interface) 0 bags
+  in
+  let sel_depth =
+    List.fold_left
+      (fun acc (d, b) ->
+        acc
+        + List.fold_left
+            (fun a e -> if lq.Logical.edges.(e).Logical.eq_selected then a + d else a)
+            0 b.bag_edges)
+      0 bags
+  in
+  (nnodes, depth, shared, -sel_depth)
+
+let group_key_vertices (lq : Logical.t) =
+  Array.to_list lq.Logical.group_by
+  |> List.filter_map (function Logical.Group_key v -> Some v | Logical.Group_ann _ -> None)
+
+let candidates (lq : Logical.t) =
+  let edge_verts = Logical.edge_vertex_list lq in
+  let nedges = Array.length edge_verts in
+  if nedges = 0 then invalid_arg "Ghd.candidates: no edges";
+  let memo = Hashtbl.create 64 in
+  let all = decompose ~edge_verts ~memo (List.init nedges Fun.id) [] in
+  let gkeys = group_key_vertices lq in
+  let valid = List.filter (fun root -> subset gkeys root.bag_vertices) all in
+  let valid = if valid = [] then all else valid in
+  let scored =
+    List.map (fun root -> (fhw_of ~edge_verts root, score lq root, root)) valid
+  in
+  let min_fhw = List.fold_left (fun acc (w, _, _) -> Float.min acc w) infinity scored in
+  let best =
+    List.filter (fun (w, _, _) -> w < min_fhw +. 1e-6) scored
+    |> List.sort (fun (_, s1, _) (_, s2, _) -> compare s1 s2)
+  in
+  List.map (fun (w, _, root) -> { root; fhw = w }) best
+
+let plan lq ~heuristics =
+  match candidates lq with
+  | [] -> failwith "Ghd.plan: no candidates"
+  | first :: _ as cs -> if heuristics then first else List.nth cs (List.length cs - 1)
+
+let validate ~nvertices ~edges t =
+  let bags = all_bags t.root in
+  let covered = Array.make (Array.length edges) false in
+  let problems = ref [] in
+  List.iter
+    (fun (_, b) ->
+      List.iter
+        (fun e ->
+          if covered.(e) then problems := Printf.sprintf "edge %d assigned twice" e :: !problems;
+          covered.(e) <- true;
+          if not (subset edges.(e) b.bag_vertices) then
+            problems := Printf.sprintf "edge %d not contained in its bag" e :: !problems)
+        b.bag_edges)
+    bags;
+  Array.iteri (fun e c -> if not c then problems := Printf.sprintf "edge %d uncovered" e :: !problems) covered;
+  (* Running intersection: bags containing each vertex form a subtree. *)
+  for v = 0 to nvertices - 1 do
+    (* Count connected groups of bags containing v by walking the tree. *)
+    let rec walk bag inside_above =
+      let here = List.mem v bag.bag_vertices in
+      let new_component = here && not inside_above in
+      let below =
+        List.fold_left (fun acc c -> acc + walk c here) 0 bag.children
+      in
+      below + (if new_component then 1 else 0)
+    in
+    let groups = walk t.root false in
+    if groups > 1 then problems := Printf.sprintf "vertex %d violates running intersection" v :: !problems
+  done;
+  (* Interfaces. *)
+  let rec check_iface bag =
+    List.iter
+      (fun c ->
+        let want = inter c.bag_vertices bag.bag_vertices in
+        if List.sort compare c.interface <> List.sort compare want then
+          problems := "interface mismatch" :: !problems;
+        check_iface c)
+      bag.children
+  in
+  check_iface t.root;
+  if t.root.interface <> [] then problems := "root has an interface" :: !problems;
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)
+
+let pp (lq : Logical.t) fmt t =
+  let vname v = lq.Logical.vertices.(v).Logical.vname in
+  let rec go indent bag =
+    Format.fprintf fmt "%s[%s] edges: %s@," indent
+      (String.concat ", " (List.map vname bag.bag_vertices))
+      (String.concat ", " (List.map (fun e -> lq.Logical.edges.(e).Logical.alias) bag.bag_edges));
+    List.iter (go (indent ^ "  ")) bag.children
+  in
+  Format.fprintf fmt "@[<v>GHD (fhw = %g):@," t.fhw;
+  go "  " t.root;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,43 @@
+(** Generalized hypertree decompositions (§II-B, §IV-B).
+
+    Candidate GHDs are enumerated over bags that are unions of hyperedge
+    vertex sets, recursively splitting the remaining edges into components
+    connected through non-bag vertices (which makes the running
+    intersection property hold by construction). Candidates are ranked by
+    fractional hypertree width first (computed exactly with the fractional
+    edge cover LP), then by the paper's four tie-break heuristics:
+
+    + fewer tree nodes,
+    + smaller depth,
+    + fewer shared vertices between nodes,
+    + deeper selections.
+
+    One restriction (documented in DESIGN.md): GROUP BY key vertices must
+    appear in the root bag, so grouped keys are never aggregated away in a
+    child; candidates violating this are discarded. *)
+
+type bag = {
+  bag_vertices : int list;  (** sorted vertex ids *)
+  bag_edges : int list;  (** edge ids assigned (covered) here *)
+  interface : int list;  (** vertices shared with the parent; [] at the root *)
+  children : bag list;
+}
+
+type t = { root : bag; fhw : float }
+
+val candidates : Logical.t -> t list
+(** All minimum-FHW candidates, best heuristic score first. Never empty for
+    a query with at least one edge and one vertex. *)
+
+val plan : Logical.t -> heuristics:bool -> t
+(** The chosen GHD: the heuristic-best candidate, or the heuristic-worst
+    one when [heuristics] is false (the ablation of §IV-B). *)
+
+val validate : nvertices:int -> edges:int list array -> t -> (unit, string) result
+(** Checks edge coverage, the running intersection property, and interface
+    consistency — used by property tests. *)
+
+val nodes : t -> bag list
+(** All bags, preorder. *)
+
+val pp : Logical.t -> Format.formatter -> t -> unit

@@ -1,0 +1,592 @@
+open Lh_sql
+module T = Lh_storage.Table
+module Schema = Lh_storage.Schema
+module Dtype = Lh_storage.Dtype
+module Trie = Lh_storage.Trie
+
+type vertex = { vname : string; vdtype : Dtype.t }
+
+type edge = {
+  alias : string;
+  table : T.t;
+  vertices : int list;
+  vertex_cols : (int * int) list;
+  filter : Ast.pred option;
+  eq_selected : bool;
+}
+
+type gitem =
+  | Group_key of int
+  | Group_ann of { alias : string; expr : Ast.expr; dtype : Dtype.t }
+
+type slot = {
+  kind : Trie.agg_kind;
+  owners : (string * Ast.expr) list;
+  coeff : float;
+  dead : bool;
+}
+
+type output =
+  | Out_group of int
+  | Out_sum of int list
+  | Out_avg of int list * int
+  | Out_minmax of int
+
+type out_col = { oname : string; okind : output; odtype : Dtype.t }
+
+type t = {
+  bindings : (string * T.t) list;
+  vertices : vertex array;
+  edges : edge array;
+  slots : slot array;
+  group_by : gitem array;
+  outputs : out_col list;
+}
+
+exception Unsupported_query of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported_query s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Column resolution                                                    *)
+
+type rcol = { ralias : string; rtable : T.t; rcol : int }
+
+let resolver bindings (c : Ast.col_ref) =
+  match c.Ast.relation with
+  | Some alias -> (
+      match List.assoc_opt alias bindings with
+      | None -> unsupported "unknown relation alias %S" alias
+      | Some table -> (
+          match Schema.find table.T.schema c.Ast.column with
+          | Some i -> { ralias = alias; rtable = table; rcol = i }
+          | None -> unsupported "relation %s has no column %S" alias c.Ast.column))
+  | None -> (
+      let hits =
+        List.filter_map
+          (fun (alias, table) ->
+            match Schema.find table.T.schema c.Ast.column with
+            | Some i -> Some { ralias = alias; rtable = table; rcol = i }
+            | None -> None)
+          bindings
+      in
+      match hits with
+      | [ r ] -> r
+      | [] -> unsupported "no relation in FROM has a column %S" c.Ast.column
+      | _ -> unsupported "ambiguous column %S (qualify it with an alias)" c.Ast.column)
+
+let is_key r = Schema.is_key r.rtable.T.schema r.rcol
+let col_dtype r = (Schema.col r.rtable.T.schema r.rcol).Schema.dtype
+let col_name r = (Schema.col r.rtable.T.schema r.rcol).Schema.name
+
+let expr_aliases resolve e =
+  Ast.expr_columns e |> List.map (fun c -> (resolve c).ralias) |> List.sort_uniq compare
+
+let pred_aliases resolve p =
+  Ast.pred_columns p |> List.map (fun c -> (resolve c).ralias) |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* WHERE classification                                                 *)
+
+let rec conjuncts = function
+  | Ast.And (a, b) -> conjuncts a @ conjuncts b
+  | p -> [ p ]
+
+type classified =
+  | Join of rcol * rcol
+  | Filter of string * Ast.pred  (* alias *)
+
+let classify resolve p =
+  match p with
+  | Ast.Cmp (Ast.Eq, Ast.Col a, Ast.Col b) -> (
+      let ra = resolve a and rb = resolve b in
+      if String.equal ra.ralias rb.ralias then Filter (ra.ralias, p)
+      else
+        match (is_key ra, is_key rb) with
+        | true, true ->
+            if col_dtype ra <> col_dtype rb then
+              unsupported "join between %s and %s with different types" (col_name ra) (col_name rb);
+            Join (ra, rb)
+        | _ ->
+            unsupported "join condition %s = %s must equate two key columns (§III-A)" (col_name ra)
+              (col_name rb))
+  | _ -> (
+      match pred_aliases resolve p with
+      | [ alias ] -> Filter (alias, p)
+      | [] -> unsupported "constant predicate is not supported"
+      | aliases ->
+          unsupported "predicate spanning relations %s is neither an equi-join nor a filter"
+            (String.concat ", " aliases))
+
+let rec has_eq_filter = function
+  | Ast.Cmp (Ast.Eq, Ast.Col _, e) | Ast.Cmp (Ast.Eq, e, Ast.Col _) ->
+      Option.is_some (Compile.const_value e)
+  | Ast.And (a, b) -> has_eq_filter a || has_eq_filter b
+  | Ast.Or _ | Ast.Not _ | Ast.Cmp _ | Ast.Between _ | Ast.Like _ | Ast.Not_like _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Union-find over key columns -> vertices                              *)
+
+module UF = struct
+  type t = (string * int, string * int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let rec find (t : t) x =
+    match Hashtbl.find_opt t x with
+    | None -> x
+    | Some p ->
+        let root = find t p in
+        Hashtbl.replace t x root;
+        root
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then Hashtbl.replace t ra rb
+
+  let touch t x = ignore (find t x)
+end
+
+(* Vertex display names: when every member column shares the suffix after
+   its first underscore (TPC-H style: c_custkey, o_custkey), use that. *)
+let vertex_name cols =
+  let suffix name =
+    match String.index_opt name '_' with
+    | Some i when i + 1 < String.length name -> String.sub name (i + 1) (String.length name - i - 1)
+    | _ -> name
+  in
+  match cols with
+  | [] -> assert false
+  | (_, first) :: _ ->
+      let s = suffix first in
+      if List.for_all (fun (_, n) -> String.equal (suffix n) s) cols then s else first
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate decomposition (rule 3): expression -> sum of terms, each a
+   product of single-relation factors.                                  *)
+
+type term = { tcoeff : float; tfactors : (string * Ast.expr) list }
+
+let const_float e =
+  match Compile.const_value e with
+  | Some v when Dtype.value_type v <> Dtype.String -> Some (Dtype.numeric v)
+  | _ -> None
+
+let merge_factors fs =
+  (* Combine multiple factors of the same alias into one product. *)
+  let tbl = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun (alias, e) ->
+      match Hashtbl.find_opt tbl alias with
+      | None ->
+          Hashtbl.replace tbl alias e;
+          order := alias :: !order
+      | Some prev -> Hashtbl.replace tbl alias (Ast.Mul (prev, e)))
+    fs;
+  List.rev_map (fun alias -> (alias, Hashtbl.find tbl alias)) !order
+
+let rec decompose resolve e : term list =
+  match const_float e with
+  | Some c -> [ { tcoeff = c; tfactors = [] } ]
+  | None -> (
+      match expr_aliases resolve e with
+      | [ alias ] -> [ { tcoeff = 1.0; tfactors = [ (alias, e) ] } ]
+      | _ -> (
+          match e with
+          | Ast.Add (a, b) -> decompose resolve a @ decompose resolve b
+          | Ast.Sub (a, b) -> decompose resolve a @ negate (decompose resolve b)
+          | Ast.Neg a -> negate (decompose resolve a)
+          | Ast.Mul (a, b) ->
+              let ta = decompose resolve a and tb = decompose resolve b in
+              List.concat_map
+                (fun x ->
+                  List.map
+                    (fun y ->
+                      { tcoeff = x.tcoeff *. y.tcoeff; tfactors = merge_factors (x.tfactors @ y.tfactors) })
+                    tb)
+                ta
+          | Ast.Div (a, b) -> (
+              match const_float b with
+              | Some c when c <> 0.0 ->
+                  List.map (fun t -> { t with tcoeff = t.tcoeff /. c }) (decompose resolve a)
+              | _ -> unsupported "cannot decompose division by a multi-relation expression")
+          | Ast.Case_when (p, a, b) -> (
+              (* case when P(r) then X else 0  ==  indicator(P) * X *)
+              match (pred_aliases resolve p, const_float b) with
+              | [ palias ], Some 0.0 ->
+                  let indicator = (palias, Ast.Case_when (p, Ast.Int_lit 1, Ast.Int_lit 0)) in
+                  List.map
+                    (fun t -> { t with tfactors = merge_factors (indicator :: t.tfactors) })
+                    (decompose resolve a)
+              | _ ->
+                  unsupported
+                    "CASE across relations is only supported as CASE WHEN single-relation-pred THEN expr ELSE 0")
+          | Ast.Col _ | Ast.Int_lit _ | Ast.Float_lit _ | Ast.String_lit _ | Ast.Date_lit _
+          | Ast.Interval_day _ | Ast.Extract_year _ ->
+              unsupported "aggregate expression spans relations in a way that cannot be decomposed"))
+
+and negate terms = List.map (fun t -> { t with tcoeff = -.t.tcoeff }) terms
+
+(* ------------------------------------------------------------------ *)
+(* GROUP BY signatures: used to match plain SELECT items to GROUP BY
+   items regardless of how the column was spelled.                      *)
+
+type gsig = Sig_key of int | Sig_col of string * int | Sig_year of string * int
+
+let gb_signature resolve vertex_of e =
+  match e with
+  | Ast.Col c -> (
+      let r = resolve c in
+      if is_key r then
+        match vertex_of (r.ralias, r.rcol) with
+        | Some v -> Sig_key v
+        | None ->
+            (* a key column that is neither joined nor grouped *)
+            unsupported "SELECT key column %s is not in GROUP BY" (col_name r)
+      else Sig_col (r.ralias, r.rcol))
+  | Ast.Extract_year (Ast.Col c) ->
+      let r = resolve c in
+      if is_key r then unsupported "EXTRACT(YEAR) of a key column in GROUP BY";
+      Sig_year (r.ralias, r.rcol)
+  | _ -> unsupported "GROUP BY item must be a column or EXTRACT(YEAR FROM column)"
+
+(* ------------------------------------------------------------------ *)
+
+let check_no_keys_in_aggregate resolve e =
+  List.iter
+    (fun c ->
+      let r = resolve c in
+      if is_key r then
+        unsupported "key column %s cannot be aggregated (§III-A: keys cannot be aggregated)"
+          (col_name r))
+    (Ast.expr_columns e)
+
+let translate catalog ~attribute_elimination (q : Ast.query) =
+  if q.Ast.select = [] then unsupported "empty SELECT list";
+  (* FROM bindings. *)
+  let bindings =
+    List.map
+      (fun (tname, alias) ->
+        match Catalog.find catalog tname with
+        | Some table -> (alias, table)
+        | None -> unsupported "unknown table %S" tname)
+      q.Ast.from
+  in
+  let dup =
+    List.sort compare (List.map fst bindings)
+    |> fun l -> List.exists2 String.equal (List.filteri (fun i _ -> i > 0) l)
+                  (List.filteri (fun i _ -> i < List.length l - 1) l)
+  in
+  if dup then unsupported "duplicate relation alias in FROM";
+  let resolve = resolver bindings in
+
+  (* Classify WHERE. *)
+  let cls = match q.Ast.where with None -> [] | Some p -> List.map (classify resolve) (conjuncts p) in
+  let joins = List.filter_map (function Join (a, b) -> Some (a, b) | Filter _ -> None) cls in
+  let filters = List.filter_map (function Filter (a, p) -> Some (a, p) | Join _ -> None) cls in
+
+  (* Union-find joined key columns into vertex classes (rule 1). *)
+  let uf = UF.create () in
+  List.iter (fun (a, b) -> UF.union uf (a.ralias, a.rcol) (b.ralias, b.rcol)) joins;
+  (* GROUP BY key columns are vertices too, even when un-joined. *)
+  List.iter
+    (fun e ->
+      match e with
+      | Ast.Col c ->
+          let r = resolve c in
+          if is_key r then UF.touch uf (r.ralias, r.rcol)
+      | _ -> ())
+    q.Ast.group_by;
+  (* Without attribute elimination, every key column of every bound table
+     enters the hypergraph. *)
+  if not attribute_elimination then
+    List.iter
+      (fun (alias, table) ->
+        List.iter (fun i -> UF.touch uf (alias, i)) (Schema.key_indices table.T.schema))
+      bindings;
+
+  (* Materialize vertex classes. *)
+  let class_members = Hashtbl.create 16 in
+  let touched = Hashtbl.create 16 in
+  let note (alias, col) =
+    if not (Hashtbl.mem touched (alias, col)) then begin
+      Hashtbl.replace touched (alias, col) ();
+      let root = UF.find uf (alias, col) in
+      let prev = Option.value (Hashtbl.find_opt class_members root) ~default:[] in
+      Hashtbl.replace class_members root ((alias, col) :: prev)
+    end
+  in
+  List.iter (fun (a, b) -> note (a.ralias, a.rcol); note (b.ralias, b.rcol)) joins;
+  List.iter
+    (fun e ->
+      match e with
+      | Ast.Col c ->
+          let r = resolve c in
+          if is_key r then note (r.ralias, r.rcol)
+      | _ -> ())
+    q.Ast.group_by;
+  if not attribute_elimination then
+    List.iter
+      (fun (alias, table) ->
+        List.iter (fun i -> note (alias, i)) (Schema.key_indices table.T.schema))
+      bindings;
+
+  (* Deterministic vertex numbering: order classes by first appearance in
+     the bindings/schema order. *)
+  let class_list =
+    List.concat_map
+      (fun (alias, table) ->
+        List.filter_map
+          (fun i ->
+            let key = (alias, i) in
+            if Hashtbl.mem touched key && UF.find uf key = key then Some key else None)
+          (Schema.key_indices table.T.schema))
+      bindings
+    (* roots whose own column wasn't first in schema order still need a slot *)
+    @ (Hashtbl.fold (fun root _ acc -> root :: acc) class_members [] |> List.sort compare)
+  in
+  let vertex_ids = Hashtbl.create 16 in
+  let vertices_rev = ref [] in
+  let nvertices = ref 0 in
+  List.iter
+    (fun root ->
+      if not (Hashtbl.mem vertex_ids root) then begin
+        let members = Hashtbl.find class_members root in
+        let cols =
+          List.map
+            (fun (alias, col) ->
+              let table = List.assoc alias bindings in
+              (alias, (Schema.col table.T.schema col).Schema.name))
+            members
+        in
+        let dtypes =
+          List.sort_uniq compare
+            (List.map
+               (fun (alias, col) ->
+                 (Schema.col (List.assoc alias bindings).T.schema col).Schema.dtype)
+               members)
+        in
+        (match dtypes with
+        | [ _ ] -> ()
+        | _ -> unsupported "joined key columns disagree on type");
+        Hashtbl.replace vertex_ids root !nvertices;
+        vertices_rev := { vname = vertex_name cols; vdtype = List.hd dtypes } :: !vertices_rev;
+        incr nvertices
+      end)
+    class_list;
+  let vertices = Array.of_list (List.rev !vertices_rev) in
+  let vertex_of key =
+    if Hashtbl.mem touched key then Hashtbl.find_opt vertex_ids (UF.find uf key) else None
+  in
+
+  (* Disambiguate duplicate vertex display names. *)
+  let seen_names = Hashtbl.create 16 in
+  Array.iteri
+    (fun i v ->
+      match Hashtbl.find_opt seen_names v.vname with
+      | None -> Hashtbl.replace seen_names v.vname 1
+      | Some n ->
+          Hashtbl.replace seen_names v.vname (n + 1);
+          vertices.(i) <- { v with vname = Printf.sprintf "%s#%d" v.vname (n + 1) })
+    vertices;
+
+  (* Per-alias merged filters. *)
+  let filter_of alias =
+    match List.filter_map (fun (a, p) -> if String.equal a alias then Some p else None) filters with
+    | [] -> None
+    | p :: ps -> Some (List.fold_left (fun acc q -> Ast.And (acc, q)) p ps)
+  in
+
+  (* Edges (rule 1: hyperedges are the relations). *)
+  let edges =
+    List.map
+      (fun (alias, table) ->
+        let vcols =
+          List.filter_map
+            (fun i ->
+              match vertex_of (alias, i) with Some v -> Some (v, i) | None -> None)
+            (Schema.key_indices table.T.schema)
+        in
+        let filter = filter_of alias in
+        {
+          alias;
+          table;
+          vertices = List.map fst vcols;
+          vertex_cols = vcols;
+          filter;
+          eq_selected = (match filter with Some p -> has_eq_filter p | None -> false);
+        })
+      bindings
+    |> Array.of_list
+  in
+
+  (* Structural checks: no Cartesian products. *)
+  let nedges = Array.length edges in
+  if nedges > 1 then begin
+    Array.iter
+      (fun (e : edge) ->
+        if e.vertices = [] then unsupported "relation %s does not join anything" e.alias)
+      edges;
+    (* Connectivity via shared vertices. *)
+    let adj = Array.make (Array.length vertices) [] in
+    Array.iteri (fun ei (e : edge) -> List.iter (fun v -> adj.(v) <- ei :: adj.(v)) e.vertices) edges;
+    let seen = Array.make nedges false in
+    let rec dfs ei =
+      if not seen.(ei) then begin
+        seen.(ei) <- true;
+        List.iter (fun v -> List.iter dfs adj.(v)) edges.(ei).vertices
+      end
+    in
+    dfs 0;
+    if Array.exists not seen then unsupported "FROM clause is a Cartesian product (disconnected join graph)"
+  end;
+
+  (* GROUP BY items. *)
+  let group_by =
+    Array.of_list
+      (List.map
+         (fun e ->
+           match gb_signature resolve vertex_of e with
+           | Sig_key v -> Group_key v
+           | Sig_col (alias, _) | Sig_year (alias, _) ->
+               let table = List.assoc alias bindings in
+               let dtype = Compile.code_dtype table ~resolve:(fun c -> (resolve c).rcol) e in
+               Group_ann { alias; expr = e; dtype })
+         q.Ast.group_by)
+  in
+  let gb_sigs = Array.of_list (List.map (gb_signature resolve vertex_of) q.Ast.group_by) in
+
+  (* Slots and outputs. *)
+  let slots = ref [] in
+  let nslots = ref 0 in
+  let add_slot s =
+    slots := s :: !slots;
+    incr nslots;
+    !nslots - 1
+  in
+  let count_slot = ref None in
+  let get_count_slot () =
+    match !count_slot with
+    | Some j -> j
+    | None ->
+        let j = add_slot { kind = Trie.Sum; owners = []; coeff = 1.0; dead = false } in
+        count_slot := Some j;
+        j
+  in
+  let slots_of_terms terms =
+    List.map
+      (fun t ->
+        if t.tfactors = [] then add_slot { kind = Trie.Sum; owners = []; coeff = t.tcoeff; dead = false }
+        else
+          let owners =
+            match t.tfactors with
+            | (alias, e) :: rest when t.tcoeff <> 1.0 ->
+                (alias, Ast.Mul (Ast.Float_lit t.tcoeff, e)) :: rest
+            | fs -> fs
+          in
+          add_slot { kind = Trie.Sum; owners; coeff = 1.0; dead = false })
+      terms
+  in
+  let outputs =
+    List.map
+      (fun item ->
+        match item with
+        | Ast.Plain (e, name) -> (
+            let s = gb_signature resolve vertex_of e in
+            match Array.to_list gb_sigs |> List.mapi (fun i x -> (i, x))
+                  |> List.find_opt (fun (_, x) -> x = s) with
+            | Some (i, _) ->
+                let odtype =
+                  match group_by.(i) with
+                  | Group_key v -> vertices.(v).vdtype
+                  | Group_ann a -> a.dtype
+                in
+                { oname = name; okind = Out_group i; odtype }
+            | None -> unsupported "SELECT column %s is not in GROUP BY" name)
+        | Ast.Aggregate (agg, arg, name) -> (
+            Option.iter (check_no_keys_in_aggregate resolve) arg;
+            match (agg, arg) with
+            | Ast.Count, _ ->
+                { oname = name; okind = Out_sum [ get_count_slot () ]; odtype = Dtype.Int }
+            | Ast.Sum, Some e ->
+                { oname = name; okind = Out_sum (slots_of_terms (decompose resolve e)); odtype = Dtype.Float }
+            | Ast.Avg, Some e ->
+                let sums = slots_of_terms (decompose resolve e) in
+                { oname = name; okind = Out_avg (sums, get_count_slot ()); odtype = Dtype.Float }
+            | (Ast.Min | Ast.Max), Some e -> (
+                match expr_aliases resolve e with
+                | [ alias ] ->
+                    let kind = if agg = Ast.Min then Trie.Min else Trie.Max in
+                    let j = add_slot { kind; owners = [ (alias, e) ]; coeff = 1.0; dead = false } in
+                    { oname = name; okind = Out_minmax j; odtype = Dtype.Float }
+                | _ -> unsupported "MIN/MAX over multiple relations")
+            | (Ast.Sum | Ast.Avg | Ast.Min | Ast.Max), None ->
+                unsupported "%s requires an argument" name))
+      q.Ast.select
+  in
+
+  (* Without attribute elimination, unreferenced numeric annotations are
+     evaluated into dead slots: the engine pays for scanning them. *)
+  if not attribute_elimination then begin
+    let referenced = Hashtbl.create 32 in
+    let note_cols cols = List.iter (fun c -> let r = resolve c in Hashtbl.replace referenced (r.ralias, r.rcol) ()) cols in
+    List.iter
+      (function
+        | Ast.Plain (e, _) -> note_cols (Ast.expr_columns e)
+        | Ast.Aggregate (_, Some e, _) -> note_cols (Ast.expr_columns e)
+        | Ast.Aggregate (_, None, _) -> ())
+      q.Ast.select;
+    Option.iter (fun p -> note_cols (Ast.pred_columns p)) q.Ast.where;
+    List.iter (fun e -> note_cols (Ast.expr_columns e)) q.Ast.group_by;
+    List.iter
+      (fun (alias, table) ->
+        List.iter
+          (fun i ->
+            let c = Schema.col table.T.schema i in
+            if c.Schema.dtype <> Dtype.String && not (Hashtbl.mem referenced (alias, i)) then
+              ignore
+                (add_slot
+                   {
+                     kind = Trie.Sum;
+                     owners = [ (alias, Ast.Col { Ast.relation = Some alias; column = c.Schema.name }) ];
+                     coeff = 1.0;
+                     dead = true;
+                   }))
+          (Schema.annotation_indices table.T.schema))
+      bindings
+  end;
+
+  {
+    bindings;
+    vertices;
+    edges;
+    slots = Array.of_list (List.rev !slots);
+    group_by;
+    outputs;
+  }
+
+let edge_vertex_list t = Array.map (fun (e : edge) -> e.vertices) t.edges
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>hypergraph:@,";
+  Array.iteri
+    (fun i v -> Format.fprintf fmt "  v%d = %s : %s@," i v.vname (Dtype.to_string v.vdtype))
+    t.vertices;
+  Array.iter
+    (fun (e : edge) ->
+      Format.fprintf fmt "  %s(%s)%s%s@," e.alias
+        (String.concat ", " (List.map (fun v -> t.vertices.(v).vname) e.vertices))
+        (match e.filter with Some p -> Format.asprintf " σ[%a]" Ast.pp_pred p | None -> "")
+        (if e.eq_selected then " [eq-selected]" else ""))
+    t.edges;
+  Format.fprintf fmt "slots: %d (%d dead)@," (Array.length t.slots)
+    (Array.length (Array.of_list (List.filter (fun s -> s.dead) (Array.to_list t.slots))));
+  Format.fprintf fmt "group by:";
+  Array.iter
+    (fun g ->
+      match g with
+      | Group_key v -> Format.fprintf fmt " key:%s" t.vertices.(v).vname
+      | Group_ann a -> Format.fprintf fmt " ann:%a" Ast.pp_expr a.expr)
+    t.group_by;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,75 @@
+(** Logical queries: the result of translating a SQL AST into an annotated
+    query hypergraph per the four rules of §IV-A.
+
+    - Rule 1: every referenced key column maps to a vertex; equi-joined key
+      columns map to the {e same} vertex.
+    - Rule 2: key vertices absent from the output are aggregated away (the
+      aggregation ordering is implicit: every slot's ⊕ kind is recorded).
+    - Rule 3: aggregate expressions become relation annotations. General
+      expressions are first expanded into a sum of {e terms}, each term a
+      product of single-relation factors (so e.g. TPC-H Q9's
+      [l_e*(1-l_d) - ps_cost*l_qty] becomes two slots); annotations of
+      non-participating relations are the semiring identity, represented by
+      leaf multiplicities.
+    - Rule 4: non-aggregated annotations (GROUP BY columns, filter columns)
+      live in the metadata container: {!gitem}s record which relation each
+      one comes from, and filters stay attached to their edge.
+
+    With attribute elimination disabled ({!Config.t}), every key column of
+    every bound table becomes a vertex and every unreferenced numeric
+    annotation is evaluated into a dead slot — reproducing the extra work a
+    non-eliminating engine performs (Table III). *)
+
+type vertex = { vname : string; vdtype : Lh_storage.Dtype.t }
+
+type edge = {
+  alias : string;
+  table : Lh_storage.Table.t;
+  vertices : int list;  (** vertex ids, in first-reference order *)
+  vertex_cols : (int * int) list;  (** vertex id -> column index *)
+  filter : Lh_sql.Ast.pred option;  (** conjunction of this alias's predicates *)
+  eq_selected : bool;  (** carries an equality selection (weight rule, §V-B) *)
+}
+
+type gitem =
+  | Group_key of int  (** GROUP BY on a key: the vertex id *)
+  | Group_ann of { alias : string; expr : Lh_sql.Ast.expr; dtype : Lh_storage.Dtype.t }
+      (** GROUP BY on an annotation (or EXTRACT-of-date) of one relation *)
+
+type slot = {
+  kind : Lh_storage.Trie.agg_kind;
+  owners : (string * Lh_sql.Ast.expr) list;  (** per-alias owned factor, coefficient folded in *)
+  coeff : float;  (** applied at finalization when [owners] is empty *)
+  dead : bool;  (** true only for the -attribute-elimination ablation *)
+}
+
+type output =
+  | Out_group of int  (** index into [group_by] *)
+  | Out_sum of int list  (** Σ of slot values (SUM / COUNT / decomposed sums) *)
+  | Out_avg of int list * int  (** (sum slots, count slot) *)
+  | Out_minmax of int
+
+type out_col = { oname : string; okind : output; odtype : Lh_storage.Dtype.t }
+
+type t = {
+  bindings : (string * Lh_storage.Table.t) list;
+  vertices : vertex array;
+  edges : edge array;
+  slots : slot array;
+  group_by : gitem array;
+  outputs : out_col list;
+}
+
+exception Unsupported_query of string
+
+val translate : Catalog.t -> attribute_elimination:bool -> Lh_sql.Ast.query -> t
+(** Raises {!Unsupported_query} (with an explanation) on queries outside
+    the supported subset: disjunctions spanning relations, non-equi joins,
+    joins on annotation columns, Cartesian products, aggregates the term
+    decomposition cannot split, ungrouped plain outputs. *)
+
+val edge_vertex_list : t -> int list array
+(** [edges] as plain vertex-id lists — the hypergraph the GHD layer
+    consumes. *)
+
+val pp : Format.formatter -> t -> unit

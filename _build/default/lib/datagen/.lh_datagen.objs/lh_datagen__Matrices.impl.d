@@ -1,0 +1,1 @@
+lib/datagen/matrices.ml: Array Fun Hashtbl Lh_blas Lh_storage Lh_util Option

@@ -1,0 +1,1 @@
+lib/datagen/matrices.mli: Lh_blas Lh_storage

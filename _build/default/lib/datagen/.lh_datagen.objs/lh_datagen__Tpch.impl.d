@@ -1,0 +1,1 @@
+lib/datagen/tpch.ml: Array Fun Lh_storage Lh_util List Printf

@@ -1,0 +1,1 @@
+lib/datagen/tpch.mli: Lh_storage

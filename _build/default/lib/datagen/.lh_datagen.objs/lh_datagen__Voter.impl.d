@@ -1,0 +1,1 @@
+lib/datagen/voter.ml: Array Fun Lh_storage Lh_util

@@ -1,0 +1,1 @@
+lib/datagen/voter.mli: Lh_storage

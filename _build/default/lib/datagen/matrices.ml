@@ -1,0 +1,157 @@
+module Schema = Lh_storage.Schema
+module Table = Lh_storage.Table
+module Dtype = Lh_storage.Dtype
+module Prng = Lh_util.Prng
+module Vec = Lh_util.Vec
+
+type sparse = { table : Lh_storage.Table.t; coo : Lh_blas.Coo.t }
+
+let matrix_schema =
+  Schema.create
+    [ ("row", Dtype.Int, Schema.Key); ("col", Dtype.Int, Schema.Key); ("v", Dtype.Float, Schema.Annotation) ]
+
+let vector_schema =
+  Schema.create [ ("idx", Dtype.Int, Schema.Key); ("v", Dtype.Float, Schema.Annotation) ]
+
+let of_triplets ~dict ~name ~n rows cols vals =
+  let table =
+    Table.create ~name ~schema:matrix_schema ~dict
+      [| Table.Icol rows; Table.Icol cols; Table.Fcol vals |]
+  in
+  let coo = Lh_blas.Coo.create ~nrows:n ~ncols:n ~row:rows ~col:cols ~value:vals in
+  { table; coo }
+
+(* Draw ~nnz_per_row column indices within the band around the diagonal,
+   deduplicated per row, diagonal forced in — the locality structure of a
+   CFD stencil matrix. *)
+let banded ~dict ~name ~n ~nnz_per_row ?bandwidth ?(symmetric = false) ?(seed = 7) () =
+  let rng = Prng.create seed in
+  let bandwidth = Option.value bandwidth ~default:(max 2 (nnz_per_row * 2)) in
+  let rows = Vec.Int.create () and cols = Vec.Int.create () and vals = Vec.Float.create () in
+  let seen = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    Hashtbl.reset seen;
+    let add j v =
+      if j >= 0 && j < n && not (Hashtbl.mem seen j) then begin
+        Hashtbl.replace seen j ();
+        Vec.Int.push rows i;
+        Vec.Int.push cols j;
+        Vec.Float.push vals v
+      end
+    in
+    add i (4.0 +. Prng.float rng 1.0);
+    let draws = if symmetric then (nnz_per_row - 1) / 2 else nnz_per_row - 1 in
+    for _ = 1 to draws do
+      let off = 1 + Prng.int rng bandwidth in
+      let j = if Prng.bool rng then i + off else i - off in
+      let v = -1.0 +. Prng.float rng 2.0 in
+      add j v;
+      if symmetric then begin
+        (* mirror entry, emitted under its own row below via (j, i) *)
+        if j >= 0 && j < n then begin
+          Vec.Int.push rows j;
+          Vec.Int.push cols i;
+          Vec.Float.push vals v
+        end
+      end
+    done
+  done;
+  (* Symmetric mirroring can duplicate (i, j); deduplicate via COO->CSR
+     folding semantics: the relational table must have unique keys. *)
+  let rows = Vec.Int.to_array rows and cols = Vec.Int.to_array cols in
+  let vals = Vec.Float.to_array vals in
+  if symmetric then begin
+    let tbl = Hashtbl.create (Array.length rows) in
+    let keep = Vec.Int.create () in
+    Array.iteri
+      (fun k _ ->
+        let key = (rows.(k), cols.(k)) in
+        if not (Hashtbl.mem tbl key) then begin
+          Hashtbl.replace tbl key ();
+          Vec.Int.push keep k
+        end)
+      rows;
+    let ks = Vec.Int.to_array keep in
+    of_triplets ~dict ~name ~n
+      (Array.map (fun k -> rows.(k)) ks)
+      (Array.map (fun k -> cols.(k)) ks)
+      (Array.map (fun k -> vals.(k)) ks)
+  end
+  else of_triplets ~dict ~name ~n rows cols vals
+
+let harbor_like ~dict ?(scale = 0.06) ?(seed = 11) () =
+  let n = max 64 (int_of_float (46835.0 *. scale)) in
+  banded ~dict ~name:"harbor" ~n ~nnz_per_row:50 ~bandwidth:120 ~seed ()
+
+let hv15r_like ~dict ?(scale = 0.001) ?(seed = 12) () =
+  let n = max 64 (int_of_float (2_017_169.0 *. scale)) in
+  banded ~dict ~name:"hv15r" ~n ~nnz_per_row:140 ~bandwidth:300 ~seed ()
+
+let nlpkkt_like ~dict ?(scale = 0.0007) ?(seed = 13) () =
+  (* KKT block system [H A'; A 0]: H is an n1 x n1 banded stencil, A an
+     n2 x n1 banded constraint Jacobian; overall ~14 nnz/row, symmetric
+     sparsity. *)
+  let n = max 128 (int_of_float (27_993_600.0 *. scale)) in
+  let n1 = (2 * n) / 3 in
+  let n2 = n - n1 in
+  let rng = Prng.create seed in
+  (* Collect entries keyed by coordinate so mirroring never duplicates. *)
+  let entries : (int * int, float) Hashtbl.t = Hashtbl.create 4096 in
+  let put i j v = if not (Hashtbl.mem entries (i, j)) then Hashtbl.replace entries (i, j) v in
+  let put_sym i j v =
+    put i j v;
+    put j i v
+  in
+  (* H block: symmetric stencil-like band. *)
+  for i = 0 to n1 - 1 do
+    put i i (6.0 +. Prng.float rng 1.0);
+    for _ = 1 to 2 do
+      let off = 1 + Prng.int rng 40 in
+      if i + off < n1 then put_sym i (i + off) (-1.0 +. Prng.float rng 2.0)
+    done
+  done;
+  (* A and A' blocks (constraint Jacobian, mirrored). *)
+  for r = 0 to n2 - 1 do
+    let i = n1 + r in
+    for _ = 1 to 5 do
+      let j = min (n1 - 1) (max 0 ((r * n1 / max n2 1) + Prng.int rng 60 - 30)) in
+      put_sym i j (-1.0 +. Prng.float rng 2.0)
+    done
+  done;
+  let nnz = Hashtbl.length entries in
+  let rows = Array.make nnz 0 and cols = Array.make nnz 0 and vals = Array.make nnz 0.0 in
+  let k = ref 0 in
+  Hashtbl.iter
+    (fun (i, j) v ->
+      rows.(!k) <- i;
+      cols.(!k) <- j;
+      vals.(!k) <- v;
+      incr k)
+    entries;
+  of_triplets ~dict ~name:"nlpkkt" ~n rows cols vals
+
+let dense ~dict ~name ~n ?(seed = 17) () =
+  let rng = Prng.create seed in
+  let data = Array.init (n * n) (fun _ -> Prng.float rng 1.0) in
+  let rows = Array.init (n * n) (fun k -> k / n) in
+  let cols = Array.init (n * n) (fun k -> k mod n) in
+  let table =
+    Table.create ~name ~schema:matrix_schema ~dict
+      [| Table.Icol rows; Table.Icol cols; Table.Fcol data |]
+  in
+  (table, Lh_blas.Dense.of_array ~rows:n ~cols:n data)
+
+let dense_vector ~dict ~name ~n ?(seed = 18) () =
+  let rng = Prng.create seed in
+  let data = Array.init n (fun _ -> Prng.float rng 1.0) in
+  let table =
+    Table.create ~name ~schema:vector_schema ~dict
+      [| Table.Icol (Array.init n Fun.id); Table.Fcol data |]
+  in
+  (table, data)
+
+let to_coo (table : Table.t) =
+  let rows = Table.icol table 0 and cols = Table.icol table 1 and vals = Table.fcol table 2 in
+  let nrows = 1 + Array.fold_left max 0 rows in
+  let ncols = 1 + Array.fold_left max 0 cols in
+  Lh_blas.Coo.create ~nrows ~ncols ~row:rows ~col:cols ~value:vals

@@ -1,0 +1,44 @@
+(** Matrix generators: stand-ins for the UF sparse matrix collection
+    datasets and the synthetic dense matrices of §VI (DESIGN.md).
+
+    Every sparse generator returns both a relational table
+    [(row key, col key, value)] (what the query engines ingest) and the
+    same matrix in COO form (what the BLAS substrate converts/consumes in
+    Table IV and the MKL-side benches). *)
+
+type sparse = { table : Lh_storage.Table.t; coo : Lh_blas.Coo.t }
+
+val matrix_schema : Lh_storage.Schema.t
+(** [(row int key, col int key, v float)]. *)
+
+val vector_schema : Lh_storage.Schema.t
+(** [(idx int key, v float)]. *)
+
+val banded :
+  dict:Lh_storage.Dict.t -> name:string -> n:int -> nnz_per_row:int -> ?bandwidth:int ->
+  ?symmetric:bool -> ?seed:int -> unit -> sparse
+(** CFD-style banded matrix: each row draws ~[nnz_per_row] entries within
+    [±bandwidth] of the diagonal (clamped to range), diagonal always
+    present. *)
+
+val harbor_like : dict:Lh_storage.Dict.t -> ?scale:float -> ?seed:int -> unit -> sparse
+(** Harbor (3D CFD, 47K², ~50 nnz/row) at reduced dimension:
+    [n = 46835·scale] with the same row density and band locality. *)
+
+val hv15r_like : dict:Lh_storage.Dict.t -> ?scale:float -> ?seed:int -> unit -> sparse
+(** HV15R (3D engine fan CFD, 2M², ~140 nnz/row), reduced. *)
+
+val nlpkkt_like : dict:Lh_storage.Dict.t -> ?scale:float -> ?seed:int -> unit -> sparse
+(** nlpkkt240 (symmetric KKT system, 28M², ~14 nnz/row), reduced: a
+    2×2 block structure [\[H Aᵀ; A 0\]] with banded blocks. *)
+
+val dense : dict:Lh_storage.Dict.t -> name:string -> n:int -> ?seed:int -> unit ->
+  Lh_storage.Table.t * Lh_blas.Dense.t
+(** Dense n×n matrix as a complete relational grid (row-major, so the
+    value buffer is BLAS-compatible in place) and as a dense matrix. *)
+
+val dense_vector : dict:Lh_storage.Dict.t -> name:string -> n:int -> ?seed:int -> unit ->
+  Lh_storage.Table.t * float array
+
+val to_coo : Lh_storage.Table.t -> Lh_blas.Coo.t
+(** Reinterpret an [(i, j, v)] table (e.g. a query result) as COO. *)

@@ -1,0 +1,293 @@
+module Schema = Lh_storage.Schema
+module Table = Lh_storage.Table
+module Dtype = Lh_storage.Dtype
+module Date = Lh_storage.Date
+module Dict = Lh_storage.Dict
+module Prng = Lh_util.Prng
+module Vec = Lh_util.Vec
+
+let k = Schema.Key
+let a = Schema.Annotation
+let i = Dtype.Int
+let f = Dtype.Float
+let s = Dtype.String
+let d = Dtype.Date
+
+let schemas =
+  [
+    ("region", Schema.create [ ("r_regionkey", i, k); ("r_name", s, a); ("r_comment", s, a) ]);
+    ( "nation",
+      Schema.create
+        [ ("n_nationkey", i, k); ("n_name", s, a); ("n_regionkey", i, k); ("n_comment", s, a) ] );
+    ( "supplier",
+      Schema.create
+        [
+          ("s_suppkey", i, k); ("s_name", s, a); ("s_address", s, a); ("s_nationkey", i, k);
+          ("s_phone", s, a); ("s_acctbal", i, a); ("s_comment", s, a);
+        ] );
+    ( "customer",
+      Schema.create
+        [
+          ("c_custkey", i, k); ("c_name", s, a); ("c_address", s, a); ("c_nationkey", i, k);
+          ("c_phone", s, a); ("c_acctbal", i, a); ("c_mktsegment", s, a); ("c_comment", s, a);
+        ] );
+    ( "part",
+      Schema.create
+        [
+          ("p_partkey", i, k); ("p_name", s, a); ("p_mfgr", s, a); ("p_brand", s, a);
+          ("p_type", s, a); ("p_size", i, a); ("p_container", s, a); ("p_retailprice", f, a);
+          ("p_comment", s, a);
+        ] );
+    ( "partsupp",
+      Schema.create
+        [
+          ("ps_partkey", i, k); ("ps_suppkey", i, k); ("ps_availqty", i, a);
+          ("ps_supplycost", f, a); ("ps_comment", s, a);
+        ] );
+    ( "orders",
+      Schema.create
+        [
+          ("o_orderkey", i, k); ("o_custkey", i, k); ("o_orderstatus", s, a);
+          ("o_totalprice", f, a); ("o_orderdate", d, a); ("o_orderpriority", s, a);
+          ("o_clerk", s, a); ("o_shippriority", i, a); ("o_comment", s, a);
+        ] );
+    ( "lineitem",
+      Schema.create
+        [
+          ("l_orderkey", i, k); ("l_partkey", i, k); ("l_suppkey", i, k); ("l_linenumber", i, k);
+          ("l_quantity", f, a); ("l_extendedprice", f, a); ("l_discount", f, a); ("l_tax", f, a);
+          ("l_returnflag", s, a); ("l_linestatus", s, a); ("l_shipdate", d, a);
+          ("l_commitdate", d, a); ("l_receiptdate", d, a); ("l_shipinstruct", s, a);
+          ("l_shipmode", s, a); ("l_comment", s, a);
+        ] );
+  ]
+
+let schema_of name = List.assoc name schemas
+
+let region_names = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+(* The 25 TPC-H nations with their region keys. *)
+let nations =
+  [|
+    ("ALGERIA", 0); ("ARGENTINA", 1); ("BRAZIL", 1); ("CANADA", 1); ("EGYPT", 4);
+    ("ETHIOPIA", 0); ("FRANCE", 3); ("GERMANY", 3); ("INDIA", 2); ("INDONESIA", 2);
+    ("IRAN", 4); ("IRAQ", 4); ("JAPAN", 2); ("JORDAN", 4); ("KENYA", 0);
+    ("MOROCCO", 0); ("MOZAMBIQUE", 0); ("PERU", 1); ("CHINA", 2); ("ROMANIA", 3);
+    ("SAUDI ARABIA", 4); ("VIETNAM", 2); ("RUSSIA", 3); ("UNITED KINGDOM", 3);
+    ("UNITED STATES", 1);
+  |]
+
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+let ship_modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+let instructs = [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+let containers = [| "SM CASE"; "SM BOX"; "MED BAG"; "MED BOX"; "LG CASE"; "LG BOX"; "JUMBO PKG"; "WRAP JAR" |]
+let type_syl1 = [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+let type_syl2 = [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |]
+let type_syl3 = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+
+let colors =
+  [|
+    "almond"; "antique"; "aquamarine"; "azure"; "beige"; "bisque"; "black"; "blanched"; "blue";
+    "blush"; "brown"; "burlywood"; "burnished"; "chartreuse"; "chiffon"; "chocolate"; "coral";
+    "cornflower"; "cornsilk"; "cream"; "cyan"; "dark"; "deep"; "dim"; "dodger"; "drab"; "firebrick";
+    "floral"; "forest"; "frosted"; "gainsboro"; "ghost"; "goldenrod"; "green"; "grey"; "honeydew";
+    "hot"; "indian"; "ivory"; "khaki"; "lace"; "lavender"; "lawn"; "lemon"; "light"; "lime";
+    "linen"; "magenta"; "maroon"; "medium";
+  |]
+
+(* TPC-H order keys are sparse: 8 consecutive keys out of every 32. *)
+let order_key idx = ((idx / 8) * 32) + (idx mod 8) + 1
+
+let date_lo = Date.of_ymd 1992 1 1
+let date_hi = Date.of_ymd 1998 8 2
+let cutoff = Date.of_ymd 1995 6 17
+
+let row_counts ~sf =
+  let scale base = max 1 (int_of_float (float_of_int base *. sf)) in
+  [
+    ("region", 5); ("nation", 25);
+    ("supplier", scale 10_000); ("customer", scale 150_000); ("part", scale 200_000);
+    ("partsupp", scale 200_000 * 4); ("orders", scale 1_500_000);
+    ("lineitem", scale 1_500_000 * 4);
+  ]
+
+let generate ~dict ~sf ?(seed = 42) () =
+  let rng = Prng.create seed in
+  let enc x = Dict.encode dict x in
+  let counts = row_counts ~sf in
+  let count name = List.assoc name counts in
+
+  let region =
+    let n = 5 in
+    Table.create ~name:"region" ~schema:(schema_of "region") ~dict
+      [|
+        Table.Icol (Array.init n Fun.id);
+        Table.Icol (Array.init n (fun r -> enc region_names.(r)));
+        Table.Icol (Array.init n (fun r -> enc (Printf.sprintf "region comment %d" r)));
+      |]
+  in
+  let nation =
+    let n = 25 in
+    Table.create ~name:"nation" ~schema:(schema_of "nation") ~dict
+      [|
+        Table.Icol (Array.init n Fun.id);
+        Table.Icol (Array.init n (fun r -> enc (fst nations.(r))));
+        Table.Icol (Array.init n (fun r -> snd nations.(r)));
+        Table.Icol (Array.init n (fun r -> enc (Printf.sprintf "nation comment %d" r)));
+      |]
+  in
+  let nsupp = count "supplier" in
+  let supplier =
+    Table.create ~name:"supplier" ~schema:(schema_of "supplier") ~dict
+      [|
+        Table.Icol (Array.init nsupp (fun r -> r + 1));
+        Table.Icol (Array.init nsupp (fun r -> enc (Printf.sprintf "Supplier#%09d" (r + 1))));
+        Table.Icol (Array.init nsupp (fun r -> enc (Printf.sprintf "addr s%d" r)));
+        Table.Icol (Array.init nsupp (fun _ -> Prng.int rng 25));
+        Table.Icol (Array.init nsupp (fun r -> enc (Printf.sprintf "%02d-%07d" (10 + (r mod 25)) r)));
+        (* acctbal in integer cents: decimals that are grouped on stay
+           dictionary-encodable (DESIGN.md) *)
+        Table.Icol (Array.init nsupp (fun _ -> -99999 + Prng.int rng 1099998));
+        Table.Icol (Array.init nsupp (fun r -> enc (Printf.sprintf "supplier comment %d" r)));
+      |]
+  in
+  let ncust = count "customer" in
+  let customer =
+    Table.create ~name:"customer" ~schema:(schema_of "customer") ~dict
+      [|
+        Table.Icol (Array.init ncust (fun r -> r + 1));
+        Table.Icol (Array.init ncust (fun r -> enc (Printf.sprintf "Customer#%09d" (r + 1))));
+        Table.Icol (Array.init ncust (fun r -> enc (Printf.sprintf "addr c%d" r)));
+        Table.Icol (Array.init ncust (fun _ -> Prng.int rng 25));
+        Table.Icol (Array.init ncust (fun r -> enc (Printf.sprintf "%02d-%07d" (10 + (r mod 25)) r)));
+        Table.Icol (Array.init ncust (fun _ -> -99999 + Prng.int rng 1099998));
+        Table.Icol (Array.init ncust (fun _ -> enc (Prng.pick rng segments)));
+        Table.Icol (Array.init ncust (fun r -> enc (Printf.sprintf "customer comment %d" r)));
+      |]
+  in
+  let npart = count "part" in
+  let part_price r = 900.0 +. (float_of_int (r mod 200) /. 10.0) +. float_of_int (r mod 1000) in
+  let part =
+    Table.create ~name:"part" ~schema:(schema_of "part") ~dict
+      [|
+        Table.Icol (Array.init npart (fun r -> r + 1));
+        Table.Icol
+          (Array.init npart (fun _ ->
+               enc
+                 (Printf.sprintf "%s %s %s" (Prng.pick rng colors) (Prng.pick rng colors)
+                    (Prng.pick rng colors))));
+        Table.Icol (Array.init npart (fun r -> enc (Printf.sprintf "Manufacturer#%d" (1 + (r mod 5)))));
+        Table.Icol (Array.init npart (fun r -> enc (Printf.sprintf "Brand#%d%d" (1 + (r mod 5)) (1 + (r mod 5)))));
+        Table.Icol
+          (Array.init npart (fun _ ->
+               enc
+                 (Printf.sprintf "%s %s %s" (Prng.pick rng type_syl1) (Prng.pick rng type_syl2)
+                    (Prng.pick rng type_syl3))));
+        Table.Icol (Array.init npart (fun _ -> 1 + Prng.int rng 50));
+        Table.Icol (Array.init npart (fun _ -> enc (Prng.pick rng containers)));
+        Table.Fcol (Array.init npart part_price);
+        Table.Icol (Array.init npart (fun r -> enc (Printf.sprintf "part comment %d" r)));
+      |]
+  in
+  let nps = npart * 4 in
+  let partsupp =
+    let pk = Array.make nps 0 and sk = Array.make nps 0 in
+    for p = 0 to npart - 1 do
+      for x = 0 to 3 do
+        pk.((p * 4) + x) <- p + 1;
+        (* TPC-H supplier spread: distinct suppliers per part. *)
+        sk.((p * 4) + x) <- 1 + ((p + (x * ((nsupp / 4) + 1))) mod nsupp)
+      done
+    done;
+    Table.create ~name:"partsupp" ~schema:(schema_of "partsupp") ~dict
+      [|
+        Table.Icol pk;
+        Table.Icol sk;
+        Table.Icol (Array.init nps (fun _ -> 1 + Prng.int rng 9999));
+        Table.Fcol (Array.init nps (fun _ -> 1.0 +. Prng.float rng 999.0));
+        Table.Icol (Array.init nps (fun r -> enc (Printf.sprintf "ps comment %d" r)));
+      |]
+  in
+  let norders = count "orders" in
+  let order_dates = Array.init norders (fun _ -> Prng.int_in rng date_lo (date_hi - 122)) in
+  let order_cust = Array.init norders (fun _ -> 1 + Prng.int rng ncust) in
+  let orders =
+    Table.create ~name:"orders" ~schema:(schema_of "orders") ~dict
+      [|
+        Table.Icol (Array.init norders order_key);
+        Table.Icol order_cust;
+        Table.Icol (Array.init norders (fun _ -> enc (Prng.pick rng [| "O"; "F"; "P" |])));
+        Table.Fcol (Array.init norders (fun _ -> 1000.0 +. Prng.float rng 400000.0));
+        Table.Icol order_dates;
+        Table.Icol (Array.init norders (fun _ -> enc (Prng.pick rng priorities)));
+        Table.Icol (Array.init norders (fun r -> enc (Printf.sprintf "Clerk#%09d" (r mod 1000))));
+        Table.Icol (Array.init norders (fun _ -> 0));
+        Table.Icol (Array.init norders (fun r -> enc (Printf.sprintf "order comment %d" r)));
+      |]
+  in
+  (* lineitem: 1-7 lines per order (avg 4). *)
+  let lok = Vec.Int.create () and lpk = Vec.Int.create () and lsk = Vec.Int.create () in
+  let lln = Vec.Int.create () in
+  let lqty = Vec.Float.create () and lep = Vec.Float.create () in
+  let ldisc = Vec.Float.create () and ltax = Vec.Float.create () in
+  let lrf = Vec.Int.create () and lls = Vec.Int.create () in
+  let lsd = Vec.Int.create () and lcd = Vec.Int.create () and lrd = Vec.Int.create () in
+  let lsi = Vec.Int.create () and lsm = Vec.Int.create () and lcm = Vec.Int.create () in
+  let flag_r = enc "R" and flag_a = enc "A" and flag_n = enc "N" in
+  let stat_f = enc "F" and stat_o = enc "O" in
+  let comment_pool = Array.init 64 (fun x -> enc (Printf.sprintf "line comment %d" x)) in
+  for o = 0 to norders - 1 do
+    let nlines = 1 + Prng.int rng 7 in
+    for ln = 1 to nlines do
+      let pk = 1 + Prng.int rng npart in
+      Vec.Int.push lok (order_key o);
+      Vec.Int.push lpk pk;
+      (* consistent with partsupp: one of the part's four suppliers *)
+      let x = Prng.int rng 4 in
+      Vec.Int.push lsk (1 + ((pk - 1 + (x * ((nsupp / 4) + 1))) mod nsupp));
+      Vec.Int.push lln ln;
+      let qty = float_of_int (1 + Prng.int rng 50) in
+      Vec.Float.push lqty qty;
+      Vec.Float.push lep (qty *. part_price (pk - 1) /. 10.0);
+      Vec.Float.push ldisc (float_of_int (Prng.int rng 11) /. 100.0);
+      Vec.Float.push ltax (float_of_int (Prng.int rng 9) /. 100.0);
+      let ship = order_dates.(o) + 1 + Prng.int rng 121 in
+      Vec.Int.push lsd ship;
+      Vec.Int.push lcd (order_dates.(o) + 30 + Prng.int rng 60);
+      Vec.Int.push lrd (ship + 1 + Prng.int rng 30);
+      if ship <= cutoff then begin
+        Vec.Int.push lrf (if Prng.bool rng then flag_r else flag_a);
+        Vec.Int.push lls stat_f
+      end
+      else begin
+        Vec.Int.push lrf flag_n;
+        Vec.Int.push lls stat_o
+      end;
+      Vec.Int.push lsi (enc instructs.(Prng.int rng (Array.length instructs)));
+      Vec.Int.push lsm (enc ship_modes.(Prng.int rng (Array.length ship_modes)));
+      Vec.Int.push lcm comment_pool.(Prng.int rng 64)
+    done
+  done;
+  let lineitem =
+    Table.create ~name:"lineitem" ~schema:(schema_of "lineitem") ~dict
+      [|
+        Table.Icol (Vec.Int.to_array lok);
+        Table.Icol (Vec.Int.to_array lpk);
+        Table.Icol (Vec.Int.to_array lsk);
+        Table.Icol (Vec.Int.to_array lln);
+        Table.Fcol (Vec.Float.to_array lqty);
+        Table.Fcol (Vec.Float.to_array lep);
+        Table.Fcol (Vec.Float.to_array ldisc);
+        Table.Fcol (Vec.Float.to_array ltax);
+        Table.Icol (Vec.Int.to_array lrf);
+        Table.Icol (Vec.Int.to_array lls);
+        Table.Icol (Vec.Int.to_array lsd);
+        Table.Icol (Vec.Int.to_array lcd);
+        Table.Icol (Vec.Int.to_array lrd);
+        Table.Icol (Vec.Int.to_array lsi);
+        Table.Icol (Vec.Int.to_array lsm);
+        Table.Icol (Vec.Int.to_array lcm);
+      |]
+  in
+  [ region; nation; supplier; customer; part; partsupp; orders; lineitem ]

@@ -1,0 +1,20 @@
+(** Deterministic TPC-H-like data generator (the dbgen substitute —
+    DESIGN.md).
+
+    Reproduces the schema, foreign-key structure, cardinality ratios and
+    the value distributions the benchmark queries are sensitive to:
+    order-date ranges, ship-date offsets, return flags derived from dates,
+    market segments, region/nation dimensions (including ASIA, AMERICA and
+    BRAZIL), part types and color-word part names (for Q9's LIKE
+    ['%green%']), and TPC-H's sparse order-key spacing. Row counts scale
+    linearly with [sf] relative to the official SF 1 sizes. *)
+
+val schemas : (string * Lh_storage.Schema.t) list
+(** All eight table schemas, keyed by table name. *)
+
+val generate : dict:Lh_storage.Dict.t -> sf:float -> ?seed:int -> unit -> Lh_storage.Table.t list
+(** All eight tables: region, nation, supplier, customer, part, partsupp,
+    orders, lineitem. *)
+
+val row_counts : sf:float -> (string * int) list
+(** Expected row counts at a scale factor (lineitem is approximate). *)

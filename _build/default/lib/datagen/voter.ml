@@ -1,0 +1,76 @@
+module Schema = Lh_storage.Schema
+module Table = Lh_storage.Table
+module Dtype = Lh_storage.Dtype
+module Prng = Lh_util.Prng
+module Dict = Lh_storage.Dict
+
+let voters_schema =
+  Schema.create
+    [
+      ("v_id", Dtype.Int, Schema.Key);
+      ("v_precinct", Dtype.Int, Schema.Key);
+      ("v_age", Dtype.Int, Schema.Annotation);
+      ("v_gender", Dtype.String, Schema.Annotation);
+      ("v_party", Dtype.String, Schema.Annotation);
+      ("v_income", Dtype.Int, Schema.Annotation);
+      ("v_voted", Dtype.Int, Schema.Annotation);  (* the label: 0/1 *)
+    ]
+
+let precincts_schema =
+  Schema.create
+    [
+      ("p_id", Dtype.Int, Schema.Key);
+      ("p_region", Dtype.String, Schema.Annotation);
+      ("p_urban", Dtype.String, Schema.Annotation);
+      ("p_avg_income", Dtype.Float, Schema.Annotation);
+    ]
+
+let genders = [| "M"; "F" |]
+let parties = [| "DEM"; "REP"; "IND"; "GRN"; "LIB" |]
+let regions = [| "NORTH"; "SOUTH"; "EAST"; "WEST" |]
+let urbans = [| "URBAN"; "SUBURBAN"; "RURAL" |]
+
+let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+
+let generate ~dict ~nvoters ~nprecincts ?(seed = 123) () =
+  let rng = Prng.create seed in
+  let enc = Dict.encode dict in
+  let p_urban = Array.init nprecincts (fun _ -> Prng.int rng 3) in
+  let precincts =
+    Table.create ~name:"precincts" ~schema:precincts_schema ~dict
+      [|
+        Table.Icol (Array.init nprecincts Fun.id);
+        Table.Icol (Array.init nprecincts (fun _ -> enc (Prng.pick rng regions)));
+        Table.Icol (Array.init nprecincts (fun p -> enc urbans.(p_urban.(p))));
+        Table.Fcol (Array.init nprecincts (fun _ -> 30000.0 +. Prng.float rng 90000.0));
+      |]
+  in
+  let precinct = Array.init nvoters (fun _ -> Prng.int rng nprecincts) in
+  let age = Array.init nvoters (fun _ -> 18 + Prng.int rng 70) in
+  let party = Array.init nvoters (fun _ -> Prng.int rng 5) in
+  let income = Array.init nvoters (fun _ -> 15_000 + Prng.int rng 150_000) in
+  let label =
+    Array.init nvoters (fun v ->
+        (* Turnout rises with age and income, falls in rural precincts,
+           and differs by party — enough structure to learn. *)
+        let z =
+          (0.04 *. (float_of_int age.(v) -. 45.0))
+          +. (0.00001 *. (float_of_int income.(v) -. 60000.0))
+          +. (if party.(v) = 2 then -0.5 else 0.3)
+          +. (match p_urban.(precinct.(v)) with 0 -> 0.4 | 1 -> 0.0 | _ -> -0.6)
+        in
+        if Prng.float rng 1.0 < sigmoid z then 1 else 0)
+  in
+  let voters =
+    Table.create ~name:"voters" ~schema:voters_schema ~dict
+      [|
+        Table.Icol (Array.init nvoters Fun.id);
+        Table.Icol precinct;
+        Table.Icol age;
+        Table.Icol (Array.init nvoters (fun _ -> enc (Prng.pick rng genders)));
+        Table.Icol (Array.map (fun p -> enc parties.(p)) party);
+        Table.Icol income;
+        Table.Icol label;
+      |]
+  in
+  (voters, precincts)

@@ -1,0 +1,14 @@
+(** Synthetic voter-classification dataset — stand-in for the MonetDB
+    voter dataset of §VII (DESIGN.md): a voters table (demographics +
+    binary turnout label) and a precincts table (region / urbanization),
+    joined on the precinct key. The label depends on age, income, party
+    and precinct urbanization so a logistic regression has signal to
+    learn. *)
+
+val voters_schema : Lh_storage.Schema.t
+val precincts_schema : Lh_storage.Schema.t
+
+val generate :
+  dict:Lh_storage.Dict.t -> nvoters:int -> nprecincts:int -> ?seed:int -> unit ->
+  Lh_storage.Table.t * Lh_storage.Table.t
+(** (voters, precincts). *)

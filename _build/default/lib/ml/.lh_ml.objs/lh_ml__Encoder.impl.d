@@ -1,0 +1,1 @@
+lib/ml/encoder.ml: Array Hashtbl Lh_blas Lh_storage List Printf

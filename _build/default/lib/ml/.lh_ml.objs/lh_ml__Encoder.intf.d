@@ -1,0 +1,1 @@
+lib/ml/encoder.mli: Lh_blas Lh_storage

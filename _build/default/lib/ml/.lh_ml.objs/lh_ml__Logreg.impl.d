@@ -1,0 +1,1 @@
+lib/ml/logreg.ml: Array Float Lh_blas

@@ -1,0 +1,1 @@
+lib/ml/logreg.mli: Lh_blas

@@ -1,0 +1,83 @@
+module T = Lh_storage.Table
+module Schema = Lh_storage.Schema
+module Dtype = Lh_storage.Dtype
+
+type t = { matrix : Lh_blas.Dense.t; feature_names : string array }
+
+let encode ~table ~numeric ~categorical =
+  let n = table.T.nrows in
+  let num_cols =
+    List.map
+      (fun name ->
+        let i = Schema.find_exn table.T.schema name in
+        (name, i))
+      numeric
+  in
+  let cat_cols =
+    List.map
+      (fun name ->
+        let i = Schema.find_exn table.T.schema name in
+        if (Schema.col table.T.schema i).Schema.dtype <> Dtype.String then
+          failwith (Printf.sprintf "Encoder.encode: %s is not a string column" name);
+        let codes = T.icol table i in
+        (* Distinct codes in first-seen order. *)
+        let seen = Hashtbl.create 16 in
+        let order = ref [] in
+        Array.iter
+          (fun c ->
+            if not (Hashtbl.mem seen c) then begin
+              Hashtbl.replace seen c (Hashtbl.length seen);
+              order := c :: !order
+            end)
+          codes;
+        (name, codes, Hashtbl.copy seen, List.rev !order))
+      categorical
+  in
+  let nfeat =
+    1
+    + List.length num_cols
+    + List.fold_left (fun acc (_, _, seen, _) -> acc + Hashtbl.length seen) 0 cat_cols
+  in
+  let m = Lh_blas.Dense.create ~rows:n ~cols:nfeat in
+  (* bias *)
+  for r = 0 to n - 1 do
+    Lh_blas.Dense.set m r 0 1.0
+  done;
+  let names = ref [ "bias" ] in
+  let col = ref 1 in
+  List.iter
+    (fun (name, i) ->
+      (* standardize to zero mean / unit variance *)
+      let mean = ref 0.0 and sq = ref 0.0 in
+      for r = 0 to n - 1 do
+        let v = T.number table i r in
+        mean := !mean +. v;
+        sq := !sq +. (v *. v)
+      done;
+      let mean = !mean /. float_of_int (max n 1) in
+      let var = (!sq /. float_of_int (max n 1)) -. (mean *. mean) in
+      let sd = if var <= 1e-12 then 1.0 else sqrt var in
+      for r = 0 to n - 1 do
+        Lh_blas.Dense.set m r !col ((T.number table i r -. mean) /. sd)
+      done;
+      names := name :: !names;
+      incr col)
+    num_cols;
+  List.iter
+    (fun (name, codes, seen, order) ->
+      let base = !col in
+      List.iteri
+        (fun k code ->
+          ignore k;
+          names := Printf.sprintf "%s=%s" name (Lh_storage.Dict.decode table.T.dict code) :: !names)
+        order;
+      for r = 0 to n - 1 do
+        Lh_blas.Dense.set m r (base + Hashtbl.find seen codes.(r)) 1.0
+      done;
+      col := base + Hashtbl.length seen)
+    cat_cols;
+  { matrix = m; feature_names = Array.of_list (List.rev !names) }
+
+let labels ~table ~column =
+  let i = Schema.find_exn table.T.schema column in
+  Array.init table.T.nrows (fun r -> T.number table i r)

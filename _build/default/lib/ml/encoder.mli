@@ -1,0 +1,18 @@
+(** Feature encoding for the §VII pipeline: numeric columns pass through
+    (standardized), categorical (string) columns are one-hot encoded, all
+    directly from a table's dictionary-coded buffers — no per-row string
+    materialization, which is the data-transformation saving the voter
+    experiment measures. *)
+
+type t = {
+  matrix : Lh_blas.Dense.t;  (** n × nfeatures, bias column included *)
+  feature_names : string array;
+}
+
+val encode :
+  table:Lh_storage.Table.t -> numeric:string list -> categorical:string list -> t
+(** Raises [Failure] on unknown column names or a categorical column that
+    is not a string column. *)
+
+val labels : table:Lh_storage.Table.t -> column:string -> float array
+(** 0/1 labels from an int or float column. *)

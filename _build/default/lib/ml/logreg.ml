@@ -1,0 +1,64 @@
+module Dense = Lh_blas.Dense
+
+type model = { weights : float array }
+
+let sigmoid x = if x >= 0.0 then 1.0 /. (1.0 +. exp (-.x)) else exp x /. (1.0 +. exp x)
+
+let predict_weights w x =
+  let n = x.Dense.rows and k = x.Dense.cols in
+  let out = Array.make n 0.0 in
+  for r = 0 to n - 1 do
+    let base = r * k in
+    let acc = ref 0.0 in
+    for c = 0 to k - 1 do
+      acc := !acc +. (Array.unsafe_get x.Dense.data (base + c) *. Array.unsafe_get w c)
+    done;
+    out.(r) <- sigmoid !acc
+  done;
+  out
+
+let gradient ~weights ~x ~y =
+  let n = x.Dense.rows and k = x.Dense.cols in
+  if Array.length y <> n then invalid_arg "Logreg.gradient: label count mismatch";
+  let p = predict_weights weights x in
+  let g = Array.make k 0.0 in
+  for r = 0 to n - 1 do
+    let err = p.(r) -. y.(r) in
+    let base = r * k in
+    for c = 0 to k - 1 do
+      g.(c) <- g.(c) +. (err *. Array.unsafe_get x.Dense.data (base + c))
+    done
+  done;
+  let scale = 1.0 /. float_of_int (max n 1) in
+  Array.map (fun v -> v *. scale) g
+
+let train ~x ~y ?(iterations = 5) ?(learning_rate = 0.1) () =
+  let k = x.Dense.cols in
+  let w = Array.make k 0.0 in
+  for _ = 1 to iterations do
+    let g = gradient ~weights:w ~x ~y in
+    for c = 0 to k - 1 do
+      w.(c) <- w.(c) -. (learning_rate *. g.(c))
+    done
+  done;
+  { weights = w }
+
+let predict_proba model x = predict_weights model.weights x
+let predict model x = Array.map (fun p -> if p >= 0.5 then 1.0 else 0.0) (predict_proba model x)
+
+let loss model ~x ~y =
+  let p = predict_proba model x in
+  let n = Array.length y in
+  let eps = 1e-12 in
+  let total = ref 0.0 in
+  for r = 0 to n - 1 do
+    let pr = Float.min (1.0 -. eps) (Float.max eps p.(r)) in
+    total := !total -. ((y.(r) *. log pr) +. ((1.0 -. y.(r)) *. log (1.0 -. pr)))
+  done;
+  !total /. float_of_int (max n 1)
+
+let accuracy model ~x ~y =
+  let p = predict model x in
+  let hits = ref 0 in
+  Array.iteri (fun r v -> if v = y.(r) then incr hits) p;
+  float_of_int !hits /. float_of_int (max (Array.length y) 1)

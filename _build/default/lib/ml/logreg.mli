@@ -1,0 +1,23 @@
+(** Batch gradient-descent logistic regression — the training phase of the
+    §VII voter-classification pipeline (five iterations in the paper). *)
+
+type model = { weights : float array }
+
+val sigmoid : float -> float
+
+val train :
+  x:Lh_blas.Dense.t -> y:float array -> ?iterations:int -> ?learning_rate:float -> unit -> model
+(** Full-batch gradient descent minimizing the logistic loss; [y] must be
+    0/1. Defaults: 5 iterations (the paper's setting), rate 0.1. *)
+
+val predict_proba : model -> Lh_blas.Dense.t -> float array
+val predict : model -> Lh_blas.Dense.t -> float array
+(** 0/1 predictions at threshold 0.5. *)
+
+val loss : model -> x:Lh_blas.Dense.t -> y:float array -> float
+(** Mean logistic loss. *)
+
+val accuracy : model -> x:Lh_blas.Dense.t -> y:float array -> float
+
+val gradient : weights:float array -> x:Lh_blas.Dense.t -> y:float array -> float array
+(** Exposed for the finite-difference gradient checks in the tests. *)

@@ -1,0 +1,1 @@
+lib/set/bitset.ml: Array Lh_util

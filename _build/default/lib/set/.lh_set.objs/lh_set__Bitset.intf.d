@@ -1,0 +1,1 @@
+lib/set/bitset.mli:

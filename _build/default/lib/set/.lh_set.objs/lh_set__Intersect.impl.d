@@ -1,0 +1,1 @@
+lib/set/intersect.ml: Array Bitset Lh_util List Set

@@ -1,0 +1,1 @@
+lib/set/intersect.mli: Set

@@ -1,0 +1,1 @@
+lib/set/set.ml: Array Bitset Format Lh_util

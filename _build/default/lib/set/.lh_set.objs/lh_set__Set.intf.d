@@ -1,0 +1,1 @@
+lib/set/set.mli: Bitset Format

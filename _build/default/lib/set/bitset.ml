@@ -1,0 +1,166 @@
+type t = {
+  offset : int;
+  nbits : int;
+  words : int array;
+  mutable card : int;
+  mutable rank_cache : int array;
+}
+
+let word_bits = 63
+
+(* Offsets are always rounded down to a word boundary so that any two
+   bitsets are word-aligned: bs∩bs is then a straight word-wise AND, which
+   is the property the icost model (§V-A1) relies on. *)
+let align_offset v = v - (v mod word_bits)
+
+let nwords nbits = (nbits + word_bits - 1) / word_bits
+
+let create ~offset ~nbits =
+  if offset < 0 then invalid_arg "Bitset.create: negative offset";
+  let aligned = align_offset offset in
+  let nbits = nbits + (offset - aligned) in
+  {
+    offset = aligned;
+    nbits = max nbits 1;
+    words = Array.make (nwords (max nbits 1)) 0;
+    card = 0;
+    rank_cache = [||];
+  }
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let add t v =
+  let idx = v - t.offset in
+  if idx < 0 || idx >= t.nbits then invalid_arg "Bitset.add: value out of range";
+  let w = idx / word_bits and b = idx mod word_bits in
+  let bit = 1 lsl b in
+  if t.words.(w) land bit = 0 then begin
+    t.words.(w) <- t.words.(w) lor bit;
+    t.card <- t.card + 1
+  end
+
+let of_sorted_array arr =
+  let n = Array.length arr in
+  if n = 0 then invalid_arg "Bitset.of_sorted_array: empty";
+  let lo = arr.(0) and hi = arr.(n - 1) in
+  let t = create ~offset:lo ~nbits:(hi - lo + 1) in
+  Array.iter (fun v -> add t v) arr;
+  t
+
+let mem t v =
+  let idx = v - t.offset in
+  if idx < 0 || idx >= t.nbits then false
+  else t.words.(idx / word_bits) land (1 lsl (idx mod word_bits)) <> 0
+
+let cardinality t = t.card
+
+let iter f t =
+  let base = t.offset in
+  let words = t.words in
+  for wi = 0 to Array.length words - 1 do
+    let w = words.(wi) in
+    if w <> 0 then begin
+      let v0 = base + (wi * word_bits) in
+      let w = ref w and b = ref 0 in
+      while !w <> 0 do
+        (* Skip zero bytes to avoid 63 single-bit steps on sparse words. *)
+        if !w land 0xFF = 0 then begin
+          w := !w lsr 8;
+          b := !b + 8
+        end
+        else begin
+          if !w land 1 = 1 then f (v0 + !b);
+          w := !w lsr 1;
+          incr b
+        end
+      done
+    end
+  done
+
+let to_sorted_array t =
+  let out = Array.make t.card 0 in
+  let i = ref 0 in
+  iter
+    (fun v ->
+      out.(!i) <- v;
+      incr i)
+    t;
+  out
+
+let min_elt t =
+  let exception Found of int in
+  try
+    iter (fun v -> raise (Found v)) t;
+    raise Not_found
+  with Found v -> v
+
+let max_elt t =
+  if t.card = 0 then raise Not_found;
+  let best = ref 0 in
+  iter (fun v -> best := v) t;
+  !best
+
+let word_offset t = t.offset / word_bits
+
+let inter a b =
+  let lo_w = max (word_offset a) (word_offset b) in
+  let hi_w = min (word_offset a + Array.length a.words) (word_offset b + Array.length b.words) in
+  if hi_w <= lo_w then { offset = 0; nbits = 1; words = [| 0 |]; card = 0; rank_cache = [||] }
+  else begin
+    let n = hi_w - lo_w in
+    let words = Array.make n 0 in
+    let aw = a.words and bw = b.words in
+    let ao = lo_w - word_offset a and bo = lo_w - word_offset b in
+    let card = ref 0 in
+    for i = 0 to n - 1 do
+      let w = aw.(ao + i) land bw.(bo + i) in
+      words.(i) <- w;
+      if w <> 0 then card := !card + popcount w
+    done;
+    { offset = lo_w * word_bits; nbits = n * word_bits; words; card = !card; rank_cache = [||] }
+  end
+
+let inter_uint t arr =
+  let out = Lh_util.Vec.Int.create ~capacity:(Array.length arr) () in
+  Array.iter (fun v -> if mem t v then Lh_util.Vec.Int.push out v) arr;
+  Lh_util.Vec.Int.to_array out
+
+let union a b =
+  if a.card = 0 then b
+  else if b.card = 0 then a
+  else begin
+    let lo_w = min (word_offset a) (word_offset b) in
+    let hi_w =
+      max (word_offset a + Array.length a.words) (word_offset b + Array.length b.words)
+    in
+    let n = hi_w - lo_w in
+    let words = Array.make n 0 in
+    let blit s =
+      let o = word_offset s - lo_w in
+      Array.iteri (fun i w -> words.(o + i) <- words.(o + i) lor w) s.words
+    in
+    blit a;
+    blit b;
+    let card = Array.fold_left (fun acc w -> acc + popcount w) 0 words in
+    { offset = lo_w * word_bits; nbits = n * word_bits; words; card; rank_cache = [||] }
+  end
+
+let rank t v =
+  let idx = v - t.offset in
+  if idx < 0 || idx >= t.nbits then raise Not_found;
+  let w = idx / word_bits and b = idx mod word_bits in
+  let word = t.words.(w) in
+  if word land (1 lsl b) = 0 then raise Not_found;
+  if Array.length t.rank_cache = 0 then begin
+    let cache = Array.make (Array.length t.words) 0 in
+    let acc = ref 0 in
+    Array.iteri
+      (fun i word ->
+        cache.(i) <- !acc;
+        acc := !acc + popcount word)
+      t.words;
+    t.rank_cache <- cache
+  end;
+  t.rank_cache.(w) + popcount (word land ((1 lsl b) - 1))

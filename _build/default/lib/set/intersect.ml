@@ -1,0 +1,85 @@
+(* Galloping pays off when one operand is drastically smaller; 16x is the
+   conventional crossover. *)
+let gallop_ratio = 16
+
+(* First index in arr.(lo..) with arr.(i) >= v, found by exponential search
+   followed by binary search within the located window. *)
+let gallop_lower_bound arr lo v =
+  let n = Array.length arr in
+  if lo >= n || arr.(lo) >= v then lo
+  else begin
+    let step = ref 1 in
+    let prev = ref lo in
+    let cur = ref (lo + 1) in
+    while !cur < n && arr.(!cur) < v do
+      prev := !cur;
+      step := !step * 2;
+      cur := !cur + !step
+    done;
+    let hi = min !cur n in
+    let rec bin lo hi = if lo >= hi then lo else
+      let mid = (lo + hi) / 2 in
+      if arr.(mid) < v then bin (mid + 1) hi else bin lo mid
+    in
+    bin (!prev + 1) hi
+  end
+
+let uint_uint a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    (* Ensure a is the smaller side. *)
+    let a, b, la, lb = if la <= lb then (a, b, la, lb) else (b, a, lb, la) in
+    let out = Lh_util.Vec.Int.create ~capacity:la () in
+    if la * gallop_ratio < lb then begin
+      (* Galloping: search each element of the small side in the large. *)
+      let j = ref 0 in
+      for i = 0 to la - 1 do
+        let v = a.(i) in
+        j := gallop_lower_bound b !j v;
+        if !j < lb && b.(!j) = v then Lh_util.Vec.Int.push out v
+      done
+    end
+    else begin
+      let i = ref 0 and j = ref 0 in
+      while !i < la && !j < lb do
+        let x = a.(!i) and y = b.(!j) in
+        if x < y then incr i
+        else if y < x then incr j
+        else begin
+          Lh_util.Vec.Int.push out x;
+          incr i;
+          incr j
+        end
+      done
+    end;
+    Lh_util.Vec.Int.to_array out
+  end
+
+let inter a b =
+  match (a, b) with
+  | Set.Uint x, Set.Uint y -> Set.Uint (uint_uint x y)
+  | Set.Bs x, Set.Bs y -> Set.Bs (Bitset.inter x y)
+  | Set.Bs x, Set.Uint y | Set.Uint y, Set.Bs x -> Set.Uint (Bitset.inter_uint x y)
+
+let inter_many sets =
+  match sets with
+  | [] -> invalid_arg "Intersect.inter_many: empty list"
+  | [ s ] -> s
+  | _ ->
+      let order s =
+        (* Bitsets first, then ascending cardinality within each layout. *)
+        match Set.layout s with
+        | Set.Dense -> (0, Set.cardinality s)
+        | Set.Sparse -> (1, Set.cardinality s)
+      in
+      let sorted = List.sort (fun a b -> compare (order a) (order b)) sets in
+      (match sorted with
+      | first :: rest ->
+          List.fold_left (fun acc s -> if Set.is_empty acc then acc else inter acc s) first rest
+      | [] -> assert false)
+
+let count a b =
+  match (a, b) with
+  | Set.Bs x, Set.Bs y -> Bitset.cardinality (Bitset.inter x y)
+  | _ -> Set.cardinality (inter a b)

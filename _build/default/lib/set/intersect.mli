@@ -1,0 +1,20 @@
+(** Set intersection — the bottleneck operator of the generic WCOJ
+    algorithm (Algorithm 1). Three specialized kernels mirror the paper's
+    icost experiment (Fig. 5a): uint∩uint (merge or galloping), bs∩uint
+    (probes), and bs∩bs (word-wise AND). *)
+
+val uint_uint : int array -> int array -> int array
+(** Sorted-array intersection. Switches from a linear merge to galloping
+    (exponential search) when one side is much smaller than the other. *)
+
+val inter : Set.t -> Set.t -> Set.t
+(** Dispatches on the layouts of the two operands. *)
+
+val inter_many : Set.t list -> Set.t
+(** Intersection of one or more sets. Bitset operands are processed first
+    and, within a layout, smaller sets first (§V-A1: "the bs sets are always
+    processed first"). Raises [Invalid_argument] on the empty list. *)
+
+val count : Set.t -> Set.t -> int
+(** Cardinality of the intersection without materializing it (bs∩bs only
+    avoids allocation of values; other layouts still walk both inputs). *)

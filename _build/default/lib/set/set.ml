@@ -1,0 +1,157 @@
+type layout = Sparse | Dense
+type t = Uint of int array | Bs of Bitset.t
+
+let empty = Uint [||]
+
+(* A set is stored dense when its span is at most [dense_factor] times its
+   cardinality, i.e. density >= 1/dense_factor.  The factor trades bitset
+   word-AND speed against wasted zero words; 16 keeps first trie levels of
+   TPC-H fact tables and all dense-matrix levels in bitset form while
+   leaving genuinely sparse lower levels as uints, matching Obs. 5.1. *)
+let dense_factor = 16
+
+let choose_layout ~card ~range =
+  if card >= 16 && range <= card * dense_factor then Dense else Sparse
+
+let of_sorted_array ?layout arr =
+  let n = Array.length arr in
+  if n = 0 then empty
+  else begin
+    if arr.(0) < 0 then invalid_arg "Set.of_sorted_array: negative value";
+    let decided =
+      match layout with
+      | Some l -> l
+      | None -> choose_layout ~card:n ~range:(arr.(n - 1) - arr.(0) + 1)
+    in
+    match decided with
+    | Sparse -> Uint arr
+    | Dense -> Bs (Bitset.of_sorted_array arr)
+  end
+
+let sort_dedup arr =
+  let arr = Array.copy arr in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  if n <= 1 then arr
+  else begin
+    let k = ref 1 in
+    for i = 1 to n - 1 do
+      if arr.(i) <> arr.(!k - 1) then begin
+        arr.(!k) <- arr.(i);
+        incr k
+      end
+    done;
+    Array.sub arr 0 !k
+  end
+
+let of_array ?layout arr = of_sorted_array ?layout (sort_dedup arr)
+let of_bitset b = Bs b
+let layout = function Uint _ -> Sparse | Bs _ -> Dense
+let cardinality = function Uint a -> Array.length a | Bs b -> Bitset.cardinality b
+let is_empty t = cardinality t = 0
+
+let binary_search arr v =
+  let rec go lo hi =
+    if lo >= hi then -1
+    else
+      let mid = (lo + hi) / 2 in
+      if arr.(mid) = v then mid else if arr.(mid) < v then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length arr)
+
+let mem t v =
+  match t with Uint a -> binary_search a v >= 0 | Bs b -> Bitset.mem b v
+
+let iter f = function Uint a -> Array.iter f a | Bs b -> Bitset.iter f b
+
+let iteri f = function
+  | Uint a -> Array.iteri f a
+  | Bs b ->
+      let i = ref 0 in
+      Bitset.iter
+        (fun v ->
+          f !i v;
+          incr i)
+        b
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun v -> acc := f !acc v) t;
+  !acc
+
+let to_array = function Uint a -> a | Bs b -> Bitset.to_sorted_array b
+
+let rank t v =
+  match t with
+  | Uint a ->
+      let i = binary_search a v in
+      if i < 0 then raise Not_found else i
+  | Bs b -> Bitset.rank b v
+
+let nth t i =
+  match t with
+  | Uint a -> a.(i)
+  | Bs b ->
+      let r = ref (-1) and k = ref 0 in
+      let exception Found in
+      (try
+         Bitset.iter
+           (fun x ->
+             if !k = i then begin
+               r := x;
+               raise Found
+             end;
+             incr k)
+           b
+       with Found -> ());
+      if !r < 0 then invalid_arg "Set.nth: out of bounds";
+      !r
+
+let min_elt = function
+  | Uint a -> if Array.length a = 0 then raise Not_found else a.(0)
+  | Bs b -> Bitset.min_elt b
+
+let max_elt = function
+  | Uint a -> if Array.length a = 0 then raise Not_found else a.(Array.length a - 1)
+  | Bs b -> Bitset.max_elt b
+
+let singleton v = Uint [| v |]
+
+let filter pred t =
+  let out = Lh_util.Vec.Int.create () in
+  iter (fun v -> if pred v then Lh_util.Vec.Int.push out v) t;
+  of_sorted_array (Lh_util.Vec.Int.to_array out)
+
+let filter_range ~lo ~hi t = filter (fun v -> v >= lo && v <= hi) t
+
+let union a b =
+  match (a, b) with
+  | Uint [||], s | s, Uint [||] -> s
+  | Bs x, Bs y -> Bs (Bitset.union x y)
+  | _ ->
+      let xs = to_array a and ys = to_array b in
+      let out = Lh_util.Vec.Int.create ~capacity:(Array.length xs + Array.length ys) () in
+      let i = ref 0 and j = ref 0 in
+      let push = Lh_util.Vec.Int.push out in
+      while !i < Array.length xs && !j < Array.length ys do
+        let x = xs.(!i) and y = ys.(!j) in
+        if x < y then begin push x; incr i end
+        else if y < x then begin push y; incr j end
+        else begin push x; incr i; incr j end
+      done;
+      while !i < Array.length xs do push xs.(!i); incr i done;
+      while !j < Array.length ys do push ys.(!j); incr j done;
+      of_sorted_array (Lh_util.Vec.Int.to_array out)
+
+let equal a b = to_array a = to_array b
+
+let pp fmt t =
+  Format.fprintf fmt "{%s|" (match layout t with Sparse -> "uint" | Dense -> "bs");
+  let first = ref true in
+  iter
+    (fun v ->
+      if not !first then Format.pp_print_string fmt " ";
+      first := false;
+      Format.pp_print_int fmt v)
+    t;
+  Format.pp_print_string fmt "}"

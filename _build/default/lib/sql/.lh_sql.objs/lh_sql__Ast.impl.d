@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Format Lh_storage List String

@@ -1,0 +1,1 @@
+lib/sql/lexer.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Array Ast Lexer Lh_storage List Option Printf String

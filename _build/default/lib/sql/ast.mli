@@ -1,0 +1,60 @@
+(** Abstract syntax for the SQL 2008 subset LevelHeaded accepts (§III):
+    single-block SELECT / FROM / WHERE / GROUP BY aggregate-join queries.
+    ORDER BY is intentionally absent (the paper's TPC-H runs drop it). *)
+
+type col_ref = { relation : string option; column : string }
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Col of col_ref
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Date_lit of int  (** days since epoch; see {!Lh_storage.Date} *)
+  | Interval_day of int  (** [INTERVAL 'n' DAY]; folded away before planning *)
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Case_when of pred * expr * expr  (** [CASE WHEN p THEN a ELSE b END] *)
+  | Extract_year of expr
+
+and pred =
+  | Cmp of cmp * expr * expr
+  | Between of expr * expr * expr  (** [e BETWEEN lo AND hi], inclusive *)
+  | Like of expr * string  (** pattern with [%] and [_] wildcards *)
+  | Not_like of expr * string
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type agg = Sum | Count | Avg | Min | Max
+
+type select_item =
+  | Aggregate of agg * expr option * string
+      (** [None] expr means COUNT star; the string is the output alias *)
+  | Plain of expr * string  (** non-aggregated output (must be grouped) *)
+
+type query = {
+  select : select_item list;
+  from : (string * string) list;  (** (table name, binding alias) *)
+  where : pred option;
+  group_by : expr list;  (** columns or EXTRACT(YEAR FROM column) *)
+}
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_pred : Format.formatter -> pred -> unit
+val pp_query : Format.formatter -> query -> unit
+
+val fold_intervals : expr -> expr
+(** Constant-folds date ± interval arithmetic ([Date_lit] ±
+    [Interval_day]) into plain [Date_lit]s; raises [Failure] when an
+    interval survives in a non-date position. *)
+
+val expr_columns : expr -> col_ref list
+val pred_columns : pred -> col_ref list
+
+val like_match : pattern:string -> string -> bool
+(** SQL LIKE semantics: [%] matches any run, [_] any single character. *)

@@ -1,0 +1,129 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | SEMI
+  | EOF
+
+exception Lex_error of string
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec go i =
+    if i >= n then ()
+    else
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char input.[!j] do
+          incr j
+        done;
+        emit (IDENT (String.lowercase_ascii (String.sub input i (!j - i))));
+        go !j
+      end
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit input.[!j] do
+          incr j
+        done;
+        if !j < n && input.[!j] = '.' && !j + 1 < n && is_digit input.[!j + 1] then begin
+          incr j;
+          while !j < n && is_digit input.[!j] do
+            incr j
+          done;
+          emit (FLOAT (float_of_string (String.sub input i (!j - i))))
+        end
+        else emit (INT (int_of_string (String.sub input i (!j - i))));
+        go !j
+      end
+      else if c = '\'' then begin
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Lex_error "unterminated string literal")
+          else if input.[j] = '\'' then
+            if j + 1 < n && input.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              str (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf input.[j];
+            str (j + 1)
+          end
+        in
+        let j = str (i + 1) in
+        emit (STRING (Buffer.contents buf));
+        go j
+      end
+      else begin
+        let two = if i + 1 < n then String.sub input i 2 else "" in
+        match two with
+        | "<>" | "!=" ->
+            emit NE;
+            go (i + 2)
+        | "<=" ->
+            emit LE;
+            go (i + 2)
+        | ">=" ->
+            emit GE;
+            go (i + 2)
+        | "--" ->
+            (* line comment *)
+            let rec eol j = if j >= n || input.[j] = '\n' then j else eol (j + 1) in
+            go (eol i)
+        | _ -> (
+            let simple t =
+              emit t;
+              go (i + 1)
+            in
+            match c with
+            | '(' -> simple LPAREN
+            | ')' -> simple RPAREN
+            | ',' -> simple COMMA
+            | '.' -> simple DOT
+            | '*' -> simple STAR
+            | '+' -> simple PLUS
+            | '-' -> simple MINUS
+            | '/' -> simple SLASH
+            | '=' -> simple EQ
+            | '<' -> simple LT
+            | '>' -> simple GT
+            | ';' -> simple SEMI
+            | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C at offset %d" c i)))
+      end
+  in
+  go 0;
+  emit EOF;
+  Array.of_list (List.rev !tokens)
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | LPAREN -> "(" | RPAREN -> ")" | COMMA -> "," | DOT -> "." | STAR -> "*"
+  | PLUS -> "+" | MINUS -> "-" | SLASH -> "/"
+  | EQ -> "=" | NE -> "<>" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | SEMI -> ";" | EOF -> "<eof>"

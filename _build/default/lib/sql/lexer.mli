@@ -1,0 +1,32 @@
+(** SQL tokenizer. Identifiers and keywords are lowercased (SQL is
+    case-insensitive); string literal contents are preserved. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | SEMI
+  | EOF
+
+exception Lex_error of string
+
+val tokenize : string -> token array
+(** The whole input as tokens, ending with [EOF]. Raises {!Lex_error} on
+    unexpected characters or unterminated strings. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,311 @@
+exception Parse_error of string
+
+type state = { tokens : Lexer.token array; mutable pos : int }
+
+let fail msg = raise (Parse_error msg)
+let peek st = st.tokens.(st.pos)
+let peek2 st = if st.pos + 1 < Array.length st.tokens then st.tokens.(st.pos + 1) else Lexer.EOF
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else fail (Printf.sprintf "expected %s, found %s" what (Lexer.token_to_string (peek st)))
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+(* Keywords are plain identifiers in the token stream. *)
+let keyword st kw =
+  match peek st with
+  | Lexer.IDENT s when String.equal s kw ->
+      advance st;
+      true
+  | _ -> false
+
+let expect_keyword st kw =
+  if not (keyword st kw) then
+    fail (Printf.sprintf "expected %s, found %s" (String.uppercase_ascii kw)
+            (Lexer.token_to_string (peek st)))
+
+let expect_ident st what =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | t -> fail (Printf.sprintf "expected %s, found %s" what (Lexer.token_to_string t))
+
+let is_keyword s =
+  List.mem s
+    [ "select"; "from"; "where"; "group"; "by"; "and"; "or"; "not"; "as"; "between"; "like";
+      "case"; "when"; "then"; "else"; "end"; "date"; "interval"; "extract" ]
+
+let aggregates = [ ("sum", Ast.Sum); ("count", Ast.Count); ("avg", Ast.Avg); ("min", Ast.Min); ("max", Ast.Max) ]
+
+let parse_col_ref st =
+  let first = expect_ident st "column name" in
+  if accept st Lexer.DOT then
+    let column = expect_ident st "column name" in
+    { Ast.relation = Some first; column }
+  else { Ast.relation = None; column = first }
+
+let rec parse_expr_prec st = parse_additive st
+
+and parse_additive st =
+  let lhs = parse_multiplicative st in
+  let rec loop lhs =
+    if accept st Lexer.PLUS then loop (Ast.Add (lhs, parse_multiplicative st))
+    else if accept st Lexer.MINUS then loop (Ast.Sub (lhs, parse_multiplicative st))
+    else lhs
+  in
+  loop lhs
+
+and parse_multiplicative st =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    if accept st Lexer.STAR then loop (Ast.Mul (lhs, parse_unary st))
+    else if accept st Lexer.SLASH then loop (Ast.Div (lhs, parse_unary st))
+    else lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  if accept st Lexer.MINUS then Ast.Neg (parse_unary st) else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      Ast.Int_lit i
+  | Lexer.FLOAT f ->
+      advance st;
+      Ast.Float_lit f
+  | Lexer.STRING s ->
+      advance st;
+      Ast.String_lit s
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr_prec st in
+      expect st Lexer.RPAREN ")";
+      e
+  | Lexer.IDENT "date" -> (
+      advance st;
+      match peek st with
+      | Lexer.STRING s ->
+          advance st;
+          Ast.Date_lit (Lh_storage.Date.of_string s)
+      | t -> fail (Printf.sprintf "expected date string, found %s" (Lexer.token_to_string t)))
+  | Lexer.IDENT "interval" -> (
+      advance st;
+      match peek st with
+      | Lexer.STRING s ->
+          advance st;
+          let n =
+            match int_of_string_opt (String.trim s) with
+            | Some n -> n
+            | None -> fail (Printf.sprintf "malformed interval %S" s)
+          in
+          let unit_ = expect_ident st "interval unit" in
+          (match unit_ with
+          | "day" | "days" -> Ast.Interval_day n
+          | "month" | "months" -> Ast.Interval_day (n * 30)
+          | "year" | "years" -> Ast.Interval_day (n * 365)
+          | u -> fail (Printf.sprintf "unsupported interval unit %s" u))
+      | t -> fail (Printf.sprintf "expected interval string, found %s" (Lexer.token_to_string t)))
+  | Lexer.IDENT "case" ->
+      advance st;
+      expect_keyword st "when";
+      let p = parse_pred_prec st in
+      expect_keyword st "then";
+      let a = parse_expr_prec st in
+      expect_keyword st "else";
+      let b = parse_expr_prec st in
+      expect_keyword st "end";
+      Ast.Case_when (p, a, b)
+  | Lexer.IDENT "extract" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      expect_keyword st "year";
+      expect_keyword st "from";
+      let e = parse_expr_prec st in
+      expect st Lexer.RPAREN ")";
+      Ast.Extract_year e
+  | Lexer.IDENT name when not (is_keyword name) -> Ast.Col (parse_col_ref st)
+  | t -> fail (Printf.sprintf "unexpected token %s in expression" (Lexer.token_to_string t))
+
+and parse_pred_prec st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if keyword st "or" then Ast.Or (lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_pred_atom st in
+  if keyword st "and" then Ast.And (lhs, parse_and st) else lhs
+
+and parse_pred_atom st =
+  if keyword st "not" then Ast.Not (parse_pred_atom st)
+  else if peek st = Lexer.LPAREN then begin
+    (* Could open a nested predicate or a parenthesized expression; try the
+       predicate first and backtrack. *)
+    let saved = st.pos in
+    match
+      advance st;
+      let p = parse_pred_prec st in
+      expect st Lexer.RPAREN ")";
+      p
+    with
+    | p -> p
+    | exception Parse_error _ ->
+        st.pos <- saved;
+        parse_comparison st
+  end
+  else parse_comparison st
+
+and parse_comparison st =
+  let lhs = parse_expr_prec st in
+  if keyword st "between" then begin
+    let lo = parse_expr_prec st in
+    expect_keyword st "and";
+    let hi = parse_expr_prec st in
+    Ast.Between (lhs, lo, hi)
+  end
+  else if keyword st "like" then
+    match peek st with
+    | Lexer.STRING p ->
+        advance st;
+        Ast.Like (lhs, p)
+    | t -> fail (Printf.sprintf "expected pattern after LIKE, found %s" (Lexer.token_to_string t))
+  else if peek st = Lexer.IDENT "not" && peek2 st = Lexer.IDENT "like" then begin
+    advance st;
+    advance st;
+    match peek st with
+    | Lexer.STRING p ->
+        advance st;
+        Ast.Not_like (lhs, p)
+    | t -> fail (Printf.sprintf "expected pattern after NOT LIKE, found %s" (Lexer.token_to_string t))
+  end
+  else
+    let op =
+      match peek st with
+      | Lexer.EQ -> Ast.Eq
+      | Lexer.NE -> Ast.Ne
+      | Lexer.LT -> Ast.Lt
+      | Lexer.LE -> Ast.Le
+      | Lexer.GT -> Ast.Gt
+      | Lexer.GE -> Ast.Ge
+      | t -> fail (Printf.sprintf "expected comparison operator, found %s" (Lexer.token_to_string t))
+    in
+    advance st;
+    let rhs = parse_expr_prec st in
+    Ast.Cmp (op, lhs, rhs)
+
+let parse_select_item st idx =
+  let item =
+    match peek st with
+    | Lexer.IDENT name when List.mem_assoc name aggregates && peek2 st = Lexer.LPAREN ->
+        let agg = List.assoc name aggregates in
+        advance st;
+        advance st;
+        let arg =
+          if accept st Lexer.STAR then None
+          else Some (Ast.fold_intervals (parse_expr_prec st))
+        in
+        expect st Lexer.RPAREN ")";
+        `Agg (agg, arg)
+    | _ -> `Plain (Ast.fold_intervals (parse_expr_prec st))
+  in
+  let alias =
+    if keyword st "as" then Some (expect_ident st "alias")
+    else
+      match peek st with
+      | Lexer.IDENT name when not (is_keyword name) ->
+          advance st;
+          Some name
+      | _ -> None
+  in
+  match (item, alias) with
+  | `Agg (a, e), Some alias -> Ast.Aggregate (a, e, alias)
+  | `Agg (a, e), None -> Ast.Aggregate (a, e, Printf.sprintf "col%d" idx)
+  | `Plain (Ast.Col c), None -> Ast.Plain (Ast.Col c, c.Ast.column)
+  | `Plain e, Some alias -> Ast.Plain (e, alias)
+  | `Plain e, None -> Ast.Plain (e, Printf.sprintf "col%d" idx)
+
+let parse_from_table st =
+  let name = expect_ident st "table name" in
+  let alias =
+    if keyword st "as" then Some (expect_ident st "table alias")
+    else
+      match peek st with
+      | Lexer.IDENT a when not (is_keyword a) ->
+          advance st;
+          Some a
+      | _ -> None
+  in
+  (name, Option.value alias ~default:name)
+
+let rec map_pred_exprs f = function
+  | Ast.Cmp (op, a, b) -> Ast.Cmp (op, f a, f b)
+  | Ast.Between (e, lo, hi) -> Ast.Between (f e, f lo, f hi)
+  | Ast.Like (e, p) -> Ast.Like (f e, p)
+  | Ast.Not_like (e, p) -> Ast.Not_like (f e, p)
+  | Ast.And (a, b) -> Ast.And (map_pred_exprs f a, map_pred_exprs f b)
+  | Ast.Or (a, b) -> Ast.Or (map_pred_exprs f a, map_pred_exprs f b)
+  | Ast.Not p -> Ast.Not (map_pred_exprs f p)
+
+let parse_query st =
+  expect_keyword st "select";
+  let rec items idx =
+    let item = parse_select_item st idx in
+    if accept st Lexer.COMMA then item :: items (idx + 1) else [ item ]
+  in
+  let select = items 0 in
+  expect_keyword st "from";
+  let rec tables () =
+    let t = parse_from_table st in
+    if accept st Lexer.COMMA then t :: tables () else [ t ]
+  in
+  let from = tables () in
+  let where =
+    if keyword st "where" then begin
+      let p = parse_pred_prec st in
+      Some (map_pred_exprs Ast.fold_intervals p)
+    end
+    else None
+  in
+  let group_by =
+    if keyword st "group" then begin
+      expect_keyword st "by";
+      let rec cols () =
+        let c = Ast.fold_intervals (parse_expr_prec st) in
+        if accept st Lexer.COMMA then c :: cols () else [ c ]
+      in
+      cols ()
+    end
+    else []
+  in
+  ignore (accept st Lexer.SEMI);
+  if peek st <> Lexer.EOF then
+    fail (Printf.sprintf "trailing input at %s" (Lexer.token_to_string (peek st)));
+  { Ast.select; from; where; group_by }
+
+let with_state input f =
+  let st = { tokens = Lexer.tokenize input; pos = 0 } in
+  f st
+
+let parse input = with_state input parse_query
+
+let parse_expr input =
+  with_state input (fun st ->
+      let e = Ast.fold_intervals (parse_expr_prec st) in
+      if peek st <> Lexer.EOF then fail "trailing input after expression";
+      e)
+
+let parse_pred input =
+  with_state input (fun st ->
+      let p = parse_pred_prec st in
+      if peek st <> Lexer.EOF then fail "trailing input after predicate";
+      map_pred_exprs Ast.fold_intervals p)

@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the supported SQL subset.
+
+    Grammar (informally):
+    {v
+    query   := SELECT items FROM tables [WHERE pred] [GROUP BY cols] [;]
+    item    := agg '(' (expr | '*') ')' [AS ident] | expr [AS ident]
+    table   := ident [[AS] ident]
+    pred    := disjunction of conjunctions of atoms
+    atom    := expr cmp expr | expr BETWEEN expr AND expr
+             | expr [NOT] LIKE string | '(' pred ')' | NOT atom
+    expr    := arithmetic over columns, literals, date/interval literals,
+               CASE WHEN .. THEN .. ELSE .. END, EXTRACT(YEAR FROM ..)
+    v}
+
+    Interval literals are folded into date constants before the query is
+    returned. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.query
+(** Raises {!Parse_error} (or {!Lexer.Lex_error}) on invalid input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (for tests). *)
+
+val parse_pred : string -> Ast.pred
+(** Parse a standalone predicate (for tests). *)

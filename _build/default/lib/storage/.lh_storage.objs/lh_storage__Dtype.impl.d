@@ -1,0 +1,1 @@
+lib/storage/dtype.ml: Date Format Printf String

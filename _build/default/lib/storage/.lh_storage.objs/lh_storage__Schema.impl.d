@@ -1,0 +1,1 @@
+lib/storage/schema.ml: Array Dtype Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Date Dict Dtype Format Lh_util List Printf Schema String

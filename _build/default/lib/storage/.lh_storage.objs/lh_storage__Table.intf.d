@@ -1,0 +1,1 @@
+lib/storage/table.mli: Dict Dtype Format Schema

@@ -1,0 +1,1 @@
+lib/storage/trie.ml: Array Float Hashtbl Lh_set List

@@ -1,0 +1,1 @@
+lib/storage/trie.mli: Lh_set

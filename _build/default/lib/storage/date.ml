@@ -1,0 +1,40 @@
+(* Howard Hinnant's civil-from-days / days-from-civil algorithms. *)
+
+let of_ymd y m d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let to_ymd z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  ((if m <= 2 then y + 1 else y), m, d)
+
+let of_string s =
+  match String.split_on_char '-' (String.trim s) with
+  | [ y; m; d ] -> (
+      match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d) with
+      | Some y, Some m, Some d when m >= 1 && m <= 12 && d >= 1 && d <= 31 -> of_ymd y m d
+      | _ -> failwith (Printf.sprintf "Date.of_string: malformed date %S" s))
+  | _ -> failwith (Printf.sprintf "Date.of_string: malformed date %S" s)
+
+let to_string z =
+  let y, m, d = to_ymd z in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+let year z =
+  let y, _, _ = to_ymd z in
+  y
+
+let add_days z days = z + days

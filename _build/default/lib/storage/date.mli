@@ -1,0 +1,19 @@
+(** Calendar dates encoded as days since 1970-01-01.
+
+    TPC-H date predicates become plain integer comparisons on these codes,
+    and the encoding is order-preserving, so date keys and range filters
+    need no dictionary. *)
+
+val of_ymd : int -> int -> int -> int
+(** [of_ymd year month day] using the proleptic Gregorian calendar. *)
+
+val to_ymd : int -> int * int * int
+
+val of_string : string -> int
+(** Parses ["YYYY-MM-DD"]. Raises [Failure] on malformed input. *)
+
+val to_string : int -> string
+val year : int -> int
+(** The year component — the engine's [EXTRACT(YEAR FROM d)]. *)
+
+val add_days : int -> int -> int

@@ -1,0 +1,30 @@
+type t = {
+  table : (string, int) Hashtbl.t;
+  mutable strings : string array;
+  mutable len : int;
+}
+
+let create () = { table = Hashtbl.create 256; strings = Array.make 16 ""; len = 0 }
+
+let encode t s =
+  match Hashtbl.find_opt t.table s with
+  | Some code -> code
+  | None ->
+      let code = t.len in
+      if t.len = Array.length t.strings then begin
+        let bigger = Array.make (2 * t.len) "" in
+        Array.blit t.strings 0 bigger 0 t.len;
+        t.strings <- bigger
+      end;
+      t.strings.(t.len) <- s;
+      t.len <- t.len + 1;
+      Hashtbl.replace t.table s code;
+      code
+
+let find t s = Hashtbl.find_opt t.table s
+
+let decode t code =
+  if code < 0 || code >= t.len then invalid_arg (Printf.sprintf "Dict.decode: unknown code %d" code);
+  t.strings.(code)
+
+let size t = t.len

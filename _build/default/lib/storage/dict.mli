@@ -1,0 +1,21 @@
+(** Shared string dictionary.
+
+    All string attributes of one engine instance are encoded against a
+    single pool so that equi-joins and cross-relation comparisons on string
+    columns compare plain int codes. Codes are assigned in first-seen order,
+    so they are not order-preserving: range predicates on strings are
+    rejected upstream (none of the paper's workloads use them). *)
+
+type t
+
+val create : unit -> t
+val encode : t -> string -> int
+(** Returns the existing code or assigns the next one. *)
+
+val find : t -> string -> int option
+(** Lookup without inserting. *)
+
+val decode : t -> int -> string
+(** Raises [Invalid_argument] for an unknown code. *)
+
+val size : t -> int

@@ -1,0 +1,22 @@
+(** Attribute types and runtime values of the LevelHeaded data model
+    (§III-A): int, long, float, double and string collapse here to [Int]
+    (63-bit), [Float] (double) and [String]; [Date] is an int encoding (see
+    {!Date}). *)
+
+type t = Int | Float | String | Date
+
+type value = VInt of int | VFloat of float | VString of string | VDate of int
+
+val to_string : t -> string
+val of_string : string -> t
+(** Case-insensitive; accepts [int], [long], [float], [double], [string],
+    [date]. Raises [Failure] on anything else. *)
+
+val value_type : value -> t
+val value_to_string : value -> string
+val value_equal : value -> value -> bool
+
+val numeric : value -> float
+(** [VInt]/[VFloat]/[VDate] as a float; raises [Failure] on strings. *)
+
+val pp_value : Format.formatter -> value -> unit

@@ -1,0 +1,52 @@
+type kind = Key | Annotation
+type col = { name : string; dtype : Dtype.t; kind : kind }
+type t = { cols : col array }
+
+let create specs =
+  let seen = Hashtbl.create 16 in
+  let cols =
+    List.map
+      (fun (name, dtype, kind) ->
+        if Hashtbl.mem seen name then failwith (Printf.sprintf "Schema.create: duplicate column %S" name);
+        Hashtbl.replace seen name ();
+        if kind = Key && dtype = Dtype.Float then
+          failwith (Printf.sprintf "Schema.create: float column %S cannot be a key" name);
+        { name; dtype; kind })
+      specs
+  in
+  { cols = Array.of_list cols }
+
+let ncols t = Array.length t.cols
+let col t i = t.cols.(i)
+
+let find t name =
+  let rec go i =
+    if i >= Array.length t.cols then None
+    else if String.equal t.cols.(i).name name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let find_exn t name =
+  match find t name with
+  | Some i -> i
+  | None -> failwith (Printf.sprintf "Schema: no column named %S" name)
+
+let indices_of_kind k t =
+  Array.to_list t.cols
+  |> List.mapi (fun i c -> (i, c))
+  |> List.filter_map (fun (i, c) -> if c.kind = k then Some i else None)
+
+let key_indices = indices_of_kind Key
+let annotation_indices = indices_of_kind Annotation
+let is_key t i = t.cols.(i).kind = Key
+
+let pp fmt t =
+  Format.fprintf fmt "(";
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%s %s%s" c.name (Dtype.to_string c.dtype)
+        (match c.kind with Key -> " key" | Annotation -> ""))
+    t.cols;
+  Format.fprintf fmt ")"

@@ -1,0 +1,23 @@
+(** Relation schemas: every attribute is classified as a key or an
+    annotation by the user-defined schema (§III-A). Keys are the only
+    attributes that can join and cannot be aggregated; annotations can be
+    aggregated, and both support filters and GROUP BY. *)
+
+type kind = Key | Annotation
+
+type col = { name : string; dtype : Dtype.t; kind : kind }
+
+type t = private { cols : col array }
+
+val create : (string * Dtype.t * kind) list -> t
+(** Raises [Failure] on duplicate column names or on a [Float] key
+    (floats cannot be dictionary-encoded join keys). *)
+
+val ncols : t -> int
+val col : t -> int -> col
+val find : t -> string -> int option
+val find_exn : t -> string -> int
+val key_indices : t -> int list
+val annotation_indices : t -> int list
+val is_key : t -> int -> bool
+val pp : Format.formatter -> t -> unit

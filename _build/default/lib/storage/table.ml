@@ -1,0 +1,151 @@
+type column = Icol of int array | Fcol of float array
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  nrows : int;
+  cols : column array;
+  dict : Dict.t;
+}
+
+let column_length = function Icol a -> Array.length a | Fcol a -> Array.length a
+
+let create ~name ~schema ~dict cols =
+  let ncols = Schema.ncols schema in
+  if Array.length cols <> ncols then
+    failwith (Printf.sprintf "Table.create %s: %d columns for %d schema entries" name (Array.length cols) ncols);
+  let nrows = if ncols = 0 then 0 else column_length cols.(0) in
+  Array.iteri
+    (fun i c ->
+      if column_length c <> nrows then failwith (Printf.sprintf "Table.create %s: ragged columns" name);
+      let spec = Schema.col schema i in
+      match (spec.Schema.dtype, c) with
+      | Dtype.Float, Fcol _ -> ()
+      | Dtype.Float, Icol _ -> failwith (Printf.sprintf "Table.create %s: column %s must be floats" name spec.Schema.name)
+      | (Dtype.Int | Dtype.String | Dtype.Date), Icol codes ->
+          if spec.Schema.kind = Schema.Key && Array.exists (fun v -> v < 0) codes then
+            failwith (Printf.sprintf "Table.create %s: negative code in key column %s" name spec.Schema.name)
+      | (Dtype.Int | Dtype.String | Dtype.Date), Fcol _ ->
+          failwith (Printf.sprintf "Table.create %s: column %s must be int codes" name spec.Schema.name))
+    cols;
+  { name; schema; nrows; cols; dict }
+
+let encode_cell dict dtype raw =
+  match dtype with
+  | Dtype.Int -> int_of_string (String.trim raw)
+  | Dtype.Date -> Date.of_string raw
+  | Dtype.String -> Dict.encode dict raw
+  | Dtype.Float -> failwith "Table.encode_cell: float handled separately"
+
+let of_rows ~name ~schema ~dict rows =
+  let ncols = Schema.ncols schema in
+  let builders =
+    Array.init ncols (fun i ->
+        match (Schema.col schema i).Schema.dtype with
+        | Dtype.Float -> `F (Lh_util.Vec.Float.create ())
+        | Dtype.Int | Dtype.String | Dtype.Date -> `I (Lh_util.Vec.Int.create ()))
+  in
+  List.iter
+    (fun row ->
+      if List.length row <> ncols then failwith (Printf.sprintf "Table.of_rows %s: ragged row" name);
+      List.iteri
+        (fun i v ->
+          match (builders.(i), v, (Schema.col schema i).Schema.dtype) with
+          | `F b, Dtype.VFloat f, _ -> Lh_util.Vec.Float.push b f
+          | `F b, Dtype.VInt n, _ -> Lh_util.Vec.Float.push b (float_of_int n)
+          | `I b, Dtype.VInt n, Dtype.Int -> Lh_util.Vec.Int.push b n
+          | `I b, Dtype.VDate d, Dtype.Date -> Lh_util.Vec.Int.push b d
+          | `I b, Dtype.VString s, Dtype.String -> Lh_util.Vec.Int.push b (Dict.encode dict s)
+          | _ ->
+              failwith
+                (Printf.sprintf "Table.of_rows %s: value %s does not fit column %s" name
+                   (Dtype.value_to_string v)
+                   (Schema.col schema i).Schema.name))
+        row)
+    rows;
+  let cols =
+    Array.map (function `F b -> Fcol (Lh_util.Vec.Float.to_array b) | `I b -> Icol (Lh_util.Vec.Int.to_array b)) builders
+  in
+  create ~name ~schema ~dict cols
+
+let load_csv ~name ~schema ~dict ?sep path =
+  let ncols = Schema.ncols schema in
+  let builders =
+    Array.init ncols (fun i ->
+        match (Schema.col schema i).Schema.dtype with
+        | Dtype.Float -> `F (Lh_util.Vec.Float.create ())
+        | Dtype.Int | Dtype.String | Dtype.Date -> `I (Lh_util.Vec.Int.create ()))
+  in
+  let ingest () row =
+    let fields = Array.of_list row in
+    (* TPC-H '|'-terminated lines produce a trailing empty field; accept it. *)
+    let navail =
+      if Array.length fields = ncols + 1 && fields.(ncols) = "" then ncols else Array.length fields
+    in
+    if navail < ncols then failwith (Printf.sprintf "Table.load_csv %s: short row" name);
+    for i = 0 to ncols - 1 do
+      match builders.(i) with
+      | `F b -> Lh_util.Vec.Float.push b (float_of_string (String.trim fields.(i)))
+      | `I b -> Lh_util.Vec.Int.push b (encode_cell dict (Schema.col schema i).Schema.dtype fields.(i))
+    done
+  in
+  Lh_util.Csv.fold_file ?sep path ~init:() ~f:ingest;
+  let cols =
+    Array.map (function `F b -> Fcol (Lh_util.Vec.Float.to_array b) | `I b -> Icol (Lh_util.Vec.Int.to_array b)) builders
+  in
+  create ~name ~schema ~dict cols
+
+let icol t i =
+  match t.cols.(i) with
+  | Icol a -> a
+  | Fcol _ -> failwith (Printf.sprintf "Table.icol %s: column %d holds floats" t.name i)
+
+let fcol t i =
+  match t.cols.(i) with
+  | Fcol a -> a
+  | Icol _ -> failwith (Printf.sprintf "Table.fcol %s: column %d holds int codes" t.name i)
+
+let number t col row =
+  match t.cols.(col) with
+  | Fcol a -> a.(row)
+  | Icol a ->
+      (match (Schema.col t.schema col).Schema.dtype with
+      | Dtype.String -> failwith (Printf.sprintf "Table.number %s: string column" t.name)
+      | Dtype.Int | Dtype.Date | Dtype.Float -> float_of_int a.(row))
+
+let code t col row =
+  match t.cols.(col) with
+  | Icol a -> a.(row)
+  | Fcol _ -> failwith (Printf.sprintf "Table.code %s: float column has no code" t.name)
+
+let value t ~row ~col =
+  let spec = Schema.col t.schema col in
+  match (t.cols.(col), spec.Schema.dtype) with
+  | Fcol a, _ -> Dtype.VFloat a.(row)
+  | Icol a, Dtype.Int -> Dtype.VInt a.(row)
+  | Icol a, Dtype.Date -> Dtype.VDate a.(row)
+  | Icol a, Dtype.String -> Dtype.VString (Dict.decode t.dict a.(row))
+  | Icol _, Dtype.Float -> assert false
+
+let encode_const t col v =
+  let spec = Schema.col t.schema col in
+  match (spec.Schema.dtype, v) with
+  | Dtype.Int, Dtype.VInt n -> Some n
+  | Dtype.Date, Dtype.VDate d -> Some d
+  | Dtype.Date, Dtype.VString s -> Some (Date.of_string s)
+  | Dtype.String, Dtype.VString s -> Dict.find t.dict s
+  | Dtype.Float, _ -> failwith (Printf.sprintf "Table.encode_const %s: float column" t.name)
+  | _ ->
+      failwith
+        (Printf.sprintf "Table.encode_const %s: %s does not fit column %s" t.name
+           (Dtype.value_to_string v) spec.Schema.name)
+
+let to_rows t =
+  List.init t.nrows (fun row ->
+      List.init (Schema.ncols t.schema) (fun col -> value t ~row ~col))
+
+let pp_row fmt t row =
+  for col = 0 to Schema.ncols t.schema - 1 do
+    if col > 0 then Format.fprintf fmt "|";
+    Dtype.pp_value fmt (value t ~row ~col)
+  done

@@ -1,0 +1,156 @@
+type agg_kind = Sum | Min | Max
+
+type group = { codes : int array; vec : float array; mult : float }
+
+type node = {
+  set : Lh_set.Set.t;
+  children : node array;
+  groups : group array array;
+}
+
+type t = { nlevels : int; root : node; total_tuples : int; level_max : int array }
+
+let combine kind a b =
+  match kind with Sum -> a +. b | Min -> Float.min a b | Max -> Float.max a b
+
+(* Aggregate the rows of one leaf segment into groups keyed by their
+   GROUP BY annotation codes.  The overwhelmingly common case (no
+   annotation GROUP BY) avoids the hash table entirely. *)
+let make_groups ~rows ~group_cols ~aggs ~mults lo hi =
+  let naggs = Array.length aggs in
+  let eval_vec r = Array.map (fun (_, f) -> f r) aggs in
+  let fold_into g r =
+    for j = 0 to naggs - 1 do
+      let kind, f = aggs.(j) in
+      g.(j) <- combine kind g.(j) (f r)
+    done
+  in
+  if Array.length group_cols = 0 then begin
+    let r0 = rows.(lo) in
+    let vec = eval_vec r0 in
+    let mult = ref (mults r0) in
+    for i = lo + 1 to hi - 1 do
+      fold_into vec rows.(i);
+      mult := !mult +. mults rows.(i)
+    done;
+    [| { codes = [||]; vec; mult = !mult } |]
+  end
+  else begin
+    let codes_of r = Array.map (fun col -> col.(r)) group_cols in
+    (* Keep insertion order stable for determinism. *)
+    let table : (int array, float array ref * float ref) Hashtbl.t = Hashtbl.create 4 in
+    let order = ref [] in
+    for i = lo to hi - 1 do
+      let r = rows.(i) in
+      let codes = codes_of r in
+      match Hashtbl.find_opt table codes with
+      | Some (vec, mult) ->
+          fold_into !vec r;
+          mult := !mult +. mults r
+      | None ->
+          Hashtbl.replace table codes (ref (eval_vec r), ref (mults r));
+          order := codes :: !order
+    done;
+    let groups =
+      List.rev_map
+        (fun codes ->
+          let vec, mult = Hashtbl.find table codes in
+          { codes; vec = !vec; mult = !mult })
+        !order
+    in
+    Array.of_list groups
+  end
+
+let empty_node = { set = Lh_set.Set.empty; children = [||]; groups = [||] }
+
+let build ~keys ~rows ?(group_cols = [||]) ?(aggs = [||]) ?(mults = fun _ -> 1.0) () =
+  let nlevels = Array.length keys in
+  if nlevels = 0 then invalid_arg "Trie.build: at least one key level required";
+  let rows = Array.copy rows in
+  let cmp r1 r2 =
+    let rec go l =
+      if l >= nlevels then 0
+      else
+        let c = compare keys.(l).(r1) keys.(l).(r2) in
+        if c <> 0 then c else go (l + 1)
+    in
+    go 0
+  in
+  Array.sort cmp rows;
+  let total_tuples = ref 0 in
+  let level_max = Array.make nlevels (-1) in
+  (* rows.(lo..hi) share the key prefix above [level]; produce the node for
+     this subtree.  Segments of equal value at [level] become set entries. *)
+  let rec build_node level lo hi =
+    let col = keys.(level) in
+    (* Count distinct values first so the arrays are allocated exactly. *)
+    let ndistinct = ref 0 in
+    let i = ref lo in
+    while !i < hi do
+      let v = col.(rows.(!i)) in
+      incr ndistinct;
+      while !i < hi && col.(rows.(!i)) = v do
+        incr i
+      done
+    done;
+    let values = Array.make !ndistinct 0 in
+    let last = level = nlevels - 1 in
+    let children = if last then [||] else Array.make !ndistinct empty_node in
+    let groups = if last then Array.make !ndistinct [||] else [||] in
+    let k = ref 0 in
+    let i = ref lo in
+    while !i < hi do
+      let v = col.(rows.(!i)) in
+      let seg_lo = !i in
+      while !i < hi && col.(rows.(!i)) = v do
+        incr i
+      done;
+      values.(!k) <- v;
+      if v > level_max.(level) then level_max.(level) <- v;
+      if last then begin
+        groups.(!k) <- make_groups ~rows ~group_cols ~aggs ~mults seg_lo !i;
+        incr total_tuples
+      end
+      else children.(!k) <- build_node (level + 1) seg_lo !i;
+      incr k
+    done;
+    { set = Lh_set.Set.of_sorted_array values; children; groups }
+  in
+  let root =
+    if Array.length rows = 0 then empty_node else build_node 0 0 (Array.length rows)
+  in
+  { nlevels; root; total_tuples = !total_tuples; level_max }
+
+let first_level t = t.root.set
+
+let lookup t prefix =
+  let rec go node = function
+    | [] -> Some node
+    | v :: rest -> (
+        match Lh_set.Set.rank node.set v with
+        | exception Not_found -> None
+        | r -> if Array.length node.children = 0 then None else go node.children.(r) rest)
+  in
+  let plen = Array.length prefix in
+  if plen >= t.nlevels then invalid_arg "Trie.lookup: prefix too long";
+  go t.root (Array.to_list prefix)
+
+let iter_tuples t f =
+  let tuple = Array.make t.nlevels 0 in
+  let rec go level node =
+    if level = t.nlevels - 1 then
+      Lh_set.Set.iteri
+        (fun rank v ->
+          tuple.(level) <- v;
+          Array.iter (fun g -> f (Array.copy tuple) g) node.groups.(rank))
+        node.set
+    else
+      Lh_set.Set.iteri
+        (fun rank v ->
+          tuple.(level) <- v;
+          go (level + 1) node.children.(rank))
+        node.set
+  in
+  if not (Lh_set.Set.is_empty t.root.set) then go 0 t.root
+
+let cardinality t = t.total_tuples

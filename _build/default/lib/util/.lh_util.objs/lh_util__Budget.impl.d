@@ -1,0 +1,1 @@
+lib/util/budget.ml: Gc Result Timing

@@ -1,0 +1,1 @@
+lib/util/simplex.ml: Array Float List Printf

@@ -1,0 +1,1 @@
+lib/util/timing.ml: Array Format Printf Unix

@@ -1,0 +1,42 @@
+exception Out_of_memory_budget
+exception Timed_out
+
+type t = {
+  max_live_words : int;
+  max_seconds : float;
+  mutable started : float;
+  mutable base_words : int;
+  mutable ticks : int;
+}
+
+let unlimited =
+  { max_live_words = max_int; max_seconds = infinity; started = 0.0; base_words = 0; ticks = 0 }
+
+let create ?(max_live_words = max_int) ?(max_seconds = infinity) () =
+  { max_live_words; max_seconds; started = 0.0; base_words = 0; ticks = 0 }
+
+let live_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.heap_words
+
+let start t =
+  t.started <- Timing.now ();
+  t.base_words <- live_words ();
+  t.ticks <- 0
+
+let check t =
+  if t.max_seconds < infinity && Timing.now () -. t.started > t.max_seconds then raise Timed_out;
+  if t.max_live_words < max_int then begin
+    t.ticks <- t.ticks + 1;
+    if t.ticks land 63 = 0 && live_words () - t.base_words > t.max_live_words then
+      raise Out_of_memory_budget
+  end
+
+type outcome = Ok of float | Oom | Timeout
+
+let run t f =
+  start t;
+  match f () with
+  | x -> Result.Ok x
+  | exception Out_of_memory_budget -> Result.Error Oom
+  | exception Timed_out -> Result.Error Timeout

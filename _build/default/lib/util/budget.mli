@@ -1,0 +1,30 @@
+(** Execution budgets used to reproduce the paper's ['oom'] and ['t/o']
+    outcomes (Table II) without actually exhausting the machine.
+
+    A budget is installed around an engine run; cooperative checkpoints in
+    the engines call {!check}, which raises once either limit is crossed. *)
+
+exception Out_of_memory_budget
+exception Timed_out
+
+type t
+
+val unlimited : t
+
+val create : ?max_live_words:int -> ?max_seconds:float -> unit -> t
+(** [max_live_words] bounds the major-heap live words observed at
+    checkpoints; [max_seconds] bounds elapsed wall-clock time. *)
+
+val start : t -> unit
+(** Records the start time and baseline heap size. *)
+
+val check : t -> unit
+(** Raises {!Out_of_memory_budget} or {!Timed_out} when a limit is
+    exceeded. Cheap: a time read, plus a heap probe every 64 calls. *)
+
+type outcome = Ok of float | Oom | Timeout
+
+val run : t -> (unit -> 'a) -> ('a, outcome) result
+(** [run budget f] executes [f] under [budget], returning [Error Oom] or
+    [Error Timeout] when the corresponding exception escapes, and [Ok]
+    otherwise. *)

@@ -1,0 +1,84 @@
+let split_line ~sep line =
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let rec plain i =
+    if i >= n then flush_field ()
+    else
+      let c = line.[i] in
+      if c = sep then begin
+        flush_field ();
+        plain (i + 1)
+      end
+      else if c = '"' && Buffer.length buf = 0 then quoted (i + 1)
+      else begin
+        Buffer.add_char buf c;
+        plain (i + 1)
+      end
+  and quoted i =
+    if i >= n then flush_field () (* unterminated quote: accept what we have *)
+    else if line.[i] = '"' then
+      if i + 1 < n && line.[i + 1] = '"' then begin
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      end
+      else plain (i + 1)
+    else begin
+      Buffer.add_char buf line.[i];
+      quoted (i + 1)
+    end
+  in
+  plain 0;
+  List.rev !fields
+
+let fold_file ?(sep = ',') path ~init ~f =
+  let ic = open_in path in
+  let rec loop acc =
+    match input_line ic with
+    | exception End_of_file -> acc
+    | "" -> loop acc
+    | line ->
+        let line =
+          (* Tolerate CRLF files. *)
+          let n = String.length line in
+          if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+        in
+        loop (f acc (split_line ~sep line))
+  in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> loop init)
+
+let read_file ?sep path =
+  List.rev (fold_file ?sep path ~init:[] ~f:(fun acc row -> row :: acc))
+
+let needs_quoting ~sep field =
+  String.exists (fun c -> c = sep || c = '"' || c = '\n') field
+
+let write_file ?(sep = ',') path rows =
+  let oc = open_out path in
+  let write_field field =
+    if needs_quoting ~sep field then begin
+      output_char oc '"';
+      String.iter
+        (fun c ->
+          if c = '"' then output_string oc "\"\"" else output_char oc c)
+        field;
+      output_char oc '"'
+    end
+    else output_string oc field
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun row ->
+          List.iteri
+            (fun i field ->
+              if i > 0 then output_char oc sep;
+              write_field field)
+            row;
+          output_char oc '\n')
+        rows)

@@ -1,0 +1,19 @@
+(** Minimal delimited-file reading and writing.
+
+    LevelHeaded ingests structured data from delimited files on disk
+    (§III).  This reader handles an arbitrary single-character separator and
+    double-quoted fields (with ["" ] escaping); it is deliberately not a
+    full RFC-4180 implementation. *)
+
+val split_line : sep:char -> string -> string list
+(** Split one line into fields, honouring double quotes. *)
+
+val read_file : ?sep:char -> string -> string list list
+(** All rows of a file; empty lines are skipped. Default separator [','].
+    TPC-H-style files use [~sep:'|']. *)
+
+val fold_file : ?sep:char -> string -> init:'a -> f:('a -> string list -> 'a) -> 'a
+(** Streaming fold over rows, for files too large to hold as string lists. *)
+
+val write_file : ?sep:char -> string -> string list list -> unit
+(** Write rows; fields containing the separator or quotes are quoted. *)

@@ -1,0 +1,39 @@
+let recommended_domains () =
+  match Domain.recommended_domain_count () with n when n >= 1 -> min 8 n | _ -> 1
+
+let chunk_bounds ~chunks ~n k =
+  let per = n / chunks and rem = n mod chunks in
+  let lo = (k * per) + min k rem in
+  let hi = lo + per + (if k < rem then 1 else 0) in
+  (lo, hi)
+
+let map_reduce ~domains ~n ~init ~body ~merge =
+  let domains = max 1 (min domains n) in
+  if domains = 1 || n = 0 then begin
+    let acc = init () in
+    for i = 0 to n - 1 do
+      body acc i
+    done;
+    acc
+  end
+  else begin
+    let run k () =
+      let lo, hi = chunk_bounds ~chunks:domains ~n k in
+      let acc = init () in
+      for i = lo to hi - 1 do
+        body acc i
+      done;
+      acc
+    in
+    (* Chunk 0 runs on the calling domain while the others spawn. *)
+    let spawned = Array.init (domains - 1) (fun k -> Domain.spawn (run (k + 1))) in
+    let first = run 0 () in
+    Array.fold_left (fun acc d -> merge acc (Domain.join d)) first spawned
+  end
+
+let iter ~domains ~n f =
+  ignore
+    (map_reduce ~domains ~n
+       ~init:(fun () -> ())
+       ~body:(fun () i -> f i)
+       ~merge:(fun () () -> ()))

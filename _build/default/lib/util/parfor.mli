@@ -1,0 +1,22 @@
+(** Naive outermost-loop parallelism over OCaml 5 domains (§III-D).
+
+    The paper parallelizes only the outermost [for] loop of the generic
+    WCOJ algorithm; this module provides exactly that: split an index range
+    into contiguous chunks, run one domain per chunk with a private
+    accumulator, and merge. With [domains = 1] everything runs on the
+    calling domain (deterministic, no spawning). *)
+
+val recommended_domains : unit -> int
+(** [min 8 (cpu count)], at least 1. *)
+
+val map_reduce :
+  domains:int -> n:int -> init:(unit -> 'acc) -> body:('acc -> int -> unit) -> merge:('acc -> 'acc -> 'acc) -> 'acc
+(** [map_reduce ~domains ~n ~init ~body ~merge] applies [body acc i] for
+    every [i] in [\[0, n)], with indices partitioned into [domains]
+    contiguous chunks, each with its own [init ()] accumulator; partial
+    accumulators are combined left-to-right with [merge] (chunk order, so a
+    commutative merge is not required). *)
+
+val iter : domains:int -> n:int -> (int -> unit) -> unit
+(** Side-effecting variant; the body must be safe to run concurrently on
+    disjoint indices. *)

@@ -1,0 +1,62 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* splitmix64: passes BigCrush, trivially seedable, one multiply-xor chain
+   per draw.  Chosen over Stdlib.Random for stability across OCaml
+   releases: generated datasets must not change under compiler upgrades. *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Keep 62 bits: Int64.to_int of a 63-bit value can wrap negative. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (r /. 9007199254740992.0)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let gaussian t =
+  let u1 = max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_distinct t k bound =
+  if k > bound then invalid_arg "Prng.sample_distinct: k > bound";
+  (* Floyd's algorithm: k hash inserts regardless of bound. *)
+  let seen = Hashtbl.create (2 * k) in
+  for j = bound - k to bound - 1 do
+    let v = int t (j + 1) in
+    if Hashtbl.mem seen v then Hashtbl.replace seen j ()
+    else Hashtbl.replace seen v ()
+  done;
+  let out = Array.make k 0 in
+  let i = ref 0 in
+  Hashtbl.iter (fun v () -> out.(!i) <- v; incr i) seen;
+  Array.sort compare out;
+  out

@@ -1,0 +1,116 @@
+type solution = { objective : float; primal : float array }
+
+let eps = 1e-9
+
+(* Standard tableau simplex with Bland's anti-cycling rule.  Problem sizes
+   here are bounded by query size (<= ~10 variables/constraints), so a dense
+   O(m*n) pivot is more than adequate. *)
+let maximize ~a ~b ~c =
+  let m = Array.length b in
+  let n = Array.length c in
+  Array.iter (fun bi -> if bi < -.eps then invalid_arg "Simplex.maximize: b must be >= 0") b;
+  (* Tableau: m rows of (n structural + m slack + 1 rhs); objective row last. *)
+  let cols = n + m + 1 in
+  let tab = Array.make_matrix (m + 1) cols 0.0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      tab.(i).(j) <- a.(i).(j)
+    done;
+    tab.(i).(n + i) <- 1.0;
+    tab.(i).(cols - 1) <- b.(i)
+  done;
+  for j = 0 to n - 1 do
+    tab.(m).(j) <- -.c.(j)
+  done;
+  let basis = Array.init m (fun i -> n + i) in
+  let rec iterate guard =
+    if guard = 0 then failwith "Simplex.maximize: iteration guard exceeded";
+    (* Bland: entering variable = lowest index with negative reduced cost. *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to n + m - 1 do
+         if tab.(m).(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering >= 0 then begin
+      let e = !entering in
+      (* Leaving row: min ratio, ties broken by lowest basis index (Bland). *)
+      let leaving = ref (-1) in
+      let best = ref infinity in
+      for i = 0 to m - 1 do
+        if tab.(i).(e) > eps then begin
+          let ratio = tab.(i).(cols - 1) /. tab.(i).(e) in
+          if
+            ratio < !best -. eps
+            || (ratio < !best +. eps && (!leaving = -1 || basis.(i) < basis.(!leaving)))
+          then begin
+            best := ratio;
+            leaving := i
+          end
+        end
+      done;
+      if !leaving = -1 then failwith "Simplex.maximize: unbounded LP";
+      let r = !leaving in
+      let piv = tab.(r).(e) in
+      for j = 0 to cols - 1 do
+        tab.(r).(j) <- tab.(r).(j) /. piv
+      done;
+      for i = 0 to m do
+        if i <> r then begin
+          let factor = tab.(i).(e) in
+          if Float.abs factor > eps then
+            for j = 0 to cols - 1 do
+              tab.(i).(j) <- tab.(i).(j) -. (factor *. tab.(r).(j))
+            done
+        end
+      done;
+      basis.(r) <- e;
+      iterate (guard - 1)
+    end
+  in
+  iterate 10_000;
+  let primal = Array.make n 0.0 in
+  Array.iteri (fun i v -> if v < n then primal.(v) <- tab.(i).(cols - 1)) basis;
+  { objective = tab.(m).(cols - 1); primal }
+
+type cover = { width : float; weights : float array }
+
+(* The cover LP (minimize sum x_e subject to every vertex covered, x >= 0)
+   is not in the [maximize] standard form, but some optimal cover always has
+   x_e <= 1 (capping a weight at 1 keeps every vertex covered because
+   constraint coefficients are 0/1).  Substituting z_e = 1 - x_e turns it
+   into: maximize sum z_e subject to, for every vertex v,
+   sum_{e ∋ v} z_e <= deg(v) - 1, plus z_e <= 1, z >= 0 — a standard-form
+   maximization with nonnegative right-hand sides.  The width is then
+   |E| - objective. *)
+let fractional_edge_cover ~nvertices ~edges =
+  let nedges = Array.length edges in
+  if nedges = 0 && nvertices > 0 then
+    invalid_arg "Simplex.fractional_edge_cover: vertices but no edges";
+  if nvertices = 0 then { width = 0.0; weights = Array.make nedges 0.0 }
+  else begin
+    let deg = Array.make nvertices 0 in
+    Array.iter (List.iter (fun v -> deg.(v) <- deg.(v) + 1)) edges;
+    Array.iteri
+      (fun v d ->
+        if d = 0 then
+          invalid_arg (Printf.sprintf "Simplex.fractional_edge_cover: vertex %d uncovered" v))
+      deg;
+    let a = Array.make_matrix (nvertices + nedges) nedges 0.0 in
+    let b = Array.make (nvertices + nedges) 0.0 in
+    Array.iteri (fun e vs -> List.iter (fun v -> a.(v).(e) <- 1.0) vs) edges;
+    for v = 0 to nvertices - 1 do
+      b.(v) <- float_of_int (deg.(v) - 1)
+    done;
+    for e = 0 to nedges - 1 do
+      a.(nvertices + e).(e) <- 1.0;
+      b.(nvertices + e) <- 1.0
+    done;
+    let c = Array.make nedges 1.0 in
+    let sol = maximize ~a ~b ~c in
+    let weights = Array.map (fun z -> 1.0 -. z) sol.primal in
+    { width = float_of_int nedges -. sol.objective; weights }
+  end

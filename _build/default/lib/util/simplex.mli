@@ -1,0 +1,26 @@
+(** Dense simplex solver for the tiny linear programs that arise in
+    fractional-hypertree-width computation (§II-B).
+
+    The primal form solved directly is
+      maximize  c·x  subject to  A x <= b,  x >= 0,
+    with [b >= 0] so the slack basis is feasible. The fractional edge cover
+    LP (minimize total edge weight such that every vertex is covered) is
+    solved through its dual, which has this form; the primal cover weights
+    are recovered from the reduced costs of the slack variables. *)
+
+type solution = { objective : float; primal : float array }
+
+val maximize : a:float array array -> b:float array -> c:float array -> solution
+(** Solve [max c.x s.t. a x <= b, x >= 0]. Requires all [b.(i) >= 0].
+    [primal] is the optimal [x]. Raises [Failure] if the LP is unbounded
+    (never the case for covers). Uses Bland's rule, so it terminates. *)
+
+type cover = { width : float; weights : float array }
+
+val fractional_edge_cover : nvertices:int -> edges:int list array -> cover
+(** [fractional_edge_cover ~nvertices ~edges] where [edges.(e)] lists the
+    vertices of hyperedge [e] (vertices are [0 .. nvertices-1]; every vertex
+    must occur in at least one edge). Returns the minimum total weight
+    [width] and per-edge weights such that every vertex receives total
+    weight at least 1 — i.e. the quantity whose maximum over GHD bags is the
+    fractional hypertree width. *)

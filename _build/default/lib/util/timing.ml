@@ -1,0 +1,31 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  (x, now () -. t0)
+
+let measure ?(runs = 7) f =
+  if runs <= 0 then invalid_arg "Timing.measure: runs must be positive";
+  let samples =
+    Array.init runs (fun _ ->
+        let _, dt = time f in
+        dt)
+  in
+  Array.sort compare samples;
+  (* Paper protocol: eliminate the lowest and the highest value, average the
+     rest.  With fewer than 3 runs there is nothing to trim. *)
+  let lo, hi = if runs >= 3 then (1, runs - 2) else (0, runs - 1) in
+  let sum = ref 0.0 in
+  for i = lo to hi do
+    sum := !sum +. samples.(i)
+  done;
+  !sum /. float_of_int (hi - lo + 1)
+
+let duration_to_string dt =
+  if dt < 1e-6 then Printf.sprintf "%.0fns" (dt *. 1e9)
+  else if dt < 1e-3 then Printf.sprintf "%.2fus" (dt *. 1e6)
+  else if dt < 1.0 then Printf.sprintf "%.2fms" (dt *. 1e3)
+  else Printf.sprintf "%.2fs" dt
+
+let pp_duration fmt dt = Format.pp_print_string fmt (duration_to_string dt)

@@ -1,0 +1,19 @@
+(** Wall-clock measurement following the paper's protocol (§VI-A): repeat
+    each measurement, drop the lowest and highest value, report the mean of
+    the rest. *)
+
+val now : unit -> float
+(** Wall-clock seconds. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] once and returns its result with elapsed seconds. *)
+
+val measure : ?runs:int -> (unit -> 'a) -> float
+(** [measure ~runs f] runs [f] [runs] times (default 7), drops the fastest
+    and slowest run when [runs >= 3], and returns the mean of the remaining
+    times in seconds. *)
+
+val pp_duration : Format.formatter -> float -> unit
+(** Human-readable duration: e.g. [12.3us], [4.56ms], [1.89s]. *)
+
+val duration_to_string : float -> string

@@ -1,0 +1,74 @@
+module Int = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create ?(capacity = 16) () = { data = Array.make (max capacity 1) 0; len = 0 }
+  let length t = t.len
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Vec.Int.get";
+    t.data.(i)
+
+  let set t i v =
+    if i < 0 || i >= t.len then invalid_arg "Vec.Int.set";
+    t.data.(i) <- v
+
+  let grow t =
+    let data = Array.make (2 * Array.length t.data) 0 in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+
+  let push t v =
+    if t.len = Array.length t.data then grow t;
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1
+
+  let pop t =
+    if t.len = 0 then invalid_arg "Vec.Int.pop: empty";
+    t.len <- t.len - 1;
+    t.data.(t.len)
+
+  let clear t = t.len <- 0
+  let to_array t = Array.sub t.data 0 t.len
+  let of_array a = { data = Array.copy a; len = Array.length a }
+
+  let iter f t =
+    for i = 0 to t.len - 1 do
+      f t.data.(i)
+    done
+
+  let unsafe_inner t = t.data
+end
+
+module Float = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create ?(capacity = 16) () = { data = Array.make (max capacity 1) 0.0; len = 0 }
+  let length t = t.len
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Vec.Float.get";
+    t.data.(i)
+
+  let set t i v =
+    if i < 0 || i >= t.len then invalid_arg "Vec.Float.set";
+    t.data.(i) <- v
+
+  let grow t =
+    let data = Array.make (2 * Array.length t.data) 0.0 in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+
+  let push t v =
+    if t.len = Array.length t.data then grow t;
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1
+
+  let clear t = t.len <- 0
+  let to_array t = Array.sub t.data 0 t.len
+  let of_array a = { data = Array.copy a; len = Array.length a }
+
+  let iter f t =
+    for i = 0 to t.len - 1 do
+      f t.data.(i)
+    done
+end

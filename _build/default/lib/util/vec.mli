@@ -1,0 +1,40 @@
+(** Growable unboxed vectors for ints and floats.
+
+    The storage engine appends into these during ingestion and trie
+    construction, then freezes them into plain arrays for query execution. *)
+
+module Int : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val get : t -> int -> int
+  val set : t -> int -> int -> unit
+  val push : t -> int -> unit
+  val pop : t -> int
+  (** Removes and returns the last element. Raises [Invalid_argument] when
+      empty. *)
+
+  val clear : t -> unit
+  (** Resets the length to zero without shrinking capacity. *)
+
+  val to_array : t -> int array
+  val of_array : int array -> t
+  val iter : (int -> unit) -> t -> unit
+  val unsafe_inner : t -> int array
+  (** The backing array; only indices [< length] are meaningful. *)
+end
+
+module Float : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val get : t -> int -> float
+  val set : t -> int -> float -> unit
+  val push : t -> float -> unit
+  val clear : t -> unit
+  val to_array : t -> float array
+  val of_array : float array -> t
+  val iter : (float -> unit) -> t -> unit
+end

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Float Levelheaded Lh_baseline Lh_datagen Lh_sql Lh_storage List Option QCheck2 QCheck_alcotest String

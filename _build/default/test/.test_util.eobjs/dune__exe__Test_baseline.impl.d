@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Helpers Lazy Levelheaded Lh_baseline Lh_datagen Lh_sql Lh_storage Lh_util List Printf QCheck2

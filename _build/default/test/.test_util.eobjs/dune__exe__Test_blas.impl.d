@@ -1,0 +1,1 @@
+test/test_blas.ml: Alcotest Array Float Helpers Lh_blas Lh_util List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Hashtbl Levelheaded Lh_blas Lh_datagen Lh_storage List String

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Fun Helpers Lazy Levelheaded Lh_baseline Lh_datagen Lh_sql Lh_storage Lh_util List Printf QCheck2 String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Filename Fun Helpers Lazy Levelheaded Lh_sql Lh_storage List QCheck2 String Sys

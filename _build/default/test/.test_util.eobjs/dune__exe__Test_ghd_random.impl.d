@@ -1,0 +1,1 @@
+test/test_ghd_random.ml: Alcotest Array Hashtbl Helpers Levelheaded Lh_sql Lh_storage Lh_util List Option Printf QCheck2 String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Filename Fun Helpers Lazy Levelheaded Lh_datagen Lh_storage Lh_util List QCheck2 Sys Unix

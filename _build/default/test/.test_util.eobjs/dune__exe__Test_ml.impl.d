@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest Array Float Lh_blas Lh_datagen Lh_ml Lh_storage Lh_util List Printf

@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Array Fun Helpers Lazy Levelheaded Lh_sql List Printf QCheck2

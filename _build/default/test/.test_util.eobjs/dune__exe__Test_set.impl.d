@@ -1,0 +1,1 @@
+test/test_set.ml: Alcotest Array Fun Helpers Lh_set List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Ast Format Helpers Lexer Lh_sql Lh_storage List Option Parser Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Filename Fun Helpers Lh_set Lh_storage Lh_util List QCheck2 String Sys

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Filename Float Fun Helpers Lh_util List Printf QCheck2 Sys

@@ -1,0 +1,119 @@
+(* Shared helpers for the test suites. *)
+
+module Dtype = Lh_storage.Dtype
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let value_close a b =
+  match (a, b) with
+  | Dtype.VFloat x, Dtype.VFloat y ->
+      Float.abs (x -. y) <= 1e-6 *. (1.0 +. Float.max (Float.abs x) (Float.abs y))
+  | x, y -> Dtype.value_equal x y
+
+let row_to_string r = String.concat "|" (List.map Dtype.value_to_string r)
+
+let check_rows_equal name expect got =
+  Alcotest.(check int) (name ^ ": row count") (List.length expect) (List.length got);
+  List.iteri
+    (fun i (e, g) ->
+      if not (List.length e = List.length g && List.for_all2 value_close e g) then
+        Alcotest.failf "%s: row %d differs\n  expected: %s\n  got:      %s" name i
+          (row_to_string e) (row_to_string g))
+    (List.combine expect got)
+
+(* A small fully-loaded engine shared by the integration tests. *)
+let tpch_engine =
+  lazy
+    (let eng = Levelheaded.Engine.create () in
+     let dict = Levelheaded.Engine.dict eng in
+     let tables = Lh_datagen.Tpch.generate ~dict ~sf:0.002 () in
+     List.iter (Levelheaded.Engine.register eng) tables;
+     let m = Lh_datagen.Matrices.banded ~dict ~name:"spm" ~n:200 ~nnz_per_row:6 () in
+     Levelheaded.Engine.register eng m.Lh_datagen.Matrices.table;
+     let dm, _ = Lh_datagen.Matrices.dense ~dict ~name:"dm" ~n:16 () in
+     Levelheaded.Engine.register eng dm;
+     let dv, _ = Lh_datagen.Matrices.dense_vector ~dict ~name:"dv" ~n:16 () in
+     Levelheaded.Engine.register eng dv;
+     let sv, _ = Lh_datagen.Matrices.dense_vector ~dict ~name:"sv" ~n:200 () in
+     Levelheaded.Engine.register eng sv;
+     eng)
+
+let lookup_in eng name = Levelheaded.Catalog.find_exn (Levelheaded.Engine.catalog eng) name
+
+let oracle_rows eng sql =
+  Lh_baseline.Oracle.query ~lookup:(lookup_in eng) (Lh_sql.Parser.parse sql)
+
+let engine_rows eng sql = Lh_storage.Table.to_rows (Levelheaded.Engine.query eng sql)
+
+let check_against_oracle ?name eng sql =
+  let name = Option.value name ~default:sql in
+  check_rows_equal name (oracle_rows eng sql) (engine_rows eng sql)
+
+(* TPC-H benchmark queries as run in this repository (ORDER BY dropped per
+   the paper; Q8/Q9 flattened since subqueries are out of scope). *)
+let q1 =
+  "select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty, sum(l_extendedprice) as \
+   sum_base_price, sum(l_extendedprice*(1-l_discount)) as sum_disc_price, \
+   sum(l_extendedprice*(1-l_discount)*(1+l_tax)) as sum_charge, avg(l_quantity) as avg_qty, \
+   avg(l_extendedprice) as avg_price, avg(l_discount) as avg_disc, count(*) as count_order from \
+   lineitem where l_shipdate <= date '1998-12-01' - interval '90' day group by l_returnflag, \
+   l_linestatus"
+
+let q3 =
+  "select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue, o_orderdate, \
+   o_shippriority from customer, orders, lineitem where c_mktsegment = 'BUILDING' and c_custkey \
+   = o_custkey and l_orderkey = o_orderkey and o_orderdate < date '1995-03-15' and l_shipdate > \
+   date '1995-03-15' group by l_orderkey, o_orderdate, o_shippriority"
+
+let q5 =
+  "select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue from customer, orders, \
+   lineitem, supplier, nation, region where c_custkey = o_custkey and l_orderkey = o_orderkey \
+   and l_suppkey = s_suppkey and c_nationkey = s_nationkey and s_nationkey = n_nationkey and \
+   n_regionkey = r_regionkey and r_name = 'ASIA' and o_orderdate >= date '1994-01-01' and \
+   o_orderdate < date '1995-01-01' group by n_name"
+
+let q6 =
+  "select sum(l_extendedprice * l_discount) as revenue from lineitem where l_shipdate >= date \
+   '1994-01-01' and l_shipdate < date '1995-01-01' and l_discount between 0.05 and 0.07 and \
+   l_quantity < 24"
+
+let q8 =
+  "select extract(year from o_orderdate) as o_year, sum(case when n2.n_name = 'BRAZIL' then \
+   l_extendedprice * (1 - l_discount) else 0 end) as brazil_volume, sum(l_extendedprice * (1 - \
+   l_discount)) as total_volume from part, supplier, lineitem, orders, customer, nation n1, \
+   nation n2, region where p_partkey = l_partkey and s_suppkey = l_suppkey and l_orderkey = \
+   o_orderkey and o_custkey = c_custkey and c_nationkey = n1.n_nationkey and n1.n_regionkey = \
+   r_regionkey and r_name = 'AMERICA' and s_nationkey = n2.n_nationkey and o_orderdate between \
+   date '1995-01-01' and date '1996-12-31' and p_type = 'ECONOMY ANODIZED STEEL' group by \
+   extract(year from o_orderdate)"
+
+let q9 =
+  "select n_name as nation, extract(year from o_orderdate) as o_year, sum(l_extendedprice * (1 \
+   - l_discount) - ps_supplycost * l_quantity) as sum_profit from part, supplier, lineitem, \
+   partsupp, orders, nation where s_suppkey = l_suppkey and ps_suppkey = l_suppkey and \
+   ps_partkey = l_partkey and p_partkey = l_partkey and o_orderkey = l_orderkey and s_nationkey \
+   = n_nationkey and p_name like '%green%' group by n_name, extract(year from o_orderdate)"
+
+let q10 =
+  "select c_custkey, c_name, sum(l_extendedprice * (1 - l_discount)) as revenue, c_acctbal, \
+   n_name, c_address, c_phone from customer, orders, lineitem, nation where c_custkey = \
+   o_custkey and l_orderkey = o_orderkey and o_orderdate >= date '1993-10-01' and o_orderdate < \
+   date '1994-01-01' and l_returnflag = 'R' and c_nationkey = n_nationkey group by c_custkey, \
+   c_name, c_acctbal, c_phone, n_name, c_address"
+
+let tpch_queries = [ ("q1", q1); ("q3", q3); ("q5", q5); ("q6", q6); ("q8", q8); ("q9", q9); ("q10", q10) ]
+
+let smv = "select m.row, sum(m.v * x.v) as y from spm m, sv x where m.col = x.idx group by m.row"
+
+let smm =
+  "select m1.row, m2.col, sum(m1.v * m2.v) as v from spm m1, spm m2 where m1.col = m2.row group \
+   by m1.row, m2.col"
+
+let dmv = "select m.row, sum(m.v * x.v) as y from dm m, dv x where m.col = x.idx group by m.row"
+
+let dmm =
+  "select m1.row, m2.col, sum(m1.v * m2.v) as v from dm m1, dm m2 where m1.col = m2.row group \
+   by m1.row, m2.col"
+
+let la_queries = [ ("smv", smv); ("smm", smm); ("dmv", dmv); ("dmm", dmm) ]

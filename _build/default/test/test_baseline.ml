@@ -1,0 +1,107 @@
+module P = Lh_baseline.Pairwise
+module Table = Lh_storage.Table
+
+let eng = Helpers.tpch_engine
+
+let run_mode mode sql =
+  P.query ~lookup:(Helpers.lookup_in (Lazy.force eng)) ~mode (Lh_sql.Parser.parse sql)
+
+let mode_cases =
+  List.concat_map
+    (fun (mname, mode) ->
+      List.map
+        (fun (qname, sql) ->
+          Alcotest.test_case (Printf.sprintf "%s/%s" mname qname) `Quick (fun () ->
+              let expect = Helpers.oracle_rows (Lazy.force eng) sql in
+              Helpers.check_rows_equal (mname ^ "/" ^ qname) expect (run_mode mode sql)))
+        (Helpers.tpch_queries @ Helpers.la_queries))
+    [ ("pipelined", P.Pipelined); ("materializing", P.Materializing) ]
+
+let test_budget_oom_materializing () =
+  let e = Levelheaded.Engine.create () in
+  let dict = Levelheaded.Engine.dict e in
+  let m = Lh_datagen.Matrices.banded ~dict ~name:"big" ~n:1500 ~nnz_per_row:25 () in
+  Levelheaded.Engine.register e m.Lh_datagen.Matrices.table;
+  let budget = Lh_util.Budget.create ~max_live_words:500_000 () in
+  match
+    P.query ~lookup:(Helpers.lookup_in e) ~mode:P.Materializing ~budget
+      (Lh_sql.Parser.parse
+         "select m1.row, m2.col, sum(m1.v * m2.v) v from big m1, big m2 where m1.col = m2.row group by m1.row, m2.col")
+  with
+  | exception Lh_util.Budget.Out_of_memory_budget -> ()
+  | _ -> Alcotest.fail "expected oom"
+
+let test_composite_join_keys () =
+  (* Q9's partsupp-lineitem join uses a two-column key; exercise it in
+     isolation with a tiny fixture. *)
+  let e = Levelheaded.Engine.create () in
+  let dict = Levelheaded.Engine.dict e in
+  let schema =
+    Lh_storage.Schema.create
+      [ ("a", Lh_storage.Dtype.Int, Lh_storage.Schema.Key);
+        ("b", Lh_storage.Dtype.Int, Lh_storage.Schema.Key);
+        ("v", Lh_storage.Dtype.Float, Lh_storage.Schema.Annotation) ]
+  in
+  let mk name rows = Levelheaded.Engine.register e (Table.of_rows ~name ~schema ~dict rows) in
+  let open Lh_storage.Dtype in
+  mk "x" [ [ VInt 1; VInt 2; VFloat 10.0 ]; [ VInt 1; VInt 3; VFloat 20.0 ] ];
+  mk "y" [ [ VInt 1; VInt 2; VFloat 5.0 ]; [ VInt 9; VInt 9; VFloat 7.0 ] ];
+  let sql = "select sum(x.v * y.v) s from x, y where x.a = y.a and x.b = y.b" in
+  let expect = Helpers.oracle_rows e sql in
+  List.iter
+    (fun mode ->
+      Helpers.check_rows_equal "composite" expect
+        (P.query ~lookup:(Helpers.lookup_in e) ~mode (Lh_sql.Parser.parse sql)))
+    [ P.Pipelined; P.Materializing ]
+
+let random_db_gen =
+  QCheck2.Gen.(
+    let triplets =
+      list_size (int_range 0 30)
+        (let* i = int_range 0 4 in
+         let* j = int_range 0 4 in
+         let* v = int_range (-3) 3 in
+         return (i, j, float_of_int v))
+    in
+    pair triplets triplets)
+
+let register_matrix e name triplets =
+  let rows = Array.of_list (List.map (fun (i, _, _) -> i) triplets) in
+  let cols = Array.of_list (List.map (fun (_, j, _) -> j) triplets) in
+  let vals = Array.of_list (List.map (fun (_, _, v) -> v) triplets) in
+  Levelheaded.Engine.register e
+    (Table.create ~name ~schema:Lh_datagen.Matrices.matrix_schema
+       ~dict:(Levelheaded.Engine.dict e)
+       [| Table.Icol rows; Table.Icol cols; Table.Fcol vals |])
+
+let qcheck_modes_vs_oracle =
+  Helpers.qtest ~count:100 "both modes = oracle on random joins" random_db_gen
+    (fun (ta, tb) ->
+      let e = Levelheaded.Engine.create () in
+      register_matrix e "a" ta;
+      register_matrix e "b" tb;
+      let lookup = Helpers.lookup_in e in
+      let ast =
+        Lh_sql.Parser.parse
+          "select a.row, sum(a.v * b.v) s, count(*) c from a, b where a.col = b.row group by a.row"
+      in
+      let expect = Lh_baseline.Oracle.query ~lookup ast in
+      let p = P.query ~lookup ~mode:P.Pipelined ast in
+      let m = P.query ~lookup ~mode:P.Materializing ast in
+      let eq rows =
+        List.length rows = List.length expect
+        && List.for_all2 (fun a b -> List.for_all2 Helpers.value_close a b) expect rows
+      in
+      eq p && eq m)
+
+let () =
+  Alcotest.run "lh_baseline"
+    [
+      ("modes", mode_cases);
+      ( "mechanics",
+        [
+          Alcotest.test_case "materializing oom" `Quick test_budget_oom_materializing;
+          Alcotest.test_case "composite join keys" `Quick test_composite_join_keys;
+          qcheck_modes_vs_oracle;
+        ] );
+    ]

@@ -1,0 +1,163 @@
+module Dense = Lh_blas.Dense
+module Coo = Lh_blas.Coo
+module Csr = Lh_blas.Csr
+
+let rng = Lh_util.Prng.create 99
+
+let random_dense ~rows ~cols =
+  Dense.init ~rows ~cols (fun _ _ -> Lh_util.Prng.float rng 2.0 -. 1.0)
+
+let random_coo ~n ~nnz =
+  let row = Array.init nnz (fun _ -> Lh_util.Prng.int rng n) in
+  let col = Array.init nnz (fun _ -> Lh_util.Prng.int rng n) in
+  let value = Array.init nnz (fun _ -> Lh_util.Prng.float rng 2.0 -. 1.0) in
+  Coo.create ~nrows:n ~ncols:n ~row ~col ~value
+
+(* ---- dense ---- *)
+
+let test_gemm_small () =
+  let a = Dense.of_array ~rows:2 ~cols:2 [| 1.0; 2.0; 3.0; 4.0 |] in
+  let b = Dense.of_array ~rows:2 ~cols:2 [| 5.0; 6.0; 7.0; 8.0 |] in
+  let c = Dense.gemm a b in
+  Alcotest.(check bool) "2x2" true (c.Dense.data = [| 19.0; 22.0; 43.0; 50.0 |])
+
+let test_gemm_vs_naive () =
+  List.iter
+    (fun (n, k, m) ->
+      let a = random_dense ~rows:n ~cols:k and b = random_dense ~rows:k ~cols:m in
+      let fast = Dense.gemm a b and slow = Dense.gemm_naive a b in
+      Alcotest.(check bool)
+        (Printf.sprintf "%dx%dx%d" n k m)
+        true
+        (Dense.max_abs_diff fast slow < 1e-9))
+    [ (1, 1, 1); (3, 5, 2); (64, 64, 64); (65, 63, 70); (130, 7, 129) ]
+
+let test_gemv () =
+  let a = Dense.of_array ~rows:2 ~cols:3 [| 1.0; 0.0; 2.0; 0.0; 1.0; -1.0 |] in
+  Alcotest.(check bool) "gemv" true (Dense.gemv a [| 1.0; 2.0; 3.0 |] = [| 7.0; -1.0 |])
+
+let test_transpose_involutive () =
+  let a = random_dense ~rows:7 ~cols:13 in
+  Alcotest.(check bool) "t(t(a)) = a" true (Dense.equal (Dense.transpose (Dense.transpose a)) a)
+
+let test_dense_dimension_mismatch () =
+  let a = Dense.create ~rows:2 ~cols:3 and b = Dense.create ~rows:2 ~cols:3 in
+  Alcotest.check_raises "gemm mismatch" (Invalid_argument "Dense.gemm: dimension mismatch")
+    (fun () -> ignore (Dense.gemm a b))
+
+let qcheck_gemm_matches_naive =
+  Helpers.qtest ~count:40 "gemm = naive on random shapes"
+    QCheck2.Gen.(triple (int_range 1 40) (int_range 1 40) (int_range 1 40))
+    (fun (n, k, m) ->
+      let a = random_dense ~rows:n ~cols:k and b = random_dense ~rows:k ~cols:m in
+      Dense.max_abs_diff (Dense.gemm a b) (Dense.gemm_naive a b) < 1e-9)
+
+let qcheck_gemm_linear =
+  Helpers.qtest ~count:30 "gemm is linear in scaling"
+    QCheck2.Gen.(pair (int_range 1 20) (int_range 1 20))
+    (fun (n, k) ->
+      let a = random_dense ~rows:n ~cols:k and b = random_dense ~rows:k ~cols:n in
+      let c1 = Dense.gemm (Dense.scale 2.0 a) b in
+      let c2 = Dense.scale 2.0 (Dense.gemm a b) in
+      Dense.max_abs_diff c1 c2 < 1e-9)
+
+(* ---- sparse ---- *)
+
+let test_of_coo_sorts_and_folds () =
+  let coo =
+    Coo.create ~nrows:3 ~ncols:3 ~row:[| 2; 0; 2; 2 |] ~col:[| 1; 0; 1; 0 |]
+      ~value:[| 1.0; 5.0; 2.0; 7.0 |]
+  in
+  let csr = Csr.of_coo coo in
+  Alcotest.(check int) "nnz after fold" 3 (Csr.nnz csr);
+  Alcotest.(check (array int)) "row_ptr" [| 0; 1; 1; 3 |] csr.Csr.row_ptr;
+  Alcotest.(check (array int)) "cols sorted" [| 0; 0; 1 |] csr.Csr.col_idx;
+  Alcotest.(check bool) "duplicate summed" true (csr.Csr.values = [| 5.0; 7.0; 3.0 |])
+
+let test_spmv_vs_dense () =
+  let coo = random_coo ~n:50 ~nnz:300 in
+  let csr = Csr.of_coo coo in
+  let x = Array.init 50 (fun _ -> Lh_util.Prng.float rng 1.0) in
+  let dense_y = Dense.gemv (Coo.to_dense coo) x in
+  let y = Csr.spmv csr x in
+  let diff = Array.map2 (fun a b -> Float.abs (a -. b)) dense_y y in
+  Alcotest.(check bool) "spmv matches dense" true (Array.for_all (fun d -> d < 1e-9) diff)
+
+let test_spgemm_vs_dense () =
+  let a = random_coo ~n:30 ~nnz:150 and b = random_coo ~n:30 ~nnz:150 in
+  let ca = Csr.of_coo a and cb = Csr.of_coo b in
+  let sparse = Csr.to_dense (Csr.spgemm ca cb) in
+  let dense = Dense.gemm_naive (Coo.to_dense a) (Coo.to_dense b) in
+  Alcotest.(check bool) "spgemm matches dense" true (Dense.max_abs_diff sparse dense < 1e-8)
+
+let test_csr_transpose () =
+  let coo = random_coo ~n:20 ~nnz:80 in
+  let csr = Csr.of_coo coo in
+  let tt = Csr.transpose (Csr.transpose csr) in
+  Alcotest.(check bool) "transpose involutive" true (Csr.equal csr tt);
+  Alcotest.(check bool) "transpose = dense transpose" true
+    (Dense.max_abs_diff (Csr.to_dense (Csr.transpose csr)) (Dense.transpose (Csr.to_dense csr))
+    < 1e-12)
+
+let test_row_nnz () =
+  let coo = Coo.create ~nrows:2 ~ncols:2 ~row:[| 0; 0; 1 |] ~col:[| 0; 1; 1 |] ~value:[| 1.; 1.; 1. |] in
+  let csr = Csr.of_coo coo in
+  Alcotest.(check int) "row 0" 2 (Csr.row_nnz csr 0);
+  Alcotest.(check int) "row 1" 1 (Csr.row_nnz csr 1)
+
+let test_coo_validation () =
+  Alcotest.check_raises "row out of range" (Invalid_argument "Coo.create: row out of range")
+    (fun () -> ignore (Coo.create ~nrows:2 ~ncols:2 ~row:[| 2 |] ~col:[| 0 |] ~value:[| 1.0 |]))
+
+let qcheck_spgemm_random =
+  Helpers.qtest ~count:40 "spgemm = dense gemm on random sparse"
+    QCheck2.Gen.(pair (int_range 1 25) (int_range 0 120))
+    (fun (n, nnz) ->
+      let a = random_coo ~n ~nnz and b = random_coo ~n ~nnz in
+      let sparse = Csr.to_dense (Csr.spgemm (Csr.of_coo a) (Csr.of_coo b)) in
+      let dense = Dense.gemm_naive (Coo.to_dense a) (Coo.to_dense b) in
+      Dense.max_abs_diff sparse dense < 1e-8)
+
+let qcheck_spmv_random =
+  Helpers.qtest ~count:60 "spmv = dense gemv on random sparse"
+    QCheck2.Gen.(pair (int_range 1 30) (int_range 0 150))
+    (fun (n, nnz) ->
+      let a = random_coo ~n ~nnz in
+      let x = Array.init n (fun i -> float_of_int (i mod 5) -. 2.0) in
+      let s = Csr.spmv (Csr.of_coo a) x in
+      let d = Dense.gemv (Coo.to_dense a) x in
+      Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-9) s d)
+
+let qcheck_csr_roundtrip =
+  Helpers.qtest ~count:60 "coo -> csr -> dense = coo -> dense"
+    QCheck2.Gen.(pair (int_range 1 20) (int_range 0 100))
+    (fun (n, nnz) ->
+      let a = random_coo ~n ~nnz in
+      Dense.max_abs_diff (Csr.to_dense (Csr.of_coo a)) (Coo.to_dense a) < 1e-12)
+
+let () =
+  Alcotest.run "lh_blas"
+    [
+      ( "dense",
+        [
+          Alcotest.test_case "gemm 2x2" `Quick test_gemm_small;
+          Alcotest.test_case "gemm vs naive" `Quick test_gemm_vs_naive;
+          Alcotest.test_case "gemv" `Quick test_gemv;
+          Alcotest.test_case "transpose involutive" `Quick test_transpose_involutive;
+          Alcotest.test_case "dimension checks" `Quick test_dense_dimension_mismatch;
+          qcheck_gemm_matches_naive;
+          qcheck_gemm_linear;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "of_coo sorts and folds" `Quick test_of_coo_sorts_and_folds;
+          Alcotest.test_case "spmv vs dense" `Quick test_spmv_vs_dense;
+          Alcotest.test_case "spgemm vs dense" `Quick test_spgemm_vs_dense;
+          Alcotest.test_case "transpose" `Quick test_csr_transpose;
+          Alcotest.test_case "row_nnz" `Quick test_row_nnz;
+          Alcotest.test_case "coo validation" `Quick test_coo_validation;
+          qcheck_spgemm_random;
+          qcheck_spmv_random;
+          qcheck_csr_roundtrip;
+        ] );
+    ]

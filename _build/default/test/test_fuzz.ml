@@ -1,0 +1,106 @@
+(* Robustness fuzzing: arbitrary inputs must produce clean, typed errors —
+   never crashes, assertion failures, or wrong-type exceptions. *)
+
+module L = Levelheaded
+
+let acceptable = function
+  | Lh_sql.Lexer.Lex_error _ | Lh_sql.Parser.Parse_error _ | L.Logical.Unsupported_query _
+  | L.Compile.Unsupported _ | Failure _ ->
+      true
+  | _ -> false
+
+(* random strings through the whole front end *)
+let qcheck_garbage_never_crashes =
+  Helpers.qtest ~count:500 "garbage input gives clean errors"
+    QCheck2.Gen.(string_size (int_range 0 60))
+    (fun input ->
+      let e = Lazy.force Helpers.tpch_engine in
+      match L.Engine.query e input with
+      | _ -> true
+      | exception exn -> acceptable exn)
+
+(* structured-ish garbage: random SQL-flavoured token soup *)
+let sql_words =
+  [|
+    "select"; "from"; "where"; "group"; "by"; "and"; "or"; "not"; "sum"; "count"; "avg"; "min";
+    "max"; "("; ")"; ","; "."; "*"; "+"; "-"; "/"; "="; "<"; ">"; "<="; ">="; "<>"; "as";
+    "between"; "like"; "case"; "when"; "then"; "else"; "end"; "date"; "interval"; "extract";
+    "year"; "lineitem"; "orders"; "customer"; "nation"; "region"; "l_orderkey"; "o_orderkey";
+    "c_custkey"; "n_name"; "l_quantity"; "l_discount"; "'ASIA'"; "'1994-01-01'"; "1"; "2"; "0.5";
+  |]
+
+let qcheck_token_soup =
+  Helpers.qtest ~count:500 "token soup gives clean errors"
+    QCheck2.Gen.(list_size (int_range 1 25) (int_range 0 (Array.length sql_words - 1)))
+    (fun idxs ->
+      let input = String.concat " " (List.map (fun i -> sql_words.(i)) idxs) in
+      let e = Lazy.force Helpers.tpch_engine in
+      match L.Engine.query e input with
+      | _ -> true
+      | exception exn -> acceptable exn)
+
+(* mutated versions of the real benchmark queries *)
+let qcheck_mutated_queries =
+  let base = Array.of_list (List.map snd (Helpers.tpch_queries @ Helpers.la_queries)) in
+  Helpers.qtest ~count:300 "mutated benchmark queries give clean errors"
+    QCheck2.Gen.(
+      let* qi = int_range 0 (Array.length base - 1) in
+      let* pos = int_range 0 (String.length base.(qi) - 1) in
+      let* c = printable in
+      let* mode = int_range 0 2 in
+      return (qi, pos, c, mode))
+    (fun (qi, pos, c, mode) ->
+      let sql = base.(qi) in
+      let mutated =
+        match mode with
+        | 0 ->
+            (* replace one character *)
+            String.mapi (fun i ch -> if i = pos then c else ch) sql
+        | 1 ->
+            (* delete a slice *)
+            String.sub sql 0 pos ^ String.sub sql (min (String.length sql) (pos + 7))
+              (max 0 (String.length sql - pos - 7))
+        | _ ->
+            (* duplicate a slice *)
+            String.sub sql 0 pos ^ String.sub sql pos (String.length sql - pos)
+            ^ String.sub sql pos (String.length sql - pos)
+      in
+      let e = Lazy.force Helpers.tpch_engine in
+      match L.Engine.query e mutated with
+      | _ -> true
+      | exception exn -> acceptable exn)
+
+(* malformed CSV never crashes the loader *)
+let qcheck_csv_fuzz =
+  Helpers.qtest ~count:200 "csv loader gives clean errors"
+    QCheck2.Gen.(list_size (int_range 0 8) (string_size (int_range 0 30)))
+    (fun lines ->
+      let path = Filename.temp_file "lh_fuzz" ".csv" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let oc = open_out path in
+          List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+          close_out oc;
+          let schema =
+            Lh_storage.Schema.create
+              [ ("k", Lh_storage.Dtype.Int, Lh_storage.Schema.Key);
+                ("v", Lh_storage.Dtype.Float, Lh_storage.Schema.Annotation) ]
+          in
+          let dict = Lh_storage.Dict.create () in
+          match Lh_storage.Table.load_csv ~name:"fuzz" ~schema ~dict path with
+          | _ -> true
+          | exception (Failure _ | Invalid_argument _) -> true
+          | exception _ -> false))
+
+let () =
+  Alcotest.run "levelheaded-fuzz"
+    [
+      ( "robustness",
+        [
+          qcheck_garbage_never_crashes;
+          qcheck_token_soup;
+          qcheck_mutated_queries;
+          qcheck_csv_fuzz;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+(* Property tests of the GHD layer over random hypergraphs, independent of
+   SQL: every candidate must validate, the best FHW must never exceed the
+   single-bag width, and must be at least 1. *)
+
+module L = Levelheaded
+module Table = Lh_storage.Table
+module Schema = Lh_storage.Schema
+module Dtype = Lh_storage.Dtype
+
+(* Build a Logical.t for an arbitrary small hypergraph by materializing one
+   tiny two/one-column relation per edge and a query joining them. *)
+let lquery_of_hypergraph edges =
+  let eng = L.Engine.create () in
+  let dict = L.Engine.dict eng in
+  let pair_schema =
+    Schema.create
+      [ ("a", Dtype.Int, Schema.Key); ("b", Dtype.Int, Schema.Key);
+        ("v", Dtype.Float, Schema.Annotation) ]
+  in
+  let single_schema =
+    Schema.create [ ("a", Dtype.Int, Schema.Key); ("v", Dtype.Float, Schema.Annotation) ]
+  in
+  List.iteri
+    (fun i e ->
+      let name = Printf.sprintf "r%d" i in
+      let t =
+        match e with
+        | [ _ ] ->
+            Table.of_rows ~name ~schema:single_schema ~dict
+              [ [ Dtype.VInt 0; Dtype.VFloat 1.0 ] ]
+        | [ _; _ ] ->
+            Table.of_rows ~name ~schema:pair_schema ~dict
+              [ [ Dtype.VInt 0; Dtype.VInt 0; Dtype.VFloat 1.0 ] ]
+        | _ -> assert false
+      in
+      L.Engine.register eng t)
+    edges;
+  (* join conditions expressing the vertex identities *)
+  let occurrences = Hashtbl.create 16 in
+  List.iteri
+    (fun i e ->
+      List.iteri
+        (fun pos v ->
+          let col = if pos = 0 then "a" else "b" in
+          Hashtbl.replace occurrences v
+            ((Printf.sprintf "r%d" i, col)
+            :: Option.value (Hashtbl.find_opt occurrences v) ~default:[]))
+        e)
+    edges;
+  let conds = ref [] in
+  Hashtbl.iter
+    (fun _ occs ->
+      match occs with
+      | (a0, c0) :: rest ->
+          List.iter (fun (a, c) -> conds := Printf.sprintf "%s.%s = %s.%s" a0 c0 a c :: !conds) rest
+      | [] -> ())
+    occurrences;
+  let from =
+    String.concat ", " (List.mapi (fun i _ -> Printf.sprintf "r%d" i) edges)
+  in
+  let sql =
+    Printf.sprintf "select sum(r0.v) s from %s%s" from
+      (match !conds with [] -> "" | cs -> " where " ^ String.concat " and " cs)
+  in
+  match
+    L.Logical.translate (L.Engine.catalog eng) ~attribute_elimination:true
+      (Lh_sql.Parser.parse sql)
+  with
+  | lq -> Some lq
+  | exception L.Logical.Unsupported_query _ -> None
+
+let gen_hypergraph =
+  QCheck2.Gen.(
+    let* nv = int_range 1 5 in
+    let* ne = int_range 1 5 in
+    let* edges =
+      list_repeat ne
+        (let* a = int_range 0 (nv - 1) in
+         let* b = int_range 0 (nv - 1) in
+         return (List.sort_uniq compare [ a; b ]))
+    in
+    return edges)
+
+let connected edges =
+  match edges with
+  | [] -> true
+  | first :: _ ->
+      let seen = Hashtbl.create 8 in
+      let rec grow frontier =
+        match frontier with
+        | [] -> ()
+        | v :: rest ->
+            if Hashtbl.mem seen v then grow rest
+            else begin
+              Hashtbl.replace seen v ();
+              let next =
+                List.concat_map (fun e -> if List.mem v e then e else []) edges
+              in
+              grow (next @ rest)
+            end
+      in
+      grow first;
+      List.for_all (List.for_all (Hashtbl.mem seen)) edges
+
+let qcheck_candidates_valid =
+  Helpers.qtest ~count:150 "all GHD candidates validate on random hypergraphs" gen_hypergraph
+    (fun edges ->
+      QCheck2.assume (connected edges);
+      match lquery_of_hypergraph edges with
+      | None -> QCheck2.assume_fail ()
+      | Some lq ->
+          let ev = L.Logical.edge_vertex_list lq in
+          let nv = Array.length lq.L.Logical.vertices in
+          List.for_all
+            (fun c -> L.Ghd.validate ~nvertices:nv ~edges:ev c = Ok ())
+            (L.Ghd.candidates lq))
+
+let qcheck_fhw_bounds =
+  Helpers.qtest ~count:150 "1 <= best fhw <= single-bag width" gen_hypergraph (fun edges ->
+      QCheck2.assume (connected edges);
+      match lquery_of_hypergraph edges with
+      | None -> QCheck2.assume_fail ()
+      | Some lq ->
+          let nv = Array.length lq.L.Logical.vertices in
+          if nv = 0 then true
+          else begin
+            let ghd = L.Ghd.plan lq ~heuristics:true in
+            let single =
+              (Lh_util.Simplex.fractional_edge_cover ~nvertices:nv
+                 ~edges:(L.Logical.edge_vertex_list lq))
+                .Lh_util.Simplex.width
+            in
+            ghd.L.Ghd.fhw >= 1.0 -. 1e-9 && ghd.L.Ghd.fhw <= single +. 1e-6
+          end)
+
+let qcheck_heuristic_best_first =
+  Helpers.qtest ~count:100 "candidates are sorted best-heuristic-first" gen_hypergraph
+    (fun edges ->
+      QCheck2.assume (connected edges);
+      match lquery_of_hypergraph edges with
+      | None -> QCheck2.assume_fail ()
+      | Some lq ->
+          let cands = L.Ghd.candidates lq in
+          let nnodes c = List.length (L.Ghd.nodes c) in
+          (* first candidate has no more nodes than the last (heuristic 1) *)
+          (match (cands, List.rev cands) with
+          | best :: _, worst :: _ -> nnodes best <= nnodes worst
+          | _ -> true))
+
+let () =
+  Alcotest.run "levelheaded-ghd-random"
+    [
+      ( "properties",
+        [ qcheck_candidates_valid; qcheck_fhw_bounds; qcheck_heuristic_best_first ] );
+    ]

@@ -1,0 +1,120 @@
+module Dense = Lh_blas.Dense
+module Logreg = Lh_ml.Logreg
+module Encoder = Lh_ml.Encoder
+
+let rng = Lh_util.Prng.create 2024
+
+let test_sigmoid () =
+  Alcotest.(check (float 1e-9)) "zero" 0.5 (Logreg.sigmoid 0.0);
+  Alcotest.(check bool) "monotone" true (Logreg.sigmoid 1.0 > Logreg.sigmoid (-1.0));
+  Alcotest.(check bool) "saturates stably" true
+    (Logreg.sigmoid (-1000.0) >= 0.0 && Logreg.sigmoid 1000.0 <= 1.0)
+
+(* Finite-difference check of the analytic gradient. *)
+let test_gradient_finite_difference () =
+  let n = 40 and k = 4 in
+  let x = Dense.init ~rows:n ~cols:k (fun _ _ -> Lh_util.Prng.float rng 2.0 -. 1.0) in
+  let y = Array.init n (fun _ -> if Lh_util.Prng.bool rng then 1.0 else 0.0) in
+  let w = Array.init k (fun _ -> Lh_util.Prng.float rng 0.5) in
+  let g = Logreg.gradient ~weights:w ~x ~y in
+  let eps = 1e-5 in
+  for c = 0 to k - 1 do
+    let bump delta =
+      let w' = Array.copy w in
+      w'.(c) <- w'.(c) +. delta;
+      Logreg.loss { Logreg.weights = w' } ~x ~y
+    in
+    let fd = (bump eps -. bump (-.eps)) /. (2.0 *. eps) in
+    if Float.abs (fd -. g.(c)) > 1e-4 then
+      Alcotest.failf "gradient mismatch at %d: fd=%f analytic=%f" c fd g.(c)
+  done
+
+let test_training_reduces_loss () =
+  let n = 200 and k = 3 in
+  let x = Dense.init ~rows:n ~cols:k (fun _ c -> if c = 0 then 1.0 else Lh_util.Prng.float rng 2.0 -. 1.0) in
+  let y = Array.init n (fun r -> if Dense.get x r 1 +. Dense.get x r 2 > 0.0 then 1.0 else 0.0) in
+  let l0 = Logreg.loss { Logreg.weights = Array.make k 0.0 } ~x ~y in
+  let m5 = Logreg.train ~x ~y ~iterations:5 () in
+  let m50 = Logreg.train ~x ~y ~iterations:50 () in
+  Alcotest.(check bool) "5 iters improve" true (Logreg.loss m5 ~x ~y < l0);
+  Alcotest.(check bool) "50 iters improve further" true (Logreg.loss m50 ~x ~y < Logreg.loss m5 ~x ~y)
+
+let test_separable_accuracy () =
+  let n = 400 in
+  let x = Dense.init ~rows:n ~cols:2 (fun _ c -> if c = 0 then 1.0 else Lh_util.Prng.float rng 4.0 -. 2.0) in
+  let y = Array.init n (fun r -> if Dense.get x r 1 > 0.0 then 1.0 else 0.0) in
+  let m = Logreg.train ~x ~y ~iterations:200 ~learning_rate:0.5 () in
+  Alcotest.(check bool) "accuracy > 0.95" true (Logreg.accuracy m ~x ~y > 0.95)
+
+let test_encoder_shapes () =
+  let dict = Lh_storage.Dict.create () in
+  let voters, _ = Lh_datagen.Voter.generate ~dict ~nvoters:500 ~nprecincts:10 () in
+  let enc = Encoder.encode ~table:voters ~numeric:[ "v_age"; "v_income" ] ~categorical:[ "v_gender"; "v_party" ] in
+  (* bias + 2 numeric + 2 genders + 5 parties *)
+  Alcotest.(check int) "feature count" 10 enc.Encoder.matrix.Dense.cols;
+  Alcotest.(check int) "rows" 500 enc.Encoder.matrix.Dense.rows;
+  Alcotest.(check int) "names" 10 (Array.length enc.Encoder.feature_names);
+  (* one-hot: exactly one gender and one party column set per row *)
+  for r = 0 to 499 do
+    let ones cols = List.fold_left (fun acc c -> acc +. Dense.get enc.Encoder.matrix r c) 0.0 cols in
+    Alcotest.(check (float 1e-9)) "gender one-hot" 1.0 (ones [ 3; 4 ]);
+    Alcotest.(check (float 1e-9)) "party one-hot" 1.0 (ones [ 5; 6; 7; 8; 9 ])
+  done
+
+let test_encoder_standardizes () =
+  let dict = Lh_storage.Dict.create () in
+  let voters, _ = Lh_datagen.Voter.generate ~dict ~nvoters:2000 ~nprecincts:10 () in
+  let enc = Encoder.encode ~table:voters ~numeric:[ "v_age" ] ~categorical:[] in
+  let n = enc.Encoder.matrix.Dense.rows in
+  let mean = ref 0.0 and sq = ref 0.0 in
+  for r = 0 to n - 1 do
+    let v = Dense.get enc.Encoder.matrix r 1 in
+    mean := !mean +. v;
+    sq := !sq +. (v *. v)
+  done;
+  let mean = !mean /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~ 0" true (Float.abs mean < 1e-9);
+  Alcotest.(check bool) "var ~ 1" true (Float.abs (var -. 1.0) < 1e-6)
+
+let test_voter_pipeline_learns () =
+  (* the full §VII pipeline at small scale: join is identity here; encode +
+     train and expect better than chance *)
+  let dict = Lh_storage.Dict.create () in
+  let voters, _ = Lh_datagen.Voter.generate ~dict ~nvoters:3000 ~nprecincts:30 () in
+  let enc =
+    Encoder.encode ~table:voters ~numeric:[ "v_age"; "v_income" ] ~categorical:[ "v_party" ]
+  in
+  let y = Encoder.labels ~table:voters ~column:"v_voted" in
+  let base = Array.fold_left ( +. ) 0.0 y /. float_of_int (Array.length y) in
+  let base_acc = Float.max base (1.0 -. base) in
+  let m = Logreg.train ~x:enc.Encoder.matrix ~y ~iterations:100 ~learning_rate:0.5 () in
+  let acc = Logreg.accuracy m ~x:enc.Encoder.matrix ~y in
+  Alcotest.(check bool)
+    (Printf.sprintf "acc %.3f > baseline %.3f" acc base_acc)
+    true (acc > base_acc +. 0.02)
+
+let test_labels_from_int_column () =
+  let dict = Lh_storage.Dict.create () in
+  let voters, _ = Lh_datagen.Voter.generate ~dict ~nvoters:100 ~nprecincts:5 () in
+  let y = Encoder.labels ~table:voters ~column:"v_voted" in
+  Alcotest.(check bool) "binary" true (Array.for_all (fun v -> v = 0.0 || v = 1.0) y)
+
+let () =
+  Alcotest.run "lh_ml"
+    [
+      ( "logreg",
+        [
+          Alcotest.test_case "sigmoid" `Quick test_sigmoid;
+          Alcotest.test_case "gradient finite-difference" `Quick test_gradient_finite_difference;
+          Alcotest.test_case "training reduces loss" `Quick test_training_reduces_loss;
+          Alcotest.test_case "separable accuracy" `Quick test_separable_accuracy;
+        ] );
+      ( "encoder",
+        [
+          Alcotest.test_case "shapes + one-hot" `Quick test_encoder_shapes;
+          Alcotest.test_case "standardization" `Quick test_encoder_standardizes;
+          Alcotest.test_case "labels" `Quick test_labels_from_int_column;
+        ] );
+      ("pipeline", [ Alcotest.test_case "voter pipeline learns" `Quick test_voter_pipeline_learns ]);
+    ]

@@ -1,0 +1,210 @@
+open Lh_sql
+
+let expr = Alcotest.testable Ast.pp_expr ( = )
+let predt = Alcotest.testable Ast.pp_pred ( = )
+
+(* ---- lexer ---- *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "SELECT a.b, 1 <= 2.5 <> 'it''s'" in
+  Alcotest.(check (list string))
+    "tokens"
+    [ "select"; "a"; "."; "b"; ","; "1"; "<="; "2.5"; "<>"; "'it's'"; "<eof>" ]
+    (Array.to_list (Array.map Lexer.token_to_string toks))
+
+let test_lexer_comment () =
+  let toks = Lexer.tokenize "1 -- comment\n2" in
+  Alcotest.(check int) "two ints + eof" 3 (Array.length toks)
+
+let test_lexer_errors () =
+  (match Lexer.tokenize "'unterminated" with
+  | exception Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "unterminated string accepted");
+  match Lexer.tokenize "a @ b" with
+  | exception Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "bad char accepted"
+
+(* ---- expressions ---- *)
+
+let col ?rel c = Ast.Col { Ast.relation = rel; column = c }
+
+let test_parse_precedence () =
+  Alcotest.check expr "mul binds tighter"
+    (Ast.Add (col "a", Ast.Mul (col "b", col "c")))
+    (Parser.parse_expr "a + b * c");
+  Alcotest.check expr "parens"
+    (Ast.Mul (Ast.Add (col "a", col "b"), col "c"))
+    (Parser.parse_expr "(a + b) * c");
+  Alcotest.check expr "left assoc sub"
+    (Ast.Sub (Ast.Sub (Ast.Int_lit 1, Ast.Int_lit 2), Ast.Int_lit 3))
+    (Parser.parse_expr "1 - 2 - 3")
+
+let test_parse_unary_minus () =
+  Alcotest.check expr "neg" (Ast.Neg (col "x")) (Parser.parse_expr "-x")
+
+let test_parse_date_interval () =
+  Alcotest.check expr "date literal"
+    (Ast.Date_lit (Lh_storage.Date.of_string "1994-01-01"))
+    (Parser.parse_expr "date '1994-01-01'");
+  Alcotest.check expr "date minus interval folds"
+    (Ast.Date_lit (Lh_storage.Date.of_string "1998-09-02"))
+    (Parser.parse_expr "date '1998-12-01' - interval '90' day")
+
+let test_parse_case_extract () =
+  Alcotest.check expr "case"
+    (Ast.Case_when (Ast.Cmp (Ast.Eq, col "n", Ast.String_lit "BRAZIL"), col "v", Ast.Int_lit 0))
+    (Parser.parse_expr "case when n = 'BRAZIL' then v else 0 end");
+  Alcotest.check expr "extract" (Ast.Extract_year (col "d"))
+    (Parser.parse_expr "extract(year from d)")
+
+(* ---- predicates ---- *)
+
+let test_parse_pred_and_or () =
+  Alcotest.check predt "and/or precedence"
+    (Ast.Or
+       ( Ast.And (Ast.Cmp (Ast.Eq, col "a", Ast.Int_lit 1), Ast.Cmp (Ast.Eq, col "b", Ast.Int_lit 2)),
+         Ast.Cmp (Ast.Eq, col "c", Ast.Int_lit 3) ))
+    (Parser.parse_pred "a = 1 and b = 2 or c = 3")
+
+let test_parse_pred_between_like () =
+  Alcotest.check predt "between"
+    (Ast.Between (col "x", Ast.Float_lit 0.05, Ast.Float_lit 0.07))
+    (Parser.parse_pred "x between 0.05 and 0.07");
+  Alcotest.check predt "like" (Ast.Like (col "p", "%green%")) (Parser.parse_pred "p like '%green%'");
+  Alcotest.check predt "not like" (Ast.Not_like (col "p", "a_c"))
+    (Parser.parse_pred "p not like 'a_c'")
+
+let test_parse_pred_paren_backtrack () =
+  (* '(' can open an expression or a predicate. *)
+  Alcotest.check predt "paren pred"
+    (Ast.Or (Ast.Cmp (Ast.Eq, col "a", Ast.Int_lit 1), Ast.Cmp (Ast.Eq, col "b", Ast.Int_lit 2)))
+    (Parser.parse_pred "(a = 1 or b = 2)");
+  Alcotest.check predt "paren expr"
+    (Ast.Cmp (Ast.Gt, Ast.Mul (Ast.Add (col "a", col "b"), Ast.Int_lit 2), Ast.Int_lit 3))
+    (Parser.parse_pred "(a + b) * 2 > 3")
+
+(* ---- queries ---- *)
+
+let test_parse_query_shape () =
+  let q =
+    Parser.parse
+      "select n_name, sum(rev) as total from nation n, orders where n.x = orders.y group by n_name;"
+  in
+  Alcotest.(check int) "select items" 2 (List.length q.Ast.select);
+  Alcotest.(check (list (pair string string)))
+    "from" [ ("nation", "n"); ("orders", "orders") ] q.Ast.from;
+  Alcotest.(check bool) "where present" true (Option.is_some q.Ast.where);
+  Alcotest.(check int) "group by" 1 (List.length q.Ast.group_by)
+
+let test_parse_aliases () =
+  let q = Parser.parse "select a as x, b y, sum(c) from t" in
+  match q.Ast.select with
+  | [ Ast.Plain (_, "x"); Ast.Plain (_, "y"); Ast.Aggregate (Ast.Sum, _, _) ] -> ()
+  | _ -> Alcotest.fail "alias handling"
+
+let test_parse_count_star () =
+  let q = Parser.parse "select count(*) as c from t" in
+  match q.Ast.select with
+  | [ Ast.Aggregate (Ast.Count, None, "c") ] -> ()
+  | _ -> Alcotest.fail "count(*)"
+
+let test_parse_errors () =
+  List.iter
+    (fun sql ->
+      match Parser.parse sql with
+      | exception Parser.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted %S" sql)
+    [
+      "select"; "select a"; "select a from"; "select a from t where"; "select a from t group";
+      "select a from t trailing garbage ,"; "select sum() from t";
+    ]
+
+let test_pp_reparse_roundtrip () =
+  List.iter
+    (fun (_, sql) ->
+      let q = Parser.parse sql in
+      let printed = Format.asprintf "%a" Ast.pp_query q in
+      let q2 = Parser.parse printed in
+      if q <> q2 then Alcotest.failf "roundtrip failed for %s:\n%s" sql printed)
+    (Helpers.tpch_queries @ Helpers.la_queries)
+
+(* ---- LIKE matching ---- *)
+
+let test_like_match () =
+  let cases =
+    [
+      ("%green%", "dark green ivory", true);
+      ("%green%", "greenish", true);
+      ("%green%", "gren", false);
+      ("abc", "abc", true);
+      ("abc", "abcd", false);
+      ("a_c", "abc", true);
+      ("a_c", "ac", false);
+      ("%", "", true);
+      ("", "", true);
+      ("", "x", false);
+      ("%a%b%", "xxaxxbxx", true);
+      ("%a%b%", "b a", false);
+      ("a%", "a", true);
+      ("%a", "ba", true);
+    ]
+  in
+  List.iter
+    (fun (pattern, s, want) ->
+      Alcotest.(check bool) (Printf.sprintf "%s ~ %s" pattern s) want (Ast.like_match ~pattern s))
+    cases
+
+let qcheck_like_self =
+  Helpers.qtest "literal pattern matches itself"
+    QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 0 12))
+    (fun s -> Ast.like_match ~pattern:s s)
+
+let qcheck_like_percent_prefix =
+  Helpers.qtest "%s matches any suffix context"
+    QCheck2.Gen.(
+      pair (string_size ~gen:(char_range 'a' 'z') (int_range 0 6))
+        (string_size ~gen:(char_range 'a' 'z') (int_range 0 6)))
+    (fun (pre, s) -> Ast.like_match ~pattern:("%" ^ s) (pre ^ s))
+
+let test_expr_columns () =
+  let e = Parser.parse_expr "a * (b + t.c) / 2" in
+  Alcotest.(check int) "three columns" 3 (List.length (Ast.expr_columns e))
+
+let () =
+  Alcotest.run "lh_sql"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "comments" `Quick test_lexer_comment;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "unary minus" `Quick test_parse_unary_minus;
+          Alcotest.test_case "date/interval" `Quick test_parse_date_interval;
+          Alcotest.test_case "case/extract" `Quick test_parse_case_extract;
+          Alcotest.test_case "expr_columns" `Quick test_expr_columns;
+        ] );
+      ( "pred",
+        [
+          Alcotest.test_case "and/or" `Quick test_parse_pred_and_or;
+          Alcotest.test_case "between/like" `Quick test_parse_pred_between_like;
+          Alcotest.test_case "paren backtracking" `Quick test_parse_pred_paren_backtrack;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "shape" `Quick test_parse_query_shape;
+          Alcotest.test_case "aliases" `Quick test_parse_aliases;
+          Alcotest.test_case "count star" `Quick test_parse_count_star;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "pp/reparse roundtrip" `Quick test_pp_reparse_roundtrip;
+        ] );
+      ( "like",
+        [
+          Alcotest.test_case "cases" `Quick test_like_match;
+          qcheck_like_self;
+          qcheck_like_percent_prefix;
+        ] );
+    ]

@@ -1,0 +1,330 @@
+module Prng = Lh_util.Prng
+module Vec = Lh_util.Vec
+module Csv = Lh_util.Csv
+module Simplex = Lh_util.Simplex
+module Parfor = Lh_util.Parfor
+module Budget = Lh_util.Budget
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_bounds () =
+  let rng = Prng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_prng_int_in () =
+  let rng = Prng.create 2 in
+  for _ = 1 to 1_000 do
+    let v = Prng.int_in rng (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_prng_float_unit () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 1_000 do
+    let v = Prng.float rng 1.0 in
+    if v < 0.0 || v >= 1.0 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_prng_sample_distinct () =
+  let rng = Prng.create 4 in
+  let s = Prng.sample_distinct rng 50 200 in
+  Alcotest.(check int) "size" 50 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "sorted" true (s = sorted);
+  Alcotest.(check int) "distinct" 50 (List.length (List.sort_uniq compare (Array.to_list s)))
+
+let test_prng_gaussian_moments () =
+  let rng = Prng.create 5 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Prng.gaussian rng in
+    sum := !sum +. v;
+    sq := !sq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~ 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "var ~ 1" true (Float.abs (var -. 1.0) < 0.05)
+
+let test_vec_int_push_get () =
+  let v = Vec.Int.create () in
+  for i = 0 to 999 do
+    Vec.Int.push v (i * 3)
+  done;
+  Alcotest.(check int) "length" 1000 (Vec.Int.length v);
+  Alcotest.(check int) "get 500" 1500 (Vec.Int.get v 500);
+  Alcotest.(check int) "pop" 2997 (Vec.Int.pop v);
+  Alcotest.(check int) "length after pop" 999 (Vec.Int.length v);
+  Vec.Int.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.Int.length v)
+
+let test_vec_float_roundtrip () =
+  let arr = Array.init 257 (fun i -> float_of_int i /. 3.0) in
+  let v = Vec.Float.of_array arr in
+  Alcotest.(check bool) "roundtrip" true (Vec.Float.to_array v = arr)
+
+let test_vec_bounds () =
+  let v = Vec.Int.create () in
+  Vec.Int.push v 1;
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.Int.get") (fun () ->
+      ignore (Vec.Int.get v 1));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec.Int.set") (fun () -> Vec.Int.set v 5 0)
+
+let test_csv_split_basic () =
+  Alcotest.(check (list string)) "plain" [ "a"; "b"; "c" ] (Csv.split_line ~sep:',' "a,b,c");
+  Alcotest.(check (list string)) "empty fields" [ ""; ""; "" ] (Csv.split_line ~sep:',' ",,");
+  Alcotest.(check (list string)) "pipe" [ "1"; "x y"; "2.5" ] (Csv.split_line ~sep:'|' "1|x y|2.5")
+
+let test_csv_split_quoted () =
+  Alcotest.(check (list string)) "quoted sep" [ "a,b"; "c" ] (Csv.split_line ~sep:',' "\"a,b\",c");
+  Alcotest.(check (list string)) "escaped quote" [ "say \"hi\"" ] (Csv.split_line ~sep:',' "\"say \"\"hi\"\"\"")
+
+let test_csv_roundtrip () =
+  let rows = [ [ "1"; "hello world"; "3.25" ]; [ "2"; "with,comma"; "x\"y" ]; [ "3"; ""; "z" ] ] in
+  let path = Filename.temp_file "lh_csv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.write_file path rows;
+      Alcotest.(check (list (list string))) "roundtrip" rows (Csv.read_file path))
+
+let test_simplex_basic () =
+  (* max x + y st x <= 3, y <= 4, x + y <= 5 *)
+  let sol =
+    Simplex.maximize
+      ~a:[| [| 1.0; 0.0 |]; [| 0.0; 1.0 |]; [| 1.0; 1.0 |] |]
+      ~b:[| 3.0; 4.0; 5.0 |] ~c:[| 1.0; 1.0 |]
+  in
+  Alcotest.(check (float 1e-9)) "objective" 5.0 sol.Simplex.objective
+
+let test_simplex_degenerate () =
+  (* max 2x st x <= 0 *)
+  let sol = Simplex.maximize ~a:[| [| 1.0 |] |] ~b:[| 0.0 |] ~c:[| 2.0 |] in
+  Alcotest.(check (float 1e-9)) "objective" 0.0 sol.Simplex.objective
+
+let test_cover_triangle () =
+  (* Triangle: three vertices, three edges of size 2 -> fractional cover 1.5 *)
+  let c = Simplex.fractional_edge_cover ~nvertices:3 ~edges:[| [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] |] in
+  Alcotest.(check (float 1e-6)) "triangle width" 1.5 c.Simplex.width
+
+let test_cover_four_cycle () =
+  let c =
+    Simplex.fractional_edge_cover ~nvertices:4 ~edges:[| [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 0 ] |]
+  in
+  Alcotest.(check (float 1e-6)) "C4 width" 2.0 c.Simplex.width
+
+let test_cover_single_edge () =
+  let c = Simplex.fractional_edge_cover ~nvertices:3 ~edges:[| [ 0; 1; 2 ] |] in
+  Alcotest.(check (float 1e-6)) "one edge" 1.0 c.Simplex.width;
+  Alcotest.(check (float 1e-6)) "weight" 1.0 c.Simplex.weights.(0)
+
+let test_cover_weights_feasible () =
+  let edges = [| [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 0 ]; [ 0; 2 ] |] in
+  let c = Simplex.fractional_edge_cover ~nvertices:4 ~edges in
+  (* Every vertex covered with total weight >= 1. *)
+  for v = 0 to 3 do
+    let total =
+      Array.to_list edges
+      |> List.mapi (fun e vs -> if List.mem v vs then c.Simplex.weights.(e) else 0.0)
+      |> List.fold_left ( +. ) 0.0
+    in
+    Alcotest.(check bool) (Printf.sprintf "vertex %d covered" v) true (total >= 1.0 -. 1e-6)
+  done;
+  let sum = Array.fold_left ( +. ) 0.0 c.Simplex.weights in
+  Alcotest.(check (float 1e-6)) "weights sum to width" c.Simplex.width sum
+
+(* Exact minimum fractional cover for tiny instances by brute-force grid
+   search over weights in {0, 1/6, ..., 1}. *)
+let brute_force_cover ~nvertices ~edges =
+  let ne = Array.length edges in
+  let best = ref infinity in
+  let w = Array.make ne 0.0 in
+  let steps = 6 in
+  let rec go e =
+    if e = ne then begin
+      let ok =
+        List.for_all
+          (fun v ->
+            let total =
+              Array.to_list edges
+              |> List.mapi (fun i vs -> if List.mem v vs then w.(i) else 0.0)
+              |> List.fold_left ( +. ) 0.0
+            in
+            total >= 1.0 -. 1e-9)
+          (List.init nvertices Fun.id)
+      in
+      if ok then best := Float.min !best (Array.fold_left ( +. ) 0.0 w)
+    end
+    else
+      for k = 0 to steps do
+        w.(e) <- float_of_int k /. float_of_int steps;
+        go (e + 1)
+      done
+  in
+  go 0;
+  !best
+
+let qcheck_cover_vs_brute =
+  let gen =
+    QCheck2.Gen.(
+      let* nv = int_range 2 4 in
+      let* ne = int_range 1 4 in
+      let* edges =
+        list_repeat ne
+          (let* a = int_range 0 (nv - 1) in
+           let* b = int_range 0 (nv - 1) in
+           return (List.sort_uniq compare [ a; b ]))
+      in
+      return (nv, Array.of_list edges))
+  in
+  Helpers.qtest ~count:100 "fractional cover matches brute force" gen (fun (nv, edges) ->
+      let covered = Array.make nv false in
+      Array.iter (List.iter (fun v -> covered.(v) <- true)) edges;
+      QCheck2.assume (Array.for_all Fun.id covered);
+      let lp = (Simplex.fractional_edge_cover ~nvertices:nv ~edges).Simplex.width in
+      let bf = brute_force_cover ~nvertices:nv ~edges in
+      (* The brute force grid contains the optimum for these instances
+         (optimal weights are multiples of 1/2 or 1/3; 1/6 grid covers both). *)
+      Float.abs (lp -. bf) < 1e-6)
+
+let test_parfor_matches_sequential () =
+  let n = 10_000 in
+  let seq = ref 0 in
+  for i = 0 to n - 1 do
+    seq := !seq + (i * i mod 97)
+  done;
+  List.iter
+    (fun domains ->
+      let par =
+        Parfor.map_reduce ~domains ~n
+          ~init:(fun () -> ref 0)
+          ~body:(fun acc i -> acc := !acc + (i * i mod 97))
+          ~merge:(fun a b ->
+            a := !a + !b;
+            a)
+      in
+      Alcotest.(check int) (Printf.sprintf "domains=%d" domains) !seq !par)
+    [ 1; 2; 3; 7 ]
+
+let test_parfor_order_preserved () =
+  (* merge is applied in chunk order, so list concatenation keeps order. *)
+  let n = 1000 in
+  let out =
+    Parfor.map_reduce ~domains:4 ~n
+      ~init:(fun () -> ref [])
+      ~body:(fun acc i -> acc := i :: !acc)
+      ~merge:(fun a b ->
+        a := !b @ !a;
+        a)
+  in
+  Alcotest.(check (list int)) "ordered" (List.init n Fun.id) (List.rev !out)
+
+let test_parfor_empty () =
+  let r =
+    Parfor.map_reduce ~domains:4 ~n:0 ~init:(fun () -> 42) ~body:(fun _ _ -> ()) ~merge:(fun a _ -> a)
+  in
+  Alcotest.(check int) "empty range" 42 r
+
+let test_budget_timeout () =
+  let b = Budget.create ~max_seconds:0.02 () in
+  match
+    Budget.run b (fun () ->
+        let rec spin () =
+          Budget.check b;
+          spin ()
+        in
+        spin ())
+  with
+  | Error Budget.Timeout -> ()
+  | _ -> Alcotest.fail "expected timeout"
+
+let test_budget_oom () =
+  let b = Budget.create ~max_live_words:1_000_000 () in
+  match
+    Budget.run b (fun () ->
+        let keep = ref [] in
+        for _ = 1 to 10_000 do
+          keep := Array.make 10_000 0 :: !keep;
+          Budget.check b
+        done;
+        !keep)
+  with
+  | Error Budget.Oom -> ()
+  | Ok _ -> Alcotest.fail "expected oom"
+  | Error Budget.Timeout -> Alcotest.fail "expected oom, got timeout"
+  | Error (Budget.Ok _) -> Alcotest.fail "unexpected"
+
+let test_budget_unlimited () =
+  match Budget.run Budget.unlimited (fun () -> 7) with
+  | Ok 7 -> ()
+  | _ -> Alcotest.fail "expected success"
+
+let test_timing_measure () =
+  let t = Lh_util.Timing.measure ~runs:3 (fun () -> ignore (Sys.opaque_identity (Array.make 100 0))) in
+  Alcotest.(check bool) "positive" true (t >= 0.0)
+
+let test_duration_format () =
+  Alcotest.(check string) "ms" "4.50ms" (Lh_util.Timing.duration_to_string 0.0045);
+  Alcotest.(check string) "s" "2.10s" (Lh_util.Timing.duration_to_string 2.1)
+
+let () =
+  Alcotest.run "lh_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "int bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_prng_int_in;
+          Alcotest.test_case "float unit" `Quick test_prng_float_unit;
+          Alcotest.test_case "sample_distinct" `Quick test_prng_sample_distinct;
+          Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "int push/get/pop" `Quick test_vec_int_push_get;
+          Alcotest.test_case "float roundtrip" `Quick test_vec_float_roundtrip;
+          Alcotest.test_case "bounds checks" `Quick test_vec_bounds;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "split basic" `Quick test_csv_split_basic;
+          Alcotest.test_case "split quoted" `Quick test_csv_split_quoted;
+          Alcotest.test_case "write/read roundtrip" `Quick test_csv_roundtrip;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "basic LP" `Quick test_simplex_basic;
+          Alcotest.test_case "degenerate LP" `Quick test_simplex_degenerate;
+          Alcotest.test_case "triangle cover = 1.5" `Quick test_cover_triangle;
+          Alcotest.test_case "4-cycle cover = 2" `Quick test_cover_four_cycle;
+          Alcotest.test_case "single edge cover" `Quick test_cover_single_edge;
+          Alcotest.test_case "weights feasible + tight" `Quick test_cover_weights_feasible;
+          qcheck_cover_vs_brute;
+        ] );
+      ( "parfor",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_parfor_matches_sequential;
+          Alcotest.test_case "chunk order preserved" `Quick test_parfor_order_preserved;
+          Alcotest.test_case "empty range" `Quick test_parfor_empty;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "timeout" `Quick test_budget_timeout;
+          Alcotest.test_case "oom" `Quick test_budget_oom;
+          Alcotest.test_case "unlimited" `Quick test_budget_unlimited;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "measure" `Quick test_timing_measure;
+          Alcotest.test_case "format" `Quick test_duration_format;
+        ] );
+    ]
