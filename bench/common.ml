@@ -71,6 +71,71 @@ let system_name = function
   | Monet_like -> "MonetDB-like"
   | Mkl_like -> "MKL-like"
 
+(* ---------------- JSON telemetry sink ----------------
+
+   When [json_out] is set (bench --json FILE), every measured cell also
+   performs one extra instrumented hot run and appends a record with the
+   per-phase span breakdown and counter deltas, so the paper tables can
+   be decomposed into planning / trie building / WCOJ / BLAS time. *)
+
+module Json = Lh_obs.Json
+
+let json_out : string option ref = ref None
+let current_experiment = ref ""
+let json_records : Json.t list ref = ref []
+
+let record_cell ~system ~sql ~outcome report =
+  if !json_out <> None then begin
+    let open Lh_obs in
+    let base =
+      [
+        ("experiment", Json.String !current_experiment);
+        ("system", Json.String system);
+        ("sql", Json.String sql);
+        ("outcome", Json.String (outcome_to_string outcome));
+      ]
+    in
+    let timing = match outcome with Time t -> [ ("seconds", Json.Float t) ] | _ -> [] in
+    let telemetry =
+      match report with
+      | None -> []
+      | Some (r : Report.t) ->
+          [
+            ("analyzed_seconds", Json.Float r.Report.total_s);
+            ( "phases",
+              Json.Obj (List.map (fun (n, d) -> (n, Json.Float d)) (Report.phases r)) );
+            ( "counters",
+              Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) r.Report.counters) );
+          ]
+    in
+    json_records := Json.Obj (base @ timing @ telemetry) :: !json_records
+  end
+
+let write_json () =
+  match !json_out with
+  | None -> ()
+  | Some path ->
+      Lh_obs.Report.write_file path (Json.List (List.rev !json_records));
+      Printf.eprintf "wrote per-query telemetry JSON to %s\n%!" path
+
+let instrumented_rerun f =
+  match !json_out with
+  | None -> None
+  | Some _ -> (
+      match Lh_obs.Report.with_session f with
+      | x, r ->
+          ignore (Sys.opaque_identity x);
+          Some r
+      | exception (Budget.Out_of_memory_budget | Budget.Timed_out) -> None)
+
+(* [measure], plus — when --json is active and the cell succeeded — one
+   extra instrumented hot run recorded under [system] / [sql]. *)
+let measured ?budget ~runs ~system ~sql f =
+  let outcome = measure ?budget ~runs f in
+  let report = match outcome with Time _ -> instrumented_rerun f | _ -> None in
+  record_cell ~system ~sql ~outcome report;
+  outcome
+
 (* Run [sql] on [system] against the master engine. Engine configs are
    swapped in place; the trie cache is content-addressed so configurations
    share only identical tries. *)
@@ -82,20 +147,37 @@ let run_system eng params system sql =
     L.Engine.set_config eng { cfg with L.Config.budget } ;
     Fun.protect ~finally:(fun () -> L.Engine.set_config eng saved) f
   in
-  match system with
-  | Lh -> with_cfg L.Config.default (fun () -> measure ~runs:params.runs (fun () -> L.Engine.query eng sql))
-  | Lh_logicblox ->
-      with_cfg L.Config.logicblox_like (fun () ->
-          measure ~runs:params.runs (fun () -> L.Engine.query eng sql))
-  | Hyper_like ->
-      let ast = Lh_sql.Parser.parse sql in
-      measure ~runs:params.runs (fun () ->
-          Lh_baseline.Pairwise.query ~lookup ~mode:Lh_baseline.Pairwise.Pipelined ~budget ast)
-  | Monet_like ->
-      let ast = Lh_sql.Parser.parse sql in
-      measure ~runs:params.runs (fun () ->
-          Lh_baseline.Pairwise.query ~lookup ~mode:Lh_baseline.Pairwise.Materializing ~budget ast)
-  | Mkl_like -> Unsupported
+  (* One hot run of the cell, as a thunk shared by the measurement loop
+     and the instrumented telemetry rerun. *)
+  let once =
+    match system with
+    | Lh ->
+        Some (fun () -> with_cfg L.Config.default (fun () -> ignore (L.Engine.query eng sql)))
+    | Lh_logicblox ->
+        Some
+          (fun () ->
+            with_cfg L.Config.logicblox_like (fun () -> ignore (L.Engine.query eng sql)))
+    | Hyper_like ->
+        let ast = Lh_sql.Parser.parse sql in
+        Some
+          (fun () ->
+            ignore
+              (Lh_baseline.Pairwise.query ~lookup ~mode:Lh_baseline.Pairwise.Pipelined ~budget
+                 ast))
+    | Monet_like ->
+        let ast = Lh_sql.Parser.parse sql in
+        Some
+          (fun () ->
+            ignore
+              (Lh_baseline.Pairwise.query ~lookup
+                 ~mode:Lh_baseline.Pairwise.Materializing ~budget ast))
+    | Mkl_like -> None
+  in
+  match once with
+  | None ->
+      record_cell ~system:(system_name system) ~sql ~outcome:Unsupported None;
+      Unsupported
+  | Some f -> measured ~runs:params.runs ~system:(system_name system) ~sql f
 
 (* ---------------- table rendering ---------------- *)
 

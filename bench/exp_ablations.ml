@@ -17,12 +17,13 @@ let run params =
   let budget =
     Lh_util.Budget.create ~max_live_words:params.C.mem_words ~max_seconds:params.C.timeout ()
   in
-  let run_cfg cfg sql =
+  let run_cfg sysname cfg sql =
     let saved = L.Engine.config eng in
     L.Engine.set_config eng { cfg with L.Config.budget };
     Fun.protect
       ~finally:(fun () -> L.Engine.set_config eng saved)
-      (fun () -> C.measure ~runs:params.C.runs (fun () -> L.Engine.query eng sql))
+      (fun () ->
+        C.measured ~runs:params.C.runs ~system:sysname ~sql (fun () -> L.Engine.query eng sql))
   in
   let cases =
     [
@@ -41,10 +42,10 @@ let run params =
     ("LH" :: List.map fst variants);
   List.iter
     (fun (label, sql) ->
-      let base = run_cfg L.Config.default sql in
+      let base = run_cfg "LevelHeaded" L.Config.default sql in
       let cells =
         C.outcome_to_string base
-        :: List.map (fun (_, cfg) -> C.relative ~baseline:base (run_cfg cfg sql)) variants
+        :: List.map (fun (vname, cfg) -> C.relative ~baseline:base (run_cfg vname cfg sql)) variants
       in
       C.print_row label cells)
     cases

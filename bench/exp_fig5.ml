@@ -102,13 +102,15 @@ let run_fig5b params =
     L.Engine.set_config eng saved;
     (pnode.L.Executor.porder, pnode.L.Executor.prelaxed, pnode.L.Executor.pcost)
   in
-  let run_cfg cfg =
+  let run_cfg label cfg =
     let saved = L.Engine.config eng in
     L.Engine.set_config eng { cfg with L.Config.budget };
     Fun.protect
       ~finally:(fun () -> L.Engine.set_config eng saved)
       (fun () ->
-        let t = C.measure ~runs:params.C.runs (fun () -> L.Engine.query eng sql) in
+        let t =
+          C.measured ~runs:params.C.runs ~system:label ~sql (fun () -> L.Engine.query eng sql)
+        in
         let alloc =
           match t with
           | C.Time _ -> alloc_mb (fun () -> L.Engine.query eng sql)
@@ -125,7 +127,7 @@ let run_fig5b params =
   List.iter
     (fun (label, cfg) ->
       let order, relaxed, cost = order_cost cfg in
-      let t, alloc = run_cfg cfg in
+      let t, alloc = run_cfg label cfg in
       C.print_row
         (Printf.sprintf "%s %s%s" label
            (String.concat "," (List.map string_of_int order))
@@ -190,6 +192,6 @@ let run_fig5c params =
       let cost = L.Attr_order.cost ~rels ~weights order in
       let forced = { pnode with L.Executor.porder = order; prelaxed = false } in
       let run () = L.Executor.run { cfg with L.Config.budget } ~cache lq forced in
-      let t = C.measure ~budget ~runs:params.C.runs (fun () -> run ()) in
+      let t = C.measured ~budget ~runs:params.C.runs ~system:label ~sql:Queries.q5 run in
       C.print_row label [ Printf.sprintf "%.0f" cost; C.outcome_to_string t ])
     orders

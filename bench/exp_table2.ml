@@ -75,7 +75,8 @@ let run_la params =
                 ( s,
                   match s with
                   | C.Mkl_like ->
-                      C.measure ~budget:(budget ()) ~runs:params.C.runs (fun () ->
+                      C.measured ~budget:(budget ()) ~runs:params.C.runs
+                        ~system:(C.system_name C.Mkl_like) ~sql (fun () ->
                           Lh_blas.Csr.spmv csr vec)
                   | _ -> C.run_system eng params s sql ))
               la_systems
@@ -90,7 +91,8 @@ let run_la params =
                 ( s,
                   match s with
                   | C.Mkl_like ->
-                      C.measure ~budget:(budget ()) ~runs:params.C.runs (fun () ->
+                      C.measured ~budget:(budget ()) ~runs:params.C.runs
+                        ~system:(C.system_name C.Mkl_like) ~sql (fun () ->
                           Lh_blas.Csr.spgemm csr csr)
                   | _ -> C.run_system eng params s sql ))
               la_systems
@@ -117,7 +119,8 @@ let run_la params =
                 ( s,
                   match s with
                   | C.Mkl_like ->
-                      C.measure ~budget:(budget ()) ~runs:params.C.runs (fun () ->
+                      C.measured ~budget:(budget ()) ~runs:params.C.runs
+                        ~system:(C.system_name C.Mkl_like) ~sql (fun () ->
                           Lh_blas.Dense.gemv md vec)
                   | _ -> C.run_system eng params s sql ))
               la_systems
@@ -132,7 +135,8 @@ let run_la params =
                 ( s,
                   match s with
                   | C.Mkl_like ->
-                      C.measure ~budget:(budget ()) ~runs:params.C.runs (fun () ->
+                      C.measured ~budget:(budget ()) ~runs:params.C.runs
+                        ~system:(C.system_name C.Mkl_like) ~sql (fun () ->
                           Lh_blas.Dense.gemm md md)
                   | _ -> C.run_system eng params s sql ))
               la_systems

@@ -29,12 +29,13 @@ let run params =
   L.Engine.register eng dv;
 
   let budget = Lh_util.Budget.create ~max_live_words:params.C.mem_words ~max_seconds:params.C.timeout () in
-  let run_cfg cfg sql =
+  let run_cfg sysname cfg sql =
     let saved = L.Engine.config eng in
     L.Engine.set_config eng { cfg with L.Config.budget };
     Fun.protect
       ~finally:(fun () -> L.Engine.set_config eng saved)
-      (fun () -> C.measure ~runs:params.C.runs (fun () -> L.Engine.query eng sql))
+      (fun () ->
+        C.measured ~runs:params.C.runs ~system:sysname ~sql (fun () -> L.Engine.query eng sql))
   in
   let no_attr_elim =
     { L.Config.default with attribute_elimination = false; blas_targeting = false }
@@ -56,9 +57,9 @@ let run params =
   C.print_header "Table III — optimization ablations" [ "LH"; "-Attr.Elim"; "-Attr.Ord" ];
   List.map
     (fun (label, sql) ->
-      let lh = run_cfg L.Config.default sql in
-      let no_ae = run_cfg no_attr_elim sql in
-      let no_ord = run_cfg worst_order sql in
+      let lh = run_cfg "LevelHeaded" L.Config.default sql in
+      let no_ae = run_cfg "-Attr.Elim" no_attr_elim sql in
+      let no_ord = run_cfg "-Attr.Ord" worst_order sql in
       C.print_row label
         [ C.outcome_to_string lh; C.relative ~baseline:lh no_ae; C.relative ~baseline:lh no_ord ];
       (label, lh, no_ae, no_ord))

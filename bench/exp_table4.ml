@@ -18,12 +18,15 @@ let run params =
       let vt, _ = Lh_datagen.Matrices.dense_vector ~dict ~name:(name ^ "_x") ~n () in
       L.Engine.register eng vt;
       let conv =
-        C.measure ~runs:params.C.runs (fun () -> Lh_blas.Csr.of_coo m.Lh_datagen.Matrices.coo)
+        C.measured ~runs:params.C.runs ~system:"CSR conversion"
+          ~sql:(Printf.sprintf "csr_of_coo(%s)" name) (fun () ->
+            Lh_blas.Csr.of_coo m.Lh_datagen.Matrices.coo)
       in
       let tname = m.Lh_datagen.Matrices.table.Lh_storage.Table.name in
+      let smv_sql = Queries.smv ~matrix:tname ~vector:(name ^ "_x") in
       let smv =
-        C.measure ~runs:params.C.runs (fun () ->
-            L.Engine.query eng (Queries.smv ~matrix:tname ~vector:(name ^ "_x")))
+        C.measured ~runs:params.C.runs ~system:"LevelHeaded" ~sql:smv_sql (fun () ->
+            L.Engine.query eng smv_sql)
       in
       let ratio =
         match (conv, smv) with

@@ -33,27 +33,131 @@ let all_ids = [ "table2-bi"; "table2-la"; "table3"; "table4"; "fig1"; "fig5a"; "
 
 let run_ids params ids =
   let wants id = List.mem id ids in
+  let tagged id f =
+    C.current_experiment := id;
+    f ()
+  in
   let table2 = ref None in
   let ensure_table2 () =
     match !table2 with
     | Some r -> r
     | None ->
-        let r = Exp_table2.run params in
+        let r = tagged "table2" (fun () -> Exp_table2.run params) in
         table2 := Some r;
         r
   in
   if wants "table2-bi" || wants "table2-la" then ignore (ensure_table2 ());
-  if wants "table3" then ignore (Exp_table3.run params);
-  if wants "table4" then ignore (Exp_table4.run params);
+  if wants "table3" then tagged "table3" (fun () -> ignore (Exp_table3.run params));
+  if wants "table4" then tagged "table4" (fun () -> ignore (Exp_table4.run params));
   if wants "fig1" then begin
     let bi, la = ensure_table2 () in
     fig1 bi la
   end;
-  if wants "fig5a" then Exp_fig5.run_fig5a params;
-  if wants "fig5b" then Exp_fig5.run_fig5b params;
-  if wants "fig5c" then Exp_fig5.run_fig5c params;
-  if wants "fig6" then ignore (Exp_fig6.run params);
-  if wants "ablations" then Exp_ablations.run params
+  if wants "fig5a" then tagged "fig5a" (fun () -> Exp_fig5.run_fig5a params);
+  if wants "fig5b" then tagged "fig5b" (fun () -> Exp_fig5.run_fig5b params);
+  if wants "fig5c" then tagged "fig5c" (fun () -> Exp_fig5.run_fig5c params);
+  if wants "fig6" then tagged "fig6" (fun () -> ignore (Exp_fig6.run params));
+  if wants "ablations" then tagged "ablations" (fun () -> Exp_ablations.run params);
+  C.write_json ()
+
+(* ---------------- smoke: one query per experiment family, telemetry on,
+   fail if any expected counter is absent (CI wiring: see ci.sh) -------- *)
+
+let smoke params =
+  let module L = Levelheaded in
+  let module Report = Lh_obs.Report in
+  let eng = L.Engine.create () in
+  let dict = L.Engine.dict eng in
+  List.iter (L.Engine.register eng)
+    (Lh_datagen.Tpch.generate ~dict ~sf:0.002 ~seed:params.C.seed ());
+  let m = Lh_datagen.Matrices.harbor_like ~dict ~scale:0.005 ~seed:params.C.seed () in
+  L.Engine.register eng m.Lh_datagen.Matrices.table;
+  let mname = m.Lh_datagen.Matrices.table.Lh_storage.Table.name in
+  let n = m.Lh_datagen.Matrices.coo.Lh_blas.Coo.nrows in
+  let vt, _ = Lh_datagen.Matrices.dense_vector ~dict ~name:"smoke_x" ~n () in
+  L.Engine.register eng vt;
+  let dt, _ = Lh_datagen.Matrices.dense ~dict ~name:"smoke_dense" ~n:16 () in
+  L.Engine.register eng dt;
+  let reports = ref [] in
+  let analyze label sql =
+    let result, _, rep = L.Engine.query_analyze eng sql in
+    Printf.printf "smoke %-24s %6d rows  %s\n%!" label result.Lh_storage.Table.nrows
+      (Lh_util.Timing.duration_to_string rep.Report.total_s);
+    reports := rep :: !reports
+  in
+  (* table2-bi: the scan path (Q1) and a join (Q3). *)
+  analyze "table2-bi/scan" Queries.q1;
+  analyze "table2-bi/join" Queries.q3;
+  (* table2-la / table4: sparse WCOJ kernel, twice — the second run must
+     hit the trie cache (§VI-A hot-run protocol). *)
+  let smv = Queries.smv ~matrix:mname ~vector:"smoke_x" in
+  analyze "table2-la/smv-cold" smv;
+  analyze "table2-la/smv-hot" smv;
+  (* fig5/fig6: dense kernel through the BLAS path. *)
+  analyze "fig5/dmm-blas" (Queries.dmm ~matrix:"smoke_dense");
+  (* table3/ablations: the LogicBlox-like configuration of the engine. *)
+  let saved = L.Engine.config eng in
+  L.Engine.set_config eng Levelheaded.Config.logicblox_like;
+  analyze "table3/ablated" Queries.q3;
+  L.Engine.set_config eng saved;
+  (* baselines (Table II comparison columns). *)
+  let lookup nm = L.Catalog.find_exn (L.Engine.catalog eng) nm in
+  let ast = Lh_sql.Parser.parse Queries.q3 in
+  let (_ : Lh_storage.Dtype.value list list), rep =
+    Report.with_session (fun () ->
+        Lh_baseline.Pairwise.query ~lookup ~mode:Lh_baseline.Pairwise.Pipelined ast)
+  in
+  reports := rep :: !reports;
+  (* ---- assertions ---- *)
+  let reports = !reports in
+  let sum name =
+    List.fold_left
+      (fun acc (r : Report.t) ->
+        acc + Option.value (List.assoc_opt name r.Report.counters) ~default:0)
+      0 reports
+  in
+  let present name = List.exists (fun (r : Report.t) -> List.mem_assoc name r.Report.counters) reports in
+  let required =
+    [
+      "trie_cache.hit"; "trie_cache.miss"; "trie.built"; "wcoj.intersections";
+      "wcoj.leaf_ticks"; "scan.rows_scanned"; "rows.emitted"; "blas.dispatch";
+      "budget.ticks"; "dense_cache.hit"; "dense_cache.miss"; "baseline.hash_builds";
+      "baseline.rows_joined"; "exec.domains_used"; "gc.peak_live_words";
+    ]
+  in
+  let missing = List.filter (fun nm -> not (present nm)) required in
+  (* Counters that this smoke workload must actually exercise. *)
+  let must_be_nonzero =
+    [
+      "trie_cache.hit"; "trie_cache.miss"; "trie.built"; "wcoj.intersections";
+      "scan.rows_scanned"; "rows.emitted"; "blas.dispatch"; "baseline.hash_builds";
+      "baseline.rows_joined"; "gc.peak_live_words";
+    ]
+  in
+  let zero = List.filter (fun nm -> present nm && sum nm = 0) must_be_nonzero in
+  (* Phase coverage: spans of the analyzed runs must account for most of
+     the measured total. *)
+  let bad_coverage =
+    List.filter_map
+      (fun (r : Report.t) ->
+        let accounted = List.fold_left (fun a (_, d) -> a +. d) 0.0 (Report.phases r) in
+        if r.Report.total_s > 1e-4 && accounted < 0.9 *. r.Report.total_s then
+          Some (Printf.sprintf "phases cover %.0f%% of %s" (100. *. accounted /. r.Report.total_s)
+                  (Lh_util.Timing.duration_to_string r.Report.total_s))
+        else None)
+      reports
+  in
+  if missing = [] && zero = [] && bad_coverage = [] then begin
+    Printf.printf "smoke ok: %d runs, %d counters all present\n%!" (List.length reports)
+      (List.length required);
+    0
+  end
+  else begin
+    List.iter (fun nm -> Printf.eprintf "smoke FAIL: counter %s absent from telemetry\n" nm) missing;
+    List.iter (fun nm -> Printf.eprintf "smoke FAIL: counter %s never incremented\n" nm) zero;
+    List.iter (fun msg -> Printf.eprintf "smoke FAIL: %s\n" msg) bad_coverage;
+    1
+  end
 
 open Cmdliner
 
@@ -87,7 +191,18 @@ let mem_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Data generation seed.")
 
-let main ids sf la_scale dense runs timeout mem_words seed =
+let json_arg =
+  let doc = "Also write per-query telemetry (phase breakdown + counter deltas) as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let smoke_arg =
+  let doc =
+    "Smoke test: run one query per experiment family on tiny data with telemetry enabled and \
+     fail if any expected counter is absent or never incremented."
+  in
+  Arg.(value & flag & info [ "smoke" ] ~doc)
+
+let main ids sf la_scale dense runs timeout mem_words seed json run_smoke =
   let parse_list conv s = String.split_on_char ',' s |> List.map String.trim |> List.map conv in
   let params =
     {
@@ -100,6 +215,17 @@ let main ids sf la_scale dense runs timeout mem_words seed =
       seed;
     }
   in
+  (* validate the sink up front: losing the JSON after a full bench run
+     is much worse than refusing to start *)
+  (match json with
+  | Some path -> (
+      try close_out (open_out path)
+      with Sys_error msg ->
+        Printf.eprintf "cannot write --json file: %s\n" msg;
+        exit 2)
+  | None -> ());
+  C.json_out := json;
+  if run_smoke then exit (smoke params);
   let ids = if ids = [] then all_ids else ids in
   List.iter
     (fun id ->
@@ -115,6 +241,6 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ ids_arg $ sf_arg $ la_scale_arg $ dense_arg $ runs_arg $ timeout_arg $ mem_arg
-      $ seed_arg)
+      $ seed_arg $ json_arg $ smoke_arg)
 
 let () = exit (Cmd.eval cmd)

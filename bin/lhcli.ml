@@ -77,7 +77,23 @@ let gen_cmd =
 let tpch_schema_sep name =
   (List.assoc name Lh_datagen.Tpch.schemas, '|')
 
-let query_run tables tpch_dir sql explain_only sep =
+let print_result (result : Table.t) =
+  for c = 0 to Schema.ncols result.Table.schema - 1 do
+    if c > 0 then print_char '|';
+    print_string (Schema.col result.Table.schema c).Schema.name
+  done;
+  print_newline ();
+  for r = 0 to result.Table.nrows - 1 do
+    Format.printf "%a@." (fun fmt () -> Table.pp_row fmt result r) ()
+  done
+
+let path_name = function
+  | L.Engine.Scan_path -> "scan"
+  | L.Engine.Wcoj_path -> "wcoj"
+  | L.Engine.Blas_path -> "blas"
+
+let query_run tables tpch_dir sql explain_only analyze trace_file metrics_file sep =
+  let failed = ref false in
   let eng = L.Engine.create () in
   (match tpch_dir with
   | None -> ()
@@ -97,28 +113,42 @@ let query_run tables tpch_dir sql explain_only sep =
       ignore (L.Engine.load_csv eng ~name ~schema ~sep path);
       Printf.printf "loaded %s as %s\n%!" path name)
     tables;
+  let instrumented = analyze || trace_file <> None || metrics_file <> None in
   (match sql with
   | None -> Printf.eprintf "no --sql given\n"
   | Some sql ->
       if explain_only then print_string (L.Engine.explain eng sql).L.Engine.etext
+      else if instrumented then begin
+        let result, ex, report = L.Engine.query_analyze eng sql in
+        print_result result;
+        Printf.eprintf "-- %d rows in %s (%s path)\n" result.Table.nrows
+          (Lh_util.Timing.duration_to_string report.Lh_obs.Report.total_s)
+          (path_name ex.L.Engine.epath);
+        prerr_string (Lh_obs.Report.to_text report);
+        let write what path json k =
+          match Lh_obs.Report.write_file path json with
+          | () -> Printf.eprintf "wrote %s to %s%s\n" what path k
+          | exception Sys_error msg ->
+              Printf.eprintf "error: cannot write %s: %s\n" what msg;
+              failed := true
+        in
+        Option.iter
+          (fun path ->
+            write "Chrome trace" path (Lh_obs.Report.chrome_trace report)
+              " (open via chrome://tracing)")
+          trace_file;
+        Option.iter
+          (fun path -> write "metrics JSON" path (Lh_obs.Report.metrics_json report) "")
+          metrics_file
+      end
       else begin
         let (result, ex), dt = Lh_util.Timing.time (fun () -> L.Engine.query_explain eng sql) in
-        for c = 0 to Schema.ncols result.Table.schema - 1 do
-          if c > 0 then print_char '|';
-          print_string (Schema.col result.Table.schema c).Schema.name
-        done;
-        print_newline ();
-        for r = 0 to result.Table.nrows - 1 do
-          Format.printf "%a@." (fun fmt () -> Table.pp_row fmt result r) ()
-        done;
+        print_result result;
         Printf.eprintf "-- %d rows in %s (%s path)\n" result.Table.nrows
           (Lh_util.Timing.duration_to_string dt)
-          (match ex.L.Engine.epath with
-          | L.Engine.Scan_path -> "scan"
-          | L.Engine.Wcoj_path -> "wcoj"
-          | L.Engine.Blas_path -> "blas")
+          (path_name ex.L.Engine.epath)
       end);
-  0
+  if !failed then 1 else 0
 
 let query_cmd =
   let tables =
@@ -128,9 +158,21 @@ let query_cmd =
   let tpch = Arg.(value & opt (some string) None & info [ "tpch" ] ~doc:"Directory of lhcli-generated TPC-H .tbl files to load") in
   let sql = Arg.(value & opt (some string) None & info [ "sql"; "q" ] ~doc:"SQL to run") in
   let explain = Arg.(value & flag & info [ "explain" ] ~doc:"Print the plan instead of executing") in
+  let analyze =
+    Arg.(value & flag & info [ "analyze" ]
+           ~doc:"EXPLAIN ANALYZE: run with telemetry and print the per-phase time breakdown and counters")
+  in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome chrome://tracing-compatible trace of the run to $(docv)")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write the run's telemetry (phases, counters, spans) as JSON to $(docv)")
+  in
   let sep = Arg.(value & opt char ',' & info [ "sep" ] ~doc:"Field separator for --table files") in
   Cmd.v (Cmd.info "query" ~doc:"Load delimited files and run SQL")
-    Term.(const query_run $ tables $ tpch $ sql $ explain $ sep)
+    Term.(const query_run $ tables $ tpch $ sql $ explain $ analyze $ trace $ metrics $ sep)
 
 let () =
   let info = Cmd.info "lhcli" ~doc:"LevelHeaded command-line interface" in

@@ -1,0 +1,9 @@
+#!/bin/sh
+# CI entry point: build, run the test suites, then the telemetry smoke
+# test (one query per experiment family with telemetry enabled; fails if
+# any counter is absent or never incremented — see bench/main.ml).
+set -eu
+
+dune build
+dune runtest
+dune exec bench/main.exe -- --smoke

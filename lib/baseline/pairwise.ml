@@ -2,6 +2,13 @@ open Lh_sql
 module T = Lh_storage.Table
 module Dtype = Lh_storage.Dtype
 module Vec = Lh_util.Vec
+module Obs = Lh_obs.Obs
+
+(* Telemetry: the baselines report the same phase taxonomy as the main
+   engine (plan / build / probe-or-materialize / aggregate) so paper
+   comparisons can break a run down side by side. *)
+let c_hash_builds = Obs.counter "baseline.hash_builds"
+let c_joined = Obs.counter "baseline.rows_joined"
 
 type mode = Pipelined | Materializing
 
@@ -153,6 +160,7 @@ type agg = {
   item_fns : (int array -> float) option array;
   groups : (int list, float array * int array * int ref) Hashtbl.t;
       (* sums/mins/maxs packed: [|sum0..; min0..; max0..|], counts, total *)
+  mutable visits : int;  (* joined tuples seen; flushed to a counter at the end *)
 }
 
 let make_agg spec (q : Ast.query) =
@@ -168,9 +176,11 @@ let make_agg spec (q : Ast.query) =
              | Ast.Aggregate (_, Some e, _) -> Some (Xcompile.scalar spec e))
            q.Ast.select);
     groups = Hashtbl.create 256;
+    visits = 0;
   }
 
 let agg_visit agg env =
+  agg.visits <- agg.visits + 1;
   let nitems = Array.length agg.items in
   let key = List.map (fun f -> f env) agg.gb_codes in
   let sums, counts, total =
@@ -201,6 +211,8 @@ let agg_visit agg env =
     agg.item_fns
 
 let agg_rows spec (q : Ast.query) agg =
+  Obs.add c_joined agg.visits;
+  Obs.span "baseline.aggregate" @@ fun () ->
   let nitems = Array.length agg.items in
   if Hashtbl.length agg.groups = 0 && q.Ast.group_by = [] then begin
     let packed = Array.make (3 * nitems) 0.0 in
@@ -259,91 +271,99 @@ let query ~lookup ~mode ?(budget = Lh_util.Budget.unlimited) (q : Ast.query) =
       | Some w -> Xcompile.pred spec w
     in
     let table = snd (List.hd spec) in
-    let env = Array.make 1 0 in
-    for r = 0 to table.T.nrows - 1 do
-      if r land 4095 = 0 then Lh_util.Budget.check budget;
-      env.(0) <- r;
-      if plan_filters env then agg_visit agg env
-    done;
+    Obs.span "baseline.scan" (fun () ->
+        let env = Array.make 1 0 in
+        for r = 0 to table.T.nrows - 1 do
+          if r land 4095 = 0 then Lh_util.Budget.check budget;
+          env.(0) <- r;
+          if plan_filters env then agg_visit agg env
+        done);
     agg_rows spec q agg
   end
   else begin
-    let plan, filtered = make_plan spec q in
+    let plan, filtered = Obs.span "baseline.plan" (fun () -> make_plan spec q) in
     (* Hash tables for every step (build side). *)
     let hashes =
-      List.map
-        (fun step ->
-          let h : (int array, int list) Hashtbl.t =
-            Hashtbl.create (max 16 (Array.length filtered.(step.binding)))
-          in
-          Array.iter
-            (fun r ->
-              let key = key_of_build step.build_cols r in
-              Lh_util.Budget.check budget;
-              Hashtbl.replace h key
-                (r :: Option.value (Hashtbl.find_opt h key) ~default:[]))
-            filtered.(step.binding);
-          (step, h))
-        plan.steps
+      Obs.span "baseline.build" (fun () ->
+          List.map
+            (fun step ->
+              Obs.incr c_hash_builds;
+              let h : (int array, int list) Hashtbl.t =
+                Hashtbl.create (max 16 (Array.length filtered.(step.binding)))
+              in
+              Array.iter
+                (fun r ->
+                  let key = key_of_build step.build_cols r in
+                  Lh_util.Budget.check budget;
+                  Hashtbl.replace h key
+                    (r :: Option.value (Hashtbl.find_opt h key) ~default:[]))
+                filtered.(step.binding);
+              (step, h))
+            plan.steps)
     in
     match mode with
     | Pipelined ->
-        let env = Array.make n 0 in
-        let rec probe steps env =
-          match steps with
-          | [] -> agg_visit agg env
-          | (step, h) :: rest ->
-              let key = key_of_probe step.probe_cols env in
-              (match Hashtbl.find_opt h key with
-              | None -> ()
-              | Some rows ->
-                  List.iter
-                    (fun r ->
-                      env.(step.binding) <- r;
-                      if List.for_all (fun f -> f env) step.residuals then probe rest env)
-                    rows)
-        in
-        Array.iteri
-          (fun i r ->
-            if i land 1023 = 0 then Lh_util.Budget.check budget;
-            env.(plan.base) <- r;
-            probe hashes env)
-          filtered.(plan.base);
+        Obs.span "baseline.probe" (fun () ->
+            let env = Array.make n 0 in
+            let rec probe steps env =
+              match steps with
+              | [] -> agg_visit agg env
+              | (step, h) :: rest ->
+                  let key = key_of_probe step.probe_cols env in
+                  (match Hashtbl.find_opt h key with
+                  | None -> ()
+                  | Some rows ->
+                      List.iter
+                        (fun r ->
+                          env.(step.binding) <- r;
+                          if List.for_all (fun f -> f env) step.residuals then probe rest env)
+                        rows)
+            in
+            Array.iteri
+              (fun i r ->
+                if i land 1023 = 0 then Lh_util.Budget.check budget;
+                env.(plan.base) <- r;
+                probe hashes env)
+              filtered.(plan.base));
         agg_rows spec q agg
     | Materializing ->
         (* Operator-at-a-time: materialize the full intermediate after
            every join (the MonetDB-style execution model). *)
         let current =
-          ref
-            (Array.map
-               (fun r ->
-                 let env = Array.make n 0 in
-                 env.(plan.base) <- r;
-                 env)
-               filtered.(plan.base))
+          Obs.span "baseline.materialize" (fun () ->
+              let current =
+                ref
+                  (Array.map
+                     (fun r ->
+                       let env = Array.make n 0 in
+                       env.(plan.base) <- r;
+                       env)
+                     filtered.(plan.base))
+              in
+              List.iter
+                (fun (step, h) ->
+                  let out = ref [] in
+                  let count = ref 0 in
+                  Array.iter
+                    (fun env ->
+                      incr count;
+                      if !count land 255 = 0 then Lh_util.Budget.check budget;
+                      let key = key_of_probe step.probe_cols env in
+                      match Hashtbl.find_opt h key with
+                      | None -> ()
+                      | Some rows ->
+                          List.iter
+                            (fun r ->
+                              let env' = Array.copy env in
+                              env'.(step.binding) <- r;
+                              if List.for_all (fun f -> f env') step.residuals then
+                                out := env' :: !out)
+                            rows)
+                    !current;
+                  current := Array.of_list (List.rev !out))
+                hashes;
+              !current)
         in
-        List.iter
-          (fun (step, h) ->
-            let out = ref [] in
-            let count = ref 0 in
-            Array.iter
-              (fun env ->
-                incr count;
-                if !count land 255 = 0 then Lh_util.Budget.check budget;
-                let key = key_of_probe step.probe_cols env in
-                match Hashtbl.find_opt h key with
-                | None -> ()
-                | Some rows ->
-                    List.iter
-                      (fun r ->
-                        let env' = Array.copy env in
-                        env'.(step.binding) <- r;
-                        if List.for_all (fun f -> f env') step.residuals then
-                          out := env' :: !out)
-                      rows)
-              !current;
-            current := Array.of_list (List.rev !out))
-          hashes;
-        Array.iter (fun env -> agg_visit agg env) !current;
+        Array.iter (fun env -> agg_visit agg env) current;
         agg_rows spec q agg
   end

@@ -1,6 +1,9 @@
 module T = Lh_storage.Table
 module Schema = Lh_storage.Schema
+module Obs = Lh_obs.Obs
 open Lh_sql
+
+let c_dispatch = Obs.counter "blas.dispatch"
 
 type dense_info = { dkey_cols : int list; dims : int array }
 
@@ -158,7 +161,11 @@ let match_kernel (lq : Logical.t) ~dense_of =
       Some (Kvm { e1; c1; e2; i2; c2; j_v; k })
   | _ -> None
 
-let execute = function
+let execute kernel =
+  Obs.incr c_dispatch;
+  let kname = match kernel with Kmm _ -> "gemm" | Kmv _ -> "gemv" | Kvm _ -> "gemv_t" in
+  Obs.span "blas.kernel" ~args:[ ("kernel", kname) ] @@ fun () ->
+  match kernel with
   | Kmm { e1; i1; c1; i_v; e2; i2; c2; j_v; k; first_is_i } ->
       let a = to_dense e1 i1 ~value_col:c1 ~row_v:i_v ~col_v:k in
       let b = to_dense e2 i2 ~value_col:c2 ~row_v:k ~col_v:j_v in

@@ -1,6 +1,11 @@
 module T = Lh_storage.Table
 module Schema = Lh_storage.Schema
 module Dtype = Lh_storage.Dtype
+module Obs = Lh_obs.Obs
+
+let c_rows_emitted = Obs.counter "rows.emitted"
+let c_dense_hit = Obs.counter "dense_cache.hit"
+let c_dense_miss = Obs.counter "dense_cache.miss"
 
 type t = {
   cat : Catalog.t;
@@ -24,28 +29,37 @@ let create ?(config = Config.default) () =
 let config t = t.cfg
 let set_config t cfg = t.cfg <- cfg
 let catalog t = t.cat
-let register t table =
-  (* Re-registering a name invalidates cached plans/tries for it. *)
+
+(* (Re-)registering a name invalidates cached plans/tries for it. Every
+   entry point that mutates the catalog must go through this: serving a
+   cached trie for a replaced table would silently return stale rows. *)
+let invalidate_caches t =
   Hashtbl.reset t.trie_cache;
-  Hashtbl.reset t.dense_cache;
+  Hashtbl.reset t.dense_cache
+
+let register t table =
+  invalidate_caches t;
   Catalog.register t.cat table
 let dict t = Catalog.dict t.cat
 
 let register_rows t ~name ~schema rows =
+  invalidate_caches t;
   let table = T.of_rows ~name ~schema ~dict:(Catalog.dict t.cat) rows in
   Catalog.register t.cat table;
   table
 
 let load_csv t ~name ~schema ?sep path =
-  Hashtbl.reset t.trie_cache;
-  Hashtbl.reset t.dense_cache;
+  invalidate_caches t;
   Catalog.load_csv t.cat ~name ~schema ?sep path
 
 let dense_info t (table : T.t) =
   let key = Printf.sprintf "%s/%d" table.T.name table.T.nrows in
   match Hashtbl.find_opt t.dense_cache key with
-  | Some i -> i
+  | Some i ->
+      Obs.incr c_dense_hit;
+      i
   | None ->
+      Obs.incr c_dense_miss;
       let i = Blas_bridge.dense_rect table in
       Hashtbl.replace t.dense_cache key i;
       i
@@ -109,13 +123,19 @@ let decide t (lq : Logical.t) =
   else begin
     let blas_ok =
       t.cfg.Config.blas_targeting && t.cfg.Config.attribute_elimination
-      && Option.is_some (Blas_bridge.match_kernel lq ~dense_of:(dense_info t))
+      && Option.is_some
+           (Obs.span "plan.blas_match" (fun () ->
+                Blas_bridge.match_kernel lq ~dense_of:(dense_info t)))
     in
     if blas_ok then Use_blas
     else begin
-      let ghd = Ghd.plan lq ~heuristics:t.cfg.Config.ghd_heuristics in
+      let ghd =
+        Obs.span "plan.ghd" (fun () -> Ghd.plan lq ~heuristics:t.cfg.Config.ghd_heuristics)
+      in
       let dense_of (e : Logical.edge) = Option.is_some (dense_info t e.Logical.table) in
-      let pnode = Executor.physical t.cfg lq ~dense_of ghd in
+      let pnode =
+        Obs.span "plan.attr_order" (fun () -> Executor.physical t.cfg lq ~dense_of ghd)
+      in
       Use_wcoj (ghd, pnode)
     end
   end
@@ -143,30 +163,54 @@ let explain_of t lq decided =
 let run_decided t lq decided =
   let rows =
     match decided with
-    | Use_scan -> Executor.run_scan t.cfg lq
-    | Use_blas -> (
-        match Blas_bridge.try_blas lq ~dense_of:(dense_info t) with
-        | Some rows -> rows
-        | None -> failwith "Engine: BLAS path vanished between planning and execution")
-    | Use_wcoj (_, pnode) -> Executor.run t.cfg ~cache:t.trie_cache lq pnode
+    | Use_scan -> Obs.span "execute.scan" (fun () -> Executor.run_scan t.cfg lq)
+    | Use_blas ->
+        Obs.span "execute.blas" (fun () ->
+            match Blas_bridge.try_blas lq ~dense_of:(dense_info t) with
+            | Some rows -> rows
+            | None -> failwith "Engine: BLAS path vanished between planning and execution")
+    | Use_wcoj (_, pnode) ->
+        Obs.span "execute.wcoj" (fun () -> Executor.run t.cfg ~cache:t.trie_cache lq pnode)
   in
-  finalize_rows lq rows ~dict:(Catalog.dict t.cat) ~name:"result"
+  Obs.span "finalize" (fun () ->
+      let result = finalize_rows lq rows ~dict:(Catalog.dict t.cat) ~name:"result" in
+      Obs.add c_rows_emitted result.T.nrows;
+      result)
 
-let query_ast t ast =
-  let lq = Logical.translate t.cat ~attribute_elimination:t.cfg.Config.attribute_elimination ast in
-  let d = decide t lq in
-  Lh_util.Budget.start t.cfg.Config.budget;
-  run_decided t lq d
+(* One shared pipeline so every entry point produces the same span tree:
+   query (root) > parse > translate > plan > execute.* > finalize. *)
+let translate_spanned t ast =
+  Obs.span "translate" (fun () ->
+      Logical.translate t.cat ~attribute_elimination:t.cfg.Config.attribute_elimination ast)
 
-let query t sql = query_ast t (Lh_sql.Parser.parse sql)
-
-let query_explain t sql =
-  let ast = Lh_sql.Parser.parse sql in
-  let lq = Logical.translate t.cat ~attribute_elimination:t.cfg.Config.attribute_elimination ast in
-  let d = decide t lq in
-  let ex = explain_of t lq d in
+let run_pipeline t lq ~want_explain =
+  let d = Obs.span "plan" (fun () -> decide t lq) in
+  let ex =
+    if want_explain then Some (Obs.span "explain" (fun () -> explain_of t lq d)) else None
+  in
   Lh_util.Budget.start t.cfg.Config.budget;
   (run_decided t lq d, ex)
+
+let query_ast t ast =
+  Obs.span "query" (fun () ->
+      let lq = translate_spanned t ast in
+      fst (run_pipeline t lq ~want_explain:false))
+
+let run_sql t sql ~want_explain =
+  Obs.span "query" (fun () ->
+      let ast = Obs.span "parse" (fun () -> Lh_sql.Parser.parse sql) in
+      let lq = translate_spanned t ast in
+      run_pipeline t lq ~want_explain)
+
+let query t sql = fst (run_sql t sql ~want_explain:false)
+
+let query_explain t sql =
+  let result, ex = run_sql t sql ~want_explain:true in
+  (result, Option.get ex)
+
+let query_analyze t sql =
+  let (result, ex), report = Lh_obs.Report.with_session (fun () -> run_sql t sql ~want_explain:true) in
+  (result, Option.get ex, report)
 
 let explain t sql =
   let ast = Lh_sql.Parser.parse sql in

@@ -45,5 +45,13 @@ val query_ast : t -> Lh_sql.Ast.query -> Lh_storage.Table.t
 
 val query_explain : t -> string -> Lh_storage.Table.t * explain
 
+val query_analyze : t -> string -> Lh_storage.Table.t * explain * Lh_obs.Report.t
+(** [EXPLAIN ANALYZE]: runs the query with telemetry enabled for exactly
+    that run (the previous enabled state is restored afterwards) and
+    returns the result, the plan, and a telemetry report — per-phase
+    span tree, counter deltas (trie-cache hits/misses, intersections,
+    rows emitted, …) and gauges. Render with {!Lh_obs.Report.to_text},
+    {!Lh_obs.Report.metrics_json} or {!Lh_obs.Report.chrome_trace}. *)
+
 val explain : t -> string -> explain
 (** Plan without executing (the BLAS/scan decision is still reported). *)

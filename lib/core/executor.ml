@@ -4,7 +4,22 @@ module Trie = Lh_storage.Trie
 module Set_ = Lh_set.Set
 module Intersect = Lh_set.Intersect
 module Vec = Lh_util.Vec
+module Obs = Lh_obs.Obs
 open Lh_sql
+
+(* Telemetry probes (lib/obs). Registration is module-init-time; every
+   probe below is a no-op branch while telemetry is disabled, and the
+   per-tuple loops only touch plain [ctx] fields that are flushed into
+   the atomic counters once per bag execution. *)
+let c_cache_hit = Obs.counter "trie_cache.hit"
+let c_cache_miss = Obs.counter "trie_cache.miss"
+let c_trie_built = Obs.counter "trie.built"
+let c_isect = Obs.counter "wcoj.intersections"
+let c_ticks = Obs.counter "wcoj.leaf_ticks"
+let c_budget_ticks = Obs.counter "budget.ticks"
+let c_scan_rows = Obs.counter "scan.rows_scanned"
+let g_domains = Obs.gauge "exec.domains_used"
+let g_peak_words = Obs.gauge "gc.peak_live_words"
 
 (* ------------------------------------------------------------------ *)
 (* Physical planning                                                    *)
@@ -188,6 +203,8 @@ let build_base_xrel ?cache (lq : Logical.t) ~order (edge : Logical.edge) =
            | None -> None)
   in
   let build () =
+    Obs.incr c_trie_built;
+    Obs.span "trie.build" ~args:[ ("table", table.T.name) ] @@ fun () ->
     let rows = filtered_rows edge in
     let keys =
       Array.of_list
@@ -218,8 +235,11 @@ let build_base_xrel ?cache (lq : Logical.t) ~order (edge : Logical.edge) =
     | Some cache when edge.Logical.filter = None -> (
         let sig_ = trie_signature lq ~order edge in
         match Hashtbl.find_opt cache sig_ with
-        | Some t -> t
+        | Some t ->
+            Obs.incr c_cache_hit;
+            t
         | None ->
+            Obs.incr c_cache_miss;
             let t = build () in
             Hashtbl.replace cache sig_ t;
             t)
@@ -260,6 +280,7 @@ type ctx = {
   picked : Trie.group array;
   scratch : float array;
   mutable ticks : int;
+  mutable isects : int;  (* set intersections performed (2+ participants) *)
   (* hash path *)
   hash : (int array, float array) Hashtbl.t;
   (* sorted path *)
@@ -286,6 +307,7 @@ let make_ctx (input : bag_input) =
     picked = Array.make nrels { Trie.codes = [||]; vec = [||]; mult = 1.0 };
     scratch = Array.make (max input.nslots_x 1) 0.0;
     ticks = 0;
+    isects = 0;
     hash = Hashtbl.create 256;
     out = ref [];
     accum = Array.make (max input.nslots_x 1) 0.0;
@@ -347,7 +369,10 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
   in
   let leaf ctx fold =
     ctx.ticks <- ctx.ticks + 1;
-    if ctx.ticks land 1023 = 0 then Lh_util.Budget.check budget;
+    if ctx.ticks land 1023 = 0 then begin
+      Obs.incr c_budget_ticks;
+      Lh_util.Budget.check budget
+    end;
     (* Overwhelmingly common case: one leaf group per relation (no GROUP
        BY annotations on duplicate keys) — skip the combination search. *)
     let rec all_single ri =
@@ -418,10 +443,12 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
     | 0 -> assert false
     | 1 -> ctx.stacks.(rs.(0)).(ls.(0)).Trie.set
     | 2 ->
+        ctx.isects <- ctx.isects + 1;
         let a = ctx.stacks.(rs.(0)).(ls.(0)).Trie.set in
         let b = ctx.stacks.(rs.(1)).(ls.(1)).Trie.set in
         Intersect.inter a b
     | n ->
+        ctx.isects <- ctx.isects + 1;
         let sets = List.init n (fun k -> ctx.stacks.(rs.(k)).(ls.(k)).Trie.set) in
         Intersect.inter_many sets
   in
@@ -515,10 +542,25 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
   let scalar = input.boundary = Some 0 && not input.relaxed_tail in
   let must_be_sequential = input.boundary = Some 0 && input.relaxed_tail in
   let domains = max 1 cfg.Config.domains in
+  (* Per-ctx tick/intersection tallies are plain fields; they reach the
+     shared atomic counters exactly once per bag, here. *)
+  let flush_stats ctx =
+    if Obs.is_enabled () then begin
+      Obs.add c_ticks ctx.ticks;
+      Obs.add c_isect ctx.isects;
+      Obs.set_max g_peak_words (Gc.quick_stat ()).Gc.heap_words
+    end
+  in
+  let merge_stats a b =
+    a.ticks <- a.ticks + b.ticks;
+    a.isects <- a.isects + b.isects
+  in
+  Obs.set_max g_domains domains;
   if npos = 0 then begin
     (* Degenerate: no vertices (handled by the scan path normally). *)
     let ctx = make_ctx input in
     walk ctx 0 ~wrapped:false;
+    flush_stats ctx;
     finalize ctx
   end
   else if domains = 1 || scalar || must_be_sequential then begin
@@ -545,13 +587,17 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
               a.accum.(j) <- combine_kind input.kinds_x.(j) a.accum.(j) b.accum.(j)
             done;
             a.touched <- a.touched || b.touched;
+            merge_stats a b;
             a)
       in
+      merge_stats merged proto;
+      flush_stats merged;
       [ { gcodes = [||]; slots = Array.copy merged.accum } ]
     end
     else begin
       let ctx = make_ctx input in
       walk ctx 0 ~wrapped:false;
+      flush_stats ctx;
       finalize ctx
     end
   end
@@ -580,8 +626,11 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
                   | None -> Hashtbl.replace a.hash k v)
                 b.hash
           | Some _ -> a.out := !(b.out) @ !(a.out));
+          merge_stats a b;
           a)
     in
+    merge_stats results proto;
+    flush_stats results;
     finalize results
   end
 
@@ -626,7 +675,11 @@ let rec exec_child cfg ?cache (lq : Logical.t) (node : pnode) ~parent_order =
   let mults r = rows_arr.(r).slots.(nslots) in
   let xtrie =
     if nkeys = 0 then invalid_arg "Executor: child node with empty interface"
-    else Trie.build ~keys ~rows:(Array.init nrows Fun.id) ~group_cols ~aggs ~mults ()
+    else begin
+      Obs.incr c_trie_built;
+      Obs.span "trie.build" ~args:[ ("table", "<child-bag>") ] @@ fun () ->
+      Trie.build ~keys ~rows:(Array.init nrows Fun.id) ~group_cols ~aggs ~mults ()
+    end
   in
   let positions =
     List.filter_map
@@ -749,7 +802,13 @@ and run_bag cfg ?cache (lq : Logical.t) (node : pnode) ~gb_prefix ~with_pseudo =
       relaxed_tail;
     }
   in
-  (exec_bag cfg input, appended_items)
+  let rows =
+    Obs.span "wcoj.bag"
+      ~args:
+        [ ("rels", string_of_int (Array.length rels)); ("positions", string_of_int npos) ]
+      (fun () -> exec_bag cfg input)
+  in
+  (rows, appended_items)
 
 (* ------------------------------------------------------------------ *)
 
@@ -827,7 +886,13 @@ and run_bag_root (cfg : Config.t) ?cache lq (node : pnode) gb_prefix =
   let input =
     { rels; npos; nslots_x; kinds_x; coeffs_x; sum_like_x; gb; boundary; spa_bound; relaxed_tail }
   in
-  (exec_bag cfg input, [||])
+  let rows =
+    Obs.span "wcoj.bag"
+      ~args:
+        [ ("rels", string_of_int (Array.length rels)); ("positions", string_of_int npos) ]
+      (fun () -> exec_bag cfg input)
+  in
+  (rows, [||])
 
 (* ------------------------------------------------------------------ *)
 (* Scan path: no vertices (e.g. TPC-H Q1 and Q6)                        *)
@@ -840,6 +905,7 @@ let run_scan cfg (lq : Logical.t) =
   let table = edge.Logical.table in
   let resolve = table_resolver edge.Logical.alias table in
   let rows = filtered_rows edge in
+  Obs.add c_scan_rows (Array.length rows);
   let gitems = alias_gitems lq edge.Logical.alias in
   (* Every gitem must belong to this relation (there is only one). *)
   if List.length gitems <> Array.length lq.Logical.group_by then
@@ -861,7 +927,10 @@ let run_scan cfg (lq : Logical.t) =
   let acc : (int array, float array) Hashtbl.t = Hashtbl.create 64 in
   Array.iteri
     (fun i r ->
-      if i land 4095 = 0 then Lh_util.Budget.check budget;
+      if i land 4095 = 0 then begin
+        Obs.incr c_budget_ticks;
+        Lh_util.Budget.check budget
+      end;
       let key = Array.of_list (List.map (fun f -> f r) code_fns) in
       let dest =
         match Hashtbl.find_opt acc key with

@@ -1,0 +1,38 @@
+(** Minimal JSON tree, printer and parser.
+
+    The telemetry sinks (metrics dump, Chrome trace) emit JSON and the
+    test suite must round-trip that output; no JSON library is in the
+    dependency closure, so this module carries both directions. It
+    implements the JSON subset those sinks produce (all of RFC 8259
+    except [\uXXXX] escapes outside the BMP surrogate rules — inputs use
+    plain UTF-8 strings). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact single-line rendering. Floats are printed with ["%.17g"] so
+    parsing back is lossless; NaN/infinity are rendered as [null]
+    (Chrome's trace viewer rejects bare words). *)
+
+val to_channel : out_channel -> t -> unit
+
+val parse : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the value bound to [k], if any; [None] on
+    non-objects. *)
+
+val to_float : t -> float option
+(** Numeric accessor: [Int] and [Float] both convert. *)
+
+val to_int : t -> int option

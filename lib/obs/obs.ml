@@ -1,0 +1,127 @@
+(* Process-global telemetry. See obs.mli for the overhead contract. *)
+
+let enabled = Atomic.make false
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+let with_enabled b f =
+  let prev = Atomic.get enabled in
+  Atomic.set enabled b;
+  Fun.protect ~finally:(fun () -> Atomic.set enabled prev) f
+
+(* ------------------------------------------------------------------ *)
+(* Counters / gauges                                                    *)
+
+type kind = Counter | Gauge
+
+type counter = { cname : string; ckind : kind; cell : int Atomic.t }
+
+let registry_lock = Mutex.create ()
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+let order : counter list ref = ref []  (* reverse registration order *)
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let register kind name =
+  locked registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+          let c = { cname = name; ckind = kind; cell = Atomic.make 0 } in
+          Hashtbl.replace registry name c;
+          order := c :: !order;
+          c)
+
+let counter name = register Counter name
+let gauge name = register Gauge name
+
+let incr c = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.cell 1)
+let add c n = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.cell n)
+let set c n = if Atomic.get enabled then Atomic.set c.cell n
+
+let set_max c n =
+  if Atomic.get enabled then begin
+    let rec go () =
+      let cur = Atomic.get c.cell in
+      if n > cur && not (Atomic.compare_and_set c.cell cur n) then go ()
+    in
+    go ()
+  end
+
+let value c = Atomic.get c.cell
+let name c = c.cname
+
+type snapshot = (string * int) list
+
+let registered () = locked registry_lock (fun () -> List.rev !order)
+
+let snapshot () = List.map (fun c -> (c.cname, Atomic.get c.cell)) (registered ())
+
+let counter_names () = List.map (fun c -> c.cname) (registered ())
+
+let is_gauge n =
+  match locked registry_lock (fun () -> Hashtbl.find_opt registry n) with
+  | Some c -> c.ckind = Gauge
+  | None -> false
+
+let diff ~before ~after =
+  List.map
+    (fun (n, v) ->
+      if is_gauge n then (n, v)
+      else
+        match List.assoc_opt n before with
+        | Some v0 -> (n, v - v0)
+        | None -> (n, v))
+    after
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                                *)
+
+type span = {
+  sname : string;
+  sargs : (string * string) list;
+  sstart : float;
+  sdur : float;
+  sdepth : int;
+  stid : int;
+}
+
+let span_lock = Mutex.create ()
+let span_buf : span list ref = ref []  (* completion order, reversed *)
+let depths : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let clear_spans () =
+  locked span_lock (fun () ->
+      span_buf := [];
+      Hashtbl.reset depths)
+
+let spans () =
+  let l = locked span_lock (fun () -> !span_buf) in
+  List.sort
+    (fun a b ->
+      match compare a.stid b.stid with 0 -> Float.compare a.sstart b.sstart | c -> c)
+    l
+
+let span ?(args = []) name f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let tid = (Domain.self () :> int) in
+    let depth =
+      locked span_lock (fun () ->
+          let d = Option.value (Hashtbl.find_opt depths tid) ~default:0 in
+          Hashtbl.replace depths tid (d + 1);
+          d)
+    in
+    let t0 = Lh_util.Timing.monotonic_now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = Lh_util.Timing.monotonic_now () -. t0 in
+        locked span_lock (fun () ->
+            span_buf :=
+              { sname = name; sargs = args; sstart = t0; sdur = dt; sdepth = depth; stid = tid }
+              :: !span_buf;
+            Hashtbl.replace depths tid depth))
+      f
+  end

@@ -1,0 +1,88 @@
+(** Query telemetry: a process-global registry of counters/gauges plus a
+    hierarchical span recorder, all behind one [enabled] flag.
+
+    Design constraints (mirroring the instrumented hot paths):
+
+    - When disabled — the default — every probe is a single load of an
+      [Atomic.t bool] and a branch; no allocation, no clock read, no
+      lock. The WCOJ inner loops in [Executor] pay effectively nothing.
+    - When enabled, counter updates are single [Atomic] fetch-and-adds
+      (safe under the parallel executor's domains) and spans take one
+      monotonic clock read at start and end plus one mutex-guarded
+      buffer push at end. Spans are placed at phase granularity (parse,
+      plan, per-relation trie build, per-bag execution), never inside
+      per-tuple loops.
+
+    Counters are registered once at module-initialization time and are
+    monotonically non-decreasing for the life of the process; reports
+    work on {!snapshot} deltas. Gauges hold "latest" or "maximum"
+    values and are not monotone. *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Runs the thunk with the flag set, restoring the previous value
+    (exception-safe). *)
+
+(** {1 Counters and gauges} *)
+
+type counter
+
+val counter : string -> counter
+(** Registers (or retrieves) the counter named [name]. Counter and gauge
+    names share one namespace; registering the same name twice returns
+    the same cell. *)
+
+val gauge : string -> counter
+(** Same cell type as a counter, but reported as a point-in-time value
+    and mutated with {!set}/{!set_max} rather than increments. *)
+
+val incr : counter -> unit
+(** No-op when disabled; atomic [+1] otherwise. *)
+
+val add : counter -> int -> unit
+val set : counter -> int -> unit
+val set_max : counter -> int -> unit
+
+val value : counter -> int
+(** Current value, regardless of the enabled flag. *)
+
+val name : counter -> string
+
+type snapshot = (string * int) list
+(** Registration-ordered [(name, value)] pairs — counters and gauges. *)
+
+val snapshot : unit -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-name [after - before] for counters; gauges report their [after]
+    value as-is. Names only present in [after] (registered mid-session)
+    keep their [after] value. *)
+
+val counter_names : unit -> string list
+(** Every registered counter/gauge name, in registration order. *)
+
+val is_gauge : string -> bool
+
+(** {1 Spans} *)
+
+type span = {
+  sname : string;
+  sargs : (string * string) list;
+  sstart : float;  (** monotonic seconds ({!Lh_util.Timing.monotonic_now}) *)
+  sdur : float;  (** seconds *)
+  sdepth : int;  (** nesting depth within its domain, root = 0 *)
+  stid : int;  (** domain id, for the Chrome trace's tid lane *)
+}
+
+val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f]; when enabled, records a completed span
+    around it. Nesting is tracked per domain. Exception-safe: the span
+    is recorded (and the depth restored) even if [f] raises. *)
+
+val spans : unit -> span list
+(** Completed spans since the last {!clear_spans}, ordered by
+    (domain, start time). *)
+
+val clear_spans : unit -> unit

@@ -1,0 +1,196 @@
+type t = {
+  total_s : float;
+  spans : Obs.span list;
+  counters : Obs.snapshot;
+}
+
+let g_peak_words = Obs.gauge "gc.peak_live_words"
+
+let with_session f =
+  Obs.with_enabled true (fun () ->
+      Obs.clear_spans ();
+      let before = Obs.snapshot () in
+      let t0 = Lh_util.Timing.monotonic_now () in
+      let result = f () in
+      let total = Lh_util.Timing.monotonic_now () -. t0 in
+      Obs.set_max g_peak_words (Gc.quick_stat ()).Gc.heap_words;
+      let after = Obs.snapshot () in
+      ( result,
+        { total_s = total; spans = Obs.spans (); counters = Obs.diff ~before ~after } ))
+
+(* ------------------------------------------------------------------ *)
+
+let split_counters t =
+  List.partition (fun (n, _) -> not (Obs.is_gauge n)) t.counters
+
+(* The session's "phases": children of the unique root span when there is
+   one, the roots themselves otherwise. Only the root's domain counts —
+   worker-domain spans are sub-work of some phase, not phases. *)
+let phases t =
+  let roots = List.filter (fun (s : Obs.span) -> s.Obs.sdepth = 0) t.spans in
+  let level, tid =
+    match roots with
+    | [ r ] -> (1, Some r.Obs.stid)
+    | _ -> (0, None)
+  in
+  let keep (s : Obs.span) =
+    s.Obs.sdepth = level
+    && match tid with None -> true | Some tid -> s.Obs.stid = tid
+  in
+  List.fold_left
+    (fun acc (s : Obs.span) ->
+      if not (keep s) then acc
+      else
+        match List.assoc_opt s.Obs.sname acc with
+        | Some d -> (s.Obs.sname, d +. s.Obs.sdur) :: List.remove_assoc s.Obs.sname acc
+        | None -> (s.Obs.sname, s.Obs.sdur) :: acc)
+    [] t.spans
+  |> List.rev
+
+let to_text t =
+  let buf = Buffer.create 1024 in
+  let dur = Lh_util.Timing.duration_to_string in
+  Buffer.add_string buf
+    (Printf.sprintf "EXPLAIN ANALYZE  (total %s)\n" (dur t.total_s));
+  if t.spans <> [] then begin
+    Buffer.add_string buf "spans:\n";
+    List.iter
+      (fun (s : Obs.span) ->
+        let indent = String.make (2 + (2 * s.Obs.sdepth)) ' ' in
+        let label =
+          match s.Obs.sargs with
+          | [] -> s.Obs.sname
+          | args ->
+              Printf.sprintf "%s (%s)" s.Obs.sname
+                (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) args))
+        in
+        let pad = max 1 (46 - String.length indent - String.length label) in
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s%s%10s\n" indent label (String.make pad ' ')
+             (dur s.Obs.sdur)))
+      t.spans
+  end;
+  (match phases t with
+  | [] -> ()
+  | ps ->
+      Buffer.add_string buf "phase breakdown:\n";
+      let accounted = List.fold_left (fun a (_, d) -> a +. d) 0.0 ps in
+      List.iter
+        (fun (n, d) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-30s%10s  %5.1f%%\n" n (dur d)
+               (if t.total_s > 0.0 then 100.0 *. d /. t.total_s else 0.0)))
+        ps;
+      Buffer.add_string buf
+        (Printf.sprintf "  %-30s%10s  %5.1f%% of total\n" "(accounted)" (dur accounted)
+           (if t.total_s > 0.0 then 100.0 *. accounted /. t.total_s else 0.0)));
+  let counters, gauges = split_counters t in
+  let nonzero = List.filter (fun (_, v) -> v <> 0) counters in
+  if nonzero <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter
+      (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "  %-30s%10d\n" n v))
+      nonzero
+  end;
+  let gz = List.filter (fun (_, v) -> v <> 0) gauges in
+  if gz <> [] then begin
+    Buffer.add_string buf "gauges:\n";
+    List.iter
+      (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "  %-30s%10d\n" n v))
+      gz
+  end;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+let metrics_json t =
+  let counters, gauges = split_counters t in
+  Json.Obj
+    [
+      ("total_seconds", Json.Float t.total_s);
+      ("phases", Json.Obj (List.map (fun (n, d) -> (n, Json.Float d)) (phases t)));
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) counters));
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) gauges));
+      ( "spans",
+        Json.List
+          (List.map
+             (fun (s : Obs.span) ->
+               Json.Obj
+                 [
+                   ("name", Json.String s.Obs.sname);
+                   ("start_s", Json.Float s.Obs.sstart);
+                   ("dur_s", Json.Float s.Obs.sdur);
+                   ("depth", Json.Int s.Obs.sdepth);
+                   ("tid", Json.Int s.Obs.stid);
+                   ( "args",
+                     Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.Obs.sargs) );
+                 ])
+             t.spans) );
+    ]
+
+let chrome_trace t =
+  (* Chrome's trace viewer wants microsecond timestamps; re-base on the
+     earliest span so numbers stay small. *)
+  let t0 =
+    List.fold_left (fun acc (s : Obs.span) -> Float.min acc s.Obs.sstart) infinity t.spans
+  in
+  let t0 = if t0 = infinity then 0.0 else t0 in
+  let us x = (x -. t0) *. 1e6 in
+  let events =
+    List.map
+      (fun (s : Obs.span) ->
+        Json.Obj
+          [
+            ("name", Json.String s.Obs.sname);
+            ("cat", Json.String "query");
+            ("ph", Json.String "X");
+            ("ts", Json.Float (us s.Obs.sstart));
+            ("dur", Json.Float (s.Obs.sdur *. 1e6));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int s.Obs.stid);
+            ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.Obs.sargs));
+          ])
+      t.spans
+  in
+  let counter_events =
+    (* One final sample per non-zero counter, so the counters land in the
+       trace viewer's args pane. *)
+    let counters, _ = split_counters t in
+    List.filter_map
+      (fun (n, v) ->
+        if v = 0 then None
+        else
+          Some
+            (Json.Obj
+               [
+                 ("name", Json.String n);
+                 ("cat", Json.String "counters");
+                 ("ph", Json.String "C");
+                 ("ts", Json.Float (t.total_s *. 1e6));
+                 ("pid", Json.Int 1);
+                 ("args", Json.Obj [ ("value", Json.Int v) ]);
+               ]))
+      counters
+  in
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.String "levelheaded") ]);
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List ((meta :: events) @ counter_events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_file path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel oc json;
+      output_char oc '\n')

@@ -1,0 +1,34 @@
+(** Telemetry sinks: turn one instrumented run into an
+    [EXPLAIN ANALYZE]-style text report, a JSON metrics dump, or a
+    Chrome [chrome://tracing] / Perfetto-compatible trace file. *)
+
+type t = {
+  total_s : float;  (** end-to-end seconds of the session *)
+  spans : Obs.span list;  (** completed spans, (domain, start)-ordered *)
+  counters : Obs.snapshot;  (** counter deltas / gauge values over the session *)
+}
+
+val with_session : (unit -> 'a) -> 'a * t
+(** Runs the thunk with telemetry enabled (restoring the previous flag),
+    an empty span buffer, and returns the report for exactly that run.
+    Counter values are session deltas; gauges are end-of-session values.
+    Samples [Gc.quick_stat] into the [gc.peak_live_words] gauge. *)
+
+val phases : t -> (string * float) list
+(** Top-level phase breakdown in execution order: durations of the
+    spans one level below the session's root span (or the root spans
+    themselves when there is no single root). Repeated names are
+    summed. *)
+
+val to_text : t -> string
+(** Human-readable report: span tree, phase breakdown with percentages
+    and coverage, counters and gauges. *)
+
+val metrics_json : t -> Json.t
+(** [{"total_seconds", "phases", "counters", "gauges", "spans"}]. *)
+
+val chrome_trace : t -> Json.t
+(** [{"traceEvents": [...]}] with ["ph":"X"] complete events in
+    microseconds, loadable by Chrome's trace viewer and Perfetto. *)
+
+val write_file : string -> Json.t -> unit

@@ -1,9 +1,13 @@
 let now () = Unix.gettimeofday ()
 
+(* CLOCK_MONOTONIC via bechamel's stub: immune to NTP steps/slews, which
+   matter at the microsecond scale spans and measurements operate on. *)
+let monotonic_now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
 let time f =
-  let t0 = now () in
+  let t0 = monotonic_now () in
   let x = f () in
-  (x, now () -. t0)
+  (x, monotonic_now () -. t0)
 
 let measure ?(runs = 7) f =
   if runs <= 0 then invalid_arg "Timing.measure: runs must be positive";
@@ -12,7 +16,7 @@ let measure ?(runs = 7) f =
         let _, dt = time f in
         dt)
   in
-  Array.sort compare samples;
+  Array.sort Float.compare samples;
   (* Paper protocol: eliminate the lowest and the highest value, average the
      rest.  With fewer than 3 runs there is nothing to trim. *)
   let lo, hi = if runs >= 3 then (1, runs - 2) else (0, runs - 1) in

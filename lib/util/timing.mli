@@ -3,10 +3,16 @@
     the rest. *)
 
 val now : unit -> float
-(** Wall-clock seconds. *)
+(** Wall-clock seconds (subject to NTP adjustment; use for timestamps). *)
+
+val monotonic_now : unit -> float
+(** Monotonic seconds ([CLOCK_MONOTONIC]): steady under NTP steps and
+    slews. The origin is arbitrary — only differences are meaningful.
+    Use this for every duration measurement (spans, benchmarks). *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f] once and returns its result with elapsed seconds. *)
+(** [time f] runs [f] once and returns its result with elapsed monotonic
+    seconds. *)
 
 val measure : ?runs:int -> (unit -> 'a) -> float
 (** [measure ~runs f] runs [f] [runs] times (default 7), drops the fastest

@@ -1,0 +1,268 @@
+(* Telemetry subsystem tests: counter/gauge semantics, span nesting,
+   session reports, the trie-cache hit/miss lifecycle across repeated
+   engine queries, and JSON / Chrome-trace round-trips through the
+   in-repo parser. *)
+
+module L = Levelheaded
+module Obs = Lh_obs.Obs
+module Report = Lh_obs.Report
+module Json = Lh_obs.Json
+module Table = Lh_storage.Table
+module Dtype = Lh_storage.Dtype
+
+let cval name (r : Report.t) = Option.value (List.assoc_opt name r.Report.counters) ~default:0
+
+(* ---- counters and gauges ---- *)
+
+let test_counter_disabled_noop () =
+  let c = Obs.counter "test.disabled" in
+  Obs.set_enabled false;
+  let before = Obs.value c in
+  Obs.incr c;
+  Obs.add c 10;
+  Alcotest.(check int) "no-op when disabled" before (Obs.value c)
+
+let test_counter_monotone () =
+  let c = Obs.counter "test.monotone" in
+  Obs.with_enabled true (fun () ->
+      let v0 = Obs.value c in
+      Obs.incr c;
+      Alcotest.(check int) "incr" (v0 + 1) (Obs.value c);
+      Obs.add c 4;
+      Alcotest.(check int) "add" (v0 + 5) (Obs.value c))
+
+let test_counter_idempotent_register () =
+  let a = Obs.counter "test.same" and b = Obs.counter "test.same" in
+  Obs.with_enabled true (fun () ->
+      let v0 = Obs.value a in
+      Obs.incr b;
+      Alcotest.(check int) "one cell" (v0 + 1) (Obs.value a))
+
+let test_gauge_set_max () =
+  let g = Obs.gauge "test.gauge" in
+  Obs.with_enabled true (fun () ->
+      Obs.set g 7;
+      Obs.set_max g 3;
+      Alcotest.(check int) "set_max keeps larger" 7 (Obs.value g);
+      Obs.set_max g 11;
+      Alcotest.(check int) "set_max raises" 11 (Obs.value g));
+  Alcotest.(check bool) "is_gauge" true (Obs.is_gauge "test.gauge");
+  Alcotest.(check bool) "counter is not" false (Obs.is_gauge "test.monotone")
+
+let test_diff_semantics () =
+  let c = Obs.counter "test.diffc" and g = Obs.gauge "test.diffg" in
+  Obs.with_enabled true (fun () ->
+      Obs.add c 2;
+      Obs.set g 5;
+      let before = Obs.snapshot () in
+      Obs.add c 3;
+      Obs.set g 4;
+      let after = Obs.snapshot () in
+      let d = Obs.diff ~before ~after in
+      Alcotest.(check int) "counter delta" 3 (List.assoc "test.diffc" d);
+      Alcotest.(check int) "gauge end value" 4 (List.assoc "test.diffg" d))
+
+let test_with_enabled_restores () =
+  Obs.set_enabled false;
+  (try Obs.with_enabled true (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "restored after raise" false (Obs.is_enabled ())
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  Obs.with_enabled true (fun () ->
+      Obs.clear_spans ();
+      Obs.span "a" (fun () ->
+          Obs.span ~args:[ ("k", "v") ] "b" (fun () -> ());
+          Obs.span "c" (fun () -> ()));
+      let ss = Obs.spans () in
+      Alcotest.(check (list string)) "start order" [ "a"; "b"; "c" ]
+        (List.map (fun s -> s.Obs.sname) ss);
+      Alcotest.(check (list int)) "depths" [ 0; 1; 1 ] (List.map (fun s -> s.Obs.sdepth) ss);
+      let a = List.nth ss 0 and b = List.nth ss 1 in
+      Alcotest.(check bool) "b inside a" true
+        (b.Obs.sstart >= a.Obs.sstart && b.Obs.sdur <= a.Obs.sdur);
+      Alcotest.(check (list (pair string string))) "args" [ ("k", "v") ] b.Obs.sargs)
+
+let test_span_exception_safe () =
+  Obs.with_enabled true (fun () ->
+      Obs.clear_spans ();
+      (try Obs.span "outer" (fun () -> Obs.span "inner" (fun () -> failwith "boom"))
+       with Failure _ -> ());
+      let ss = Obs.spans () in
+      Alcotest.(check (list string)) "both recorded" [ "outer"; "inner" ]
+        (List.map (fun s -> s.Obs.sname) ss);
+      (* depth state must be restored: a fresh root span is depth 0 again *)
+      Obs.span "again" (fun () -> ());
+      let last = List.nth (Obs.spans ()) 2 in
+      Alcotest.(check int) "depth restored" 0 last.Obs.sdepth)
+
+let test_span_disabled_passthrough () =
+  Obs.set_enabled false;
+  Obs.clear_spans ();
+  Alcotest.(check int) "result" 41 (Obs.span "nope" (fun () -> 41));
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.spans ()))
+
+(* ---- session reports ---- *)
+
+let test_session_deltas () =
+  let c = Obs.counter "test.session" in
+  let session () = Report.with_session (fun () -> Obs.incr c; Obs.add c 4) in
+  let (), r1 = session () in
+  let (), r2 = session () in
+  Alcotest.(check int) "first delta" 5 (cval "test.session" r1);
+  Alcotest.(check int) "second delta (not cumulative)" 5 (cval "test.session" r2);
+  Alcotest.(check bool) "total positive" true (r1.Report.total_s >= 0.0)
+
+(* ---- engine integration: trie cache lifecycle + stale-cache fix ---- *)
+
+let matrix_rows vals = List.map (fun (i, j, v) -> [ Dtype.VInt i; Dtype.VInt j; Dtype.VFloat v ]) vals
+
+let engine_with vals =
+  let e = L.Engine.create () in
+  ignore
+    (L.Engine.register_rows e ~name:"m" ~schema:Lh_datagen.Matrices.matrix_schema
+       (matrix_rows vals));
+  e
+
+let smm =
+  "select m1.row, m2.col, sum(m1.v * m2.v) as v from m m1, m m2 where m1.col = m2.row group by \
+   m1.row, m2.col"
+
+let test_trie_cache_hit_miss () =
+  let e = engine_with [ (0, 1, 2.0); (1, 2, 3.0); (5, 0, 1.0) ] in
+  let run () = ignore (L.Engine.query e smm) in
+  let (), cold = Report.with_session run in
+  let (), hot = Report.with_session run in
+  Alcotest.(check bool) "cold run misses" true (cval "trie_cache.miss" cold >= 1);
+  Alcotest.(check bool) "cold run builds tries" true (cval "trie.built" cold >= 1);
+  Alcotest.(check bool) "hot run hits" true (cval "trie_cache.hit" hot >= 1);
+  Alcotest.(check int) "hot run never misses" 0 (cval "trie_cache.miss" hot);
+  (* re-registering the table must invalidate: back to a cold run *)
+  ignore
+    (L.Engine.register_rows e ~name:"m" ~schema:Lh_datagen.Matrices.matrix_schema
+       (matrix_rows [ (0, 1, 2.0); (1, 2, 3.0) ]));
+  let (), recold = Report.with_session run in
+  Alcotest.(check bool) "miss again after register_rows" true (cval "trie_cache.miss" recold >= 1)
+
+let test_register_rows_invalidates () =
+  (* the stale-cache regression: register_rows used to leave the trie
+     cache intact, so a hot query kept answering from the old table *)
+  let e = engine_with [ (0, 1, 2.0); (1, 2, 3.0) ] in
+  Helpers.check_rows_equal "initial join"
+    [ [ Dtype.VInt 0; Dtype.VInt 2; Dtype.VFloat 6.0 ] ]
+    (Table.to_rows (L.Engine.query e smm));
+  ignore
+    (L.Engine.register_rows e ~name:"m" ~schema:Lh_datagen.Matrices.matrix_schema
+       (matrix_rows [ (5, 6, 1.0) ]));
+  Alcotest.(check int) "replacement visible" 0 (L.Engine.query e smm).Table.nrows
+
+let test_analyze_phases_and_rows () =
+  let e = engine_with [ (0, 1, 2.0); (1, 2, 3.0); (2, 0, 4.0) ] in
+  let result, ex, r = L.Engine.query_analyze e smm in
+  Alcotest.(check bool) "wcoj path" true (ex.L.Engine.epath = L.Engine.Wcoj_path);
+  Alcotest.(check int) "rows.emitted matches result" result.Table.nrows (cval "rows.emitted" r);
+  let phases = Report.phases r in
+  let names = List.map fst phases in
+  Alcotest.(check bool) "has parse phase" true (List.mem "parse" names);
+  Alcotest.(check bool) "has finalize phase" true (List.mem "finalize" names);
+  let accounted = List.fold_left (fun a (_, d) -> a +. d) 0.0 phases in
+  Alcotest.(check bool) "phases within total" true (accounted <= r.Report.total_s *. 1.05);
+  Alcotest.(check bool) "phases non-trivial" true (accounted > 0.0);
+  (* the text report renders without raising and mentions the cache *)
+  let text = Report.to_text r in
+  Alcotest.(check bool) "text has phase table" true
+    (String.length text > 0 && List.mem "parse" names)
+
+(* ---- JSON round-trips ---- *)
+
+let test_json_parse_basics () =
+  Alcotest.(check bool) "scalars" true
+    (Json.parse "[1, -2.5, \"a\\nb\", true, false, null]"
+    = Json.List
+        [ Json.Int 1; Json.Float (-2.5); Json.String "a\nb"; Json.Bool true; Json.Bool false; Json.Null ]);
+  Alcotest.(check bool) "nested object" true
+    (Json.parse "{\"k\": {\"n\": -3}}" = Json.Obj [ ("k", Json.Obj [ ("n", Json.Int (-3)) ]) ]);
+  Alcotest.(check bool) "unicode escape" true (Json.parse "\"\\u0041\"" = Json.String "A")
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected Parse_error on %S" s)
+    [ "{"; "1 2"; "[1,]"; "nul"; "\"unterminated" ]
+
+let test_json_roundtrip_tree () =
+  let t =
+    Json.Obj
+      [
+        ("i", Json.Int 42);
+        ("f", Json.Float 0.1);
+        ("whole", Json.Float 2.0);
+        ("s", Json.String "quote\" slash\\ newline\n tab\t π");
+        ("l", Json.List [ Json.Bool true; Json.Null; Json.Int (-7) ]);
+      ]
+  in
+  Alcotest.(check bool) "tree survives print+parse" true (Json.parse (Json.to_string t) = t)
+
+let test_report_sinks_roundtrip () =
+  let e = engine_with [ (0, 1, 2.0); (1, 2, 3.0) ] in
+  let _, _, r = L.Engine.query_analyze e smm in
+  let metrics = Report.metrics_json r in
+  let reparsed = Json.parse (Json.to_string metrics) in
+  Alcotest.(check bool) "metrics survive round-trip" true (reparsed = metrics);
+  (match Json.member "total_seconds" reparsed with
+  | Some v ->
+      Alcotest.(check (float 1e-9)) "total preserved" r.Report.total_s
+        (Option.get (Json.to_float v))
+  | None -> Alcotest.fail "missing total_seconds");
+  let trace = Report.chrome_trace r in
+  let tre = Json.parse (Json.to_string trace) in
+  Alcotest.(check bool) "trace survives round-trip" true (tre = trace);
+  match Json.member "traceEvents" tre with
+  | Some (Json.List evs) ->
+      Alcotest.(check bool) "has events" true (List.length evs > 0);
+      List.iter
+        (fun ev ->
+          match Json.member "ph" ev with
+          | Some (Json.String ("X" | "C" | "M")) -> ()
+          | _ -> Alcotest.fail "unexpected event phase")
+        evs
+  | _ -> Alcotest.fail "missing traceEvents"
+
+let () =
+  Alcotest.run "lh_obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "disabled no-op" `Quick test_counter_disabled_noop;
+          Alcotest.test_case "monotone incr/add" `Quick test_counter_monotone;
+          Alcotest.test_case "idempotent register" `Quick test_counter_idempotent_register;
+          Alcotest.test_case "gauge set/set_max" `Quick test_gauge_set_max;
+          Alcotest.test_case "diff semantics" `Quick test_diff_semantics;
+          Alcotest.test_case "with_enabled restores" `Quick test_with_enabled_restores;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting + ordering" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safe;
+          Alcotest.test_case "disabled passthrough" `Quick test_span_disabled_passthrough;
+        ] );
+      ( "sessions",
+        [ Alcotest.test_case "counter deltas per session" `Quick test_session_deltas ] );
+      ( "engine",
+        [
+          Alcotest.test_case "trie cache hit/miss lifecycle" `Quick test_trie_cache_hit_miss;
+          Alcotest.test_case "register_rows invalidates caches" `Quick
+            test_register_rows_invalidates;
+          Alcotest.test_case "analyze phases + rows.emitted" `Quick test_analyze_phases_and_rows;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "tree round-trip" `Quick test_json_roundtrip_tree;
+          Alcotest.test_case "report sinks round-trip" `Quick test_report_sinks_roundtrip;
+        ] );
+    ]
