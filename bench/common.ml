@@ -13,6 +13,7 @@ type params = {
   timeout : float;  (* per-measurement budget, seconds *)
   mem_words : int;  (* per-measurement live-word budget *)
   seed : int;
+  domains : int;  (* worker domains for the LevelHeaded configurations *)
 }
 
 let default_params =
@@ -24,6 +25,7 @@ let default_params =
     timeout = 60.0;
     mem_words = 250_000_000;
     seed = 42;
+    domains = 1;
   }
 
 type outcome = Time of float | Oom | Timeout | Unsupported
@@ -84,7 +86,7 @@ let json_out : string option ref = ref None
 let current_experiment = ref ""
 let json_records : Json.t list ref = ref []
 
-let record_cell ~system ~sql ~outcome report =
+let record_cell ?domains ?seq_report ~system ~sql ~outcome report =
   if !json_out <> None then begin
     let open Lh_obs in
     let base =
@@ -94,6 +96,9 @@ let record_cell ~system ~sql ~outcome report =
         ("sql", Json.String sql);
         ("outcome", Json.String (outcome_to_string outcome));
       ]
+    in
+    let domains_field =
+      match domains with None -> [] | Some d -> [ ("domains", Json.Int d) ]
     in
     let timing = match outcome with Time t -> [ ("seconds", Json.Float t) ] | _ -> [] in
     let telemetry =
@@ -108,7 +113,30 @@ let record_cell ~system ~sql ~outcome report =
               Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) r.Report.counters) );
           ]
     in
-    json_records := Json.Obj (base @ timing @ telemetry) :: !json_records
+    (* Parallel speedup decomposition: when the cell also ran instrumented
+       at domains=1, report the end-to-end and per-phase sequential/parallel
+       time ratios (only phases present in both runs, e.g. trie building,
+       WCOJ execution, BLAS kernels). *)
+    let speedups =
+      match (report, seq_report) with
+      | Some (par : Report.t), Some (seq : Report.t) when par.Report.total_s > 0.0 ->
+          let par_phases = Report.phases par in
+          let phase_speedups =
+            List.filter_map
+              (fun (n, seq_d) ->
+                match List.assoc_opt n par_phases with
+                | Some par_d when par_d > 0.0 -> Some (n, Json.Float (seq_d /. par_d))
+                | _ -> None)
+              (Report.phases seq)
+          in
+          [
+            ("sequential_seconds", Json.Float seq.Report.total_s);
+            ("speedup", Json.Float (seq.Report.total_s /. par.Report.total_s));
+            ("phase_speedups", Json.Obj phase_speedups);
+          ]
+      | _ -> []
+    in
+    json_records := Json.Obj (base @ domains_field @ timing @ telemetry @ speedups) :: !json_records
   end
 
 let write_json () =
@@ -129,11 +157,18 @@ let instrumented_rerun f =
       | exception (Budget.Out_of_memory_budget | Budget.Timed_out) -> None)
 
 (* [measure], plus — when --json is active and the cell succeeded — one
-   extra instrumented hot run recorded under [system] / [sql]. *)
-let measured ?budget ~runs ~system ~sql f =
+   extra instrumented hot run recorded under [system] / [sql]. When
+   [sequential] is given (the same cell pinned to domains=1), it too runs
+   instrumented so the record carries speedup columns. *)
+let measured ?budget ~runs ?domains ?sequential ~system ~sql f =
   let outcome = measure ?budget ~runs f in
   let report = match outcome with Time _ -> instrumented_rerun f | _ -> None in
-  record_cell ~system ~sql ~outcome report;
+  let seq_report =
+    match (report, sequential) with
+    | Some _, Some fseq -> instrumented_rerun fseq
+    | _ -> None
+  in
+  record_cell ?domains ?seq_report ~system ~sql ~outcome report;
   outcome
 
 (* Run [sql] on [system] against the master engine. Engine configs are
@@ -148,36 +183,50 @@ let run_system eng params system sql =
     Fun.protect ~finally:(fun () -> L.Engine.set_config eng saved) f
   in
   (* One hot run of the cell, as a thunk shared by the measurement loop
-     and the instrumented telemetry rerun. *)
-  let once =
+     and the instrumented telemetry rerun. LevelHeaded configurations run
+     at [params.domains]; when that is > 1 a domains=1 twin of the thunk
+     feeds the speedup columns of the JSON record. *)
+  let lh_thunk base ~domains () =
+    with_cfg { base with L.Config.domains } (fun () -> ignore (L.Engine.query eng sql))
+  in
+  let lh_pair base =
+    ( lh_thunk base ~domains:params.domains,
+      if params.domains > 1 then Some (lh_thunk base ~domains:1) else None )
+  in
+  let once, sequential, domains =
     match system with
     | Lh ->
-        Some (fun () -> with_cfg L.Config.default (fun () -> ignore (L.Engine.query eng sql)))
+        let f, s = lh_pair L.Config.default in
+        (Some f, s, Some params.domains)
     | Lh_logicblox ->
-        Some
-          (fun () ->
-            with_cfg L.Config.logicblox_like (fun () -> ignore (L.Engine.query eng sql)))
+        let f, s = lh_pair L.Config.logicblox_like in
+        (Some f, s, Some params.domains)
     | Hyper_like ->
         let ast = Lh_sql.Parser.parse sql in
-        Some
-          (fun () ->
-            ignore
-              (Lh_baseline.Pairwise.query ~lookup ~mode:Lh_baseline.Pairwise.Pipelined ~budget
-                 ast))
+        ( Some
+            (fun () ->
+              ignore
+                (Lh_baseline.Pairwise.query ~lookup ~mode:Lh_baseline.Pairwise.Pipelined ~budget
+                   ast)),
+          None,
+          None )
     | Monet_like ->
         let ast = Lh_sql.Parser.parse sql in
-        Some
-          (fun () ->
-            ignore
-              (Lh_baseline.Pairwise.query ~lookup
-                 ~mode:Lh_baseline.Pairwise.Materializing ~budget ast))
-    | Mkl_like -> None
+        ( Some
+            (fun () ->
+              ignore
+                (Lh_baseline.Pairwise.query ~lookup
+                   ~mode:Lh_baseline.Pairwise.Materializing ~budget ast)),
+          None,
+          None )
+    | Mkl_like -> (None, None, None)
   in
   match once with
   | None ->
       record_cell ~system:(system_name system) ~sql ~outcome:Unsupported None;
       Unsupported
-  | Some f -> measured ~runs:params.runs ~system:(system_name system) ~sql f
+  | Some f ->
+      measured ~runs:params.runs ?domains ?sequential ~system:(system_name system) ~sql f
 
 (* ---------------- table rendering ---------------- *)
 

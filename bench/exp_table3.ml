@@ -30,12 +30,18 @@ let run params =
 
   let budget = Lh_util.Budget.create ~max_live_words:params.C.mem_words ~max_seconds:params.C.timeout () in
   let run_cfg sysname cfg sql =
-    let saved = L.Engine.config eng in
-    L.Engine.set_config eng { cfg with L.Config.budget };
-    Fun.protect
-      ~finally:(fun () -> L.Engine.set_config eng saved)
-      (fun () ->
-        C.measured ~runs:params.C.runs ~system:sysname ~sql (fun () -> L.Engine.query eng sql))
+    let with_cfg cfg f =
+      let saved = L.Engine.config eng in
+      L.Engine.set_config eng cfg;
+      Fun.protect ~finally:(fun () -> L.Engine.set_config eng saved) f
+    in
+    let thunk domains () =
+      with_cfg { cfg with L.Config.budget; domains } (fun () -> ignore (L.Engine.query eng sql))
+    in
+    let domains = max 1 params.C.domains in
+    C.measured ~runs:params.C.runs ~domains
+      ?sequential:(if domains > 1 then Some (thunk 1) else None)
+      ~system:sysname ~sql (thunk domains)
   in
   let no_attr_elim =
     { L.Config.default with attribute_elimination = false; blas_targeting = false }

@@ -25,8 +25,17 @@ let run params =
       let tname = m.Lh_datagen.Matrices.table.Lh_storage.Table.name in
       let smv_sql = Queries.smv ~matrix:tname ~vector:(name ^ "_x") in
       let smv =
-        C.measured ~runs:params.C.runs ~system:"LevelHeaded" ~sql:smv_sql (fun () ->
-            L.Engine.query eng smv_sql)
+        let thunk domains () =
+          let saved = L.Engine.config eng in
+          L.Engine.set_config eng { saved with L.Config.domains = domains };
+          Fun.protect
+            ~finally:(fun () -> L.Engine.set_config eng saved)
+            (fun () -> ignore (L.Engine.query eng smv_sql))
+        in
+        let domains = max 1 params.C.domains in
+        C.measured ~runs:params.C.runs ~domains
+          ?sequential:(if domains > 1 then Some (thunk 1) else None)
+          ~system:"LevelHeaded" ~sql:smv_sql (thunk domains)
       in
       let ratio =
         match (conv, smv) with

@@ -92,9 +92,11 @@ let path_name = function
   | L.Engine.Wcoj_path -> "wcoj"
   | L.Engine.Blas_path -> "blas"
 
-let query_run tables tpch_dir sql explain_only analyze trace_file metrics_file sep =
+let query_run tables tpch_dir sql explain_only analyze trace_file metrics_file sep domains =
   let failed = ref false in
-  let eng = L.Engine.create () in
+  (* Configure domains before loading: ingest parallelizes too. *)
+  let config = { L.Config.default with L.Config.domains = max 1 domains } in
+  let eng = L.Engine.create ~config () in
   (match tpch_dir with
   | None -> ()
   | Some dir ->
@@ -171,8 +173,16 @@ let query_cmd =
            ~doc:"Write the run's telemetry (phases, counters, spans) as JSON to $(docv)")
   in
   let sep = Arg.(value & opt char ',' & info [ "sep" ] ~doc:"Field separator for --table files") in
+  let domains =
+    Arg.(value
+         & opt int (Lh_util.Parfor.default_domains ())
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains for ingest, trie builds and query execution (default: \
+                   \\$LH_DOMAINS if set, else 1)")
+  in
   Cmd.v (Cmd.info "query" ~doc:"Load delimited files and run SQL")
-    Term.(const query_run $ tables $ tpch $ sql $ explain $ analyze $ trace $ metrics $ sep)
+    Term.(
+      const query_run $ tables $ tpch $ sql $ explain $ analyze $ trace $ metrics $ sep $ domains)
 
 let () =
   let info = Cmd.info "lhcli" ~doc:"LevelHeaded command-line interface" in

@@ -1,9 +1,14 @@
 #!/bin/sh
-# CI entry point: build, run the test suites, then the telemetry smoke
-# test (one query per experiment family with telemetry enabled; fails if
-# any counter is absent or never incremented — see bench/main.ml).
+# CI entry point: build, run the test suites (sequential and parallel
+# legs), then the telemetry smoke test (one query per experiment family
+# with telemetry enabled; fails if any counter is absent or never
+# incremented — see bench/main.ml).
 set -eu
 
 dune build
 dune runtest
+# Second leg: every engine default switches to 4 domains, so the whole
+# suite re-runs on the parallel ingest/build/execute paths. test/dune
+# declares (deps (env_var LH_DOMAINS)) so this is never a cache hit.
+LH_DOMAINS=4 dune runtest
 dune exec bench/main.exe -- --smoke

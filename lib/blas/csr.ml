@@ -55,63 +55,98 @@ let of_coo (c : Coo.t) =
     values = Array.sub values 0 !write;
   }
 
-let spmv t x =
+let spmv ?(domains = 1) t x =
   if Array.length x <> t.ncols then invalid_arg "Csr.spmv: dimension mismatch";
   let y = Array.make t.nrows 0.0 in
-  for i = 0 to t.nrows - 1 do
-    let acc = ref 0.0 in
-    for p = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-      acc :=
-        !acc +. (Array.unsafe_get t.values p *. Array.unsafe_get x (Array.unsafe_get t.col_idx p))
-    done;
-    y.(i) <- !acc
-  done;
+  (* Row-partitioned; per-row summation order unchanged, so the result is
+     bit-identical for any [domains]. *)
+  Lh_util.Parfor.iter ~domains ~n:t.nrows (fun i ->
+      let acc = ref 0.0 in
+      for p = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        acc :=
+          !acc +. (Array.unsafe_get t.values p *. Array.unsafe_get x (Array.unsafe_get t.col_idx p))
+      done;
+      y.(i) <- !acc);
   y
 
-let spgemm a b =
+(* One Gustavson workspace per chunk: a dense accumulator and touched list
+   (reused across the chunk's rows), plus the chunk's output triplet. The
+   chunks are contiguous row ranges merged in row order, so concatenation
+   reassembles exactly the sequential output. *)
+type spgemm_acc = {
+  acc : float array;
+  in_touched : bool array;
+  touched : int array;
+  rlen : Lh_util.Vec.Int.t;  (* output nnz per processed row, in row order *)
+  out_col : Lh_util.Vec.Int.t;
+  out_val : Lh_util.Vec.Float.t;
+}
+
+let spgemm ?(domains = 1) a b =
   if a.ncols <> b.nrows then invalid_arg "Csr.spgemm: dimension mismatch";
-  let acc = Array.make b.ncols 0.0 in
-  let in_touched = Array.make b.ncols false in
-  let touched = Array.make b.ncols 0 in
-  let out_ptr = Lh_util.Vec.Int.create ~capacity:(a.nrows + 1) () in
-  let out_col = Lh_util.Vec.Int.create () in
-  let out_val = Lh_util.Vec.Float.create () in
-  Lh_util.Vec.Int.push out_ptr 0;
-  for i = 0 to a.nrows - 1 do
+  let init () =
+    {
+      acc = Array.make b.ncols 0.0;
+      in_touched = Array.make b.ncols false;
+      touched = Array.make b.ncols 0;
+      rlen = Lh_util.Vec.Int.create ();
+      out_col = Lh_util.Vec.Int.create ();
+      out_val = Lh_util.Vec.Float.create ();
+    }
+  in
+  let body w i =
+    let row_start = Lh_util.Vec.Int.length w.out_col in
     let ntouched = ref 0 in
     for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
       let k = a.col_idx.(p) in
       let av = a.values.(p) in
       for q = b.row_ptr.(k) to b.row_ptr.(k + 1) - 1 do
         let j = Array.unsafe_get b.col_idx q in
-        if not (Array.unsafe_get in_touched j) then begin
-          Array.unsafe_set in_touched j true;
-          Array.unsafe_set touched !ntouched j;
+        if not (Array.unsafe_get w.in_touched j) then begin
+          Array.unsafe_set w.in_touched j true;
+          Array.unsafe_set w.touched !ntouched j;
           incr ntouched
         end;
-        Array.unsafe_set acc j (Array.unsafe_get acc j +. (av *. Array.unsafe_get b.values q))
+        Array.unsafe_set w.acc j (Array.unsafe_get w.acc j +. (av *. Array.unsafe_get b.values q))
       done
     done;
-    let seg = Array.sub touched 0 !ntouched in
+    let seg = Array.sub w.touched 0 !ntouched in
     Array.sort compare seg;
     Array.iter
       (fun j ->
-        let v = acc.(j) in
+        let v = w.acc.(j) in
         if v <> 0.0 then begin
-          Lh_util.Vec.Int.push out_col j;
-          Lh_util.Vec.Float.push out_val v
+          Lh_util.Vec.Int.push w.out_col j;
+          Lh_util.Vec.Float.push w.out_val v
         end;
-        acc.(j) <- 0.0;
-        in_touched.(j) <- false)
+        w.acc.(j) <- 0.0;
+        w.in_touched.(j) <- false)
       seg;
-    Lh_util.Vec.Int.push out_ptr (Lh_util.Vec.Int.length out_col)
+    Lh_util.Vec.Int.push w.rlen (Lh_util.Vec.Int.length w.out_col - row_start)
+  in
+  let merge wa wb =
+    for j = 0 to Lh_util.Vec.Int.length wb.rlen - 1 do
+      Lh_util.Vec.Int.push wa.rlen (Lh_util.Vec.Int.get wb.rlen j)
+    done;
+    for j = 0 to Lh_util.Vec.Int.length wb.out_col - 1 do
+      Lh_util.Vec.Int.push wa.out_col (Lh_util.Vec.Int.get wb.out_col j)
+    done;
+    for j = 0 to Lh_util.Vec.Float.length wb.out_val - 1 do
+      Lh_util.Vec.Float.push wa.out_val (Lh_util.Vec.Float.get wb.out_val j)
+    done;
+    wa
+  in
+  let w = Lh_util.Parfor.map_reduce ~domains ~n:a.nrows ~init ~body ~merge in
+  let row_ptr = Array.make (a.nrows + 1) 0 in
+  for i = 0 to a.nrows - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + Lh_util.Vec.Int.get w.rlen i
   done;
   {
     nrows = a.nrows;
     ncols = b.ncols;
-    row_ptr = Lh_util.Vec.Int.to_array out_ptr;
-    col_idx = Lh_util.Vec.Int.to_array out_col;
-    values = Lh_util.Vec.Float.to_array out_val;
+    row_ptr;
+    col_idx = Lh_util.Vec.Int.to_array w.out_col;
+    values = Lh_util.Vec.Float.to_array w.out_val;
   }
 
 let transpose t =

@@ -15,12 +15,16 @@ val of_coo : Coo.t -> t
 
 val nnz : t -> int
 
-val spmv : t -> float array -> float array
-(** Sparse matrix – dense vector product (the SMV kernel). *)
+val spmv : ?domains:int -> t -> float array -> float array
+(** Sparse matrix – dense vector product (the SMV kernel). [domains > 1]
+    splits the rows across the shared domain pool; bit-identical result
+    for any [domains]. *)
 
-val spgemm : t -> t -> t
+val spgemm : ?domains:int -> t -> t -> t
 (** Gustavson row-by-row sparse product with a dense accumulator and
-    touched-list per row (the SMM kernel). *)
+    touched-list per workspace (the SMM kernel). [domains > 1] gives each
+    contiguous row chunk its own workspace and concatenates the outputs in
+    row order — bit-identical to the sequential product. *)
 
 val transpose : t -> t
 val to_dense : t -> Dense.t

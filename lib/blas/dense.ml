@@ -20,17 +20,18 @@ let init ~rows ~cols f =
 let get m i j = m.data.((i * m.cols) + j)
 let set m i j v = m.data.((i * m.cols) + j) <- v
 
-let gemv m x =
+let gemv ?(domains = 1) m x =
   if Array.length x <> m.cols then invalid_arg "Dense.gemv: dimension mismatch";
   let y = Array.make m.rows 0.0 in
-  for i = 0 to m.rows - 1 do
-    let base = i * m.cols in
-    let acc = ref 0.0 in
-    for j = 0 to m.cols - 1 do
-      acc := !acc +. (Array.unsafe_get m.data (base + j) *. Array.unsafe_get x j)
-    done;
-    y.(i) <- !acc
-  done;
+  (* Row-partitioned: each index owns y.(i), and the per-row summation order
+     is the sequential one, so the result is bit-identical for any [domains]. *)
+  Lh_util.Parfor.iter ~domains ~n:m.rows (fun i ->
+      let base = i * m.cols in
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (Array.unsafe_get m.data (base + j) *. Array.unsafe_get x j)
+      done;
+      y.(i) <- !acc);
   y
 
 let transpose m =
@@ -39,35 +40,36 @@ let transpose m =
 (* Block size tuned for L1-resident panels of doubles. *)
 let block = 64
 
-let gemm a b =
+let gemm ?(domains = 1) a b =
   if a.cols <> b.rows then invalid_arg "Dense.gemm: dimension mismatch";
   let n = a.rows and k = a.cols and m = b.cols in
   let bt = transpose b in
   let c = create ~rows:n ~cols:m in
   let cd = c.data and ad = a.data and btd = bt.data in
   (* jc/ic blocking over the transposed right operand keeps both panels hot;
-     the innermost loop is a stride-1 dot product. *)
-  let i0 = ref 0 in
-  while !i0 < n do
-    let ihi = min (!i0 + block) n in
-    let j0 = ref 0 in
-    while !j0 < m do
-      let jhi = min (!j0 + block) m in
-      for i = !i0 to ihi - 1 do
-        let abase = i * k in
-        for j = !j0 to jhi - 1 do
-          let bbase = j * k in
-          let acc = ref 0.0 in
-          for p = 0 to k - 1 do
-            acc := !acc +. (Array.unsafe_get ad (abase + p) *. Array.unsafe_get btd (bbase + p))
-          done;
-          Array.unsafe_set cd ((i * m) + j) !acc
-        done
-      done;
-      j0 := jhi
-    done;
-    i0 := ihi
-  done;
+     the innermost loop is a stride-1 dot product. Parallelism distributes
+     whole i-blocks: every c element is still the same stride-1 dot product,
+     so the result does not depend on [domains]. *)
+  let nblocks = (n + block - 1) / block in
+  Lh_util.Parfor.iter ~domains ~n:nblocks (fun ib ->
+      let i0 = ib * block in
+      let ihi = min (i0 + block) n in
+      let j0 = ref 0 in
+      while !j0 < m do
+        let jhi = min (!j0 + block) m in
+        for i = i0 to ihi - 1 do
+          let abase = i * k in
+          for j = !j0 to jhi - 1 do
+            let bbase = j * k in
+            let acc = ref 0.0 in
+            for p = 0 to k - 1 do
+              acc := !acc +. (Array.unsafe_get ad (abase + p) *. Array.unsafe_get btd (bbase + p))
+            done;
+            Array.unsafe_set cd ((i * m) + j) !acc
+          done
+        done;
+        j0 := jhi
+      done);
   c
 
 let gemm_naive a b =

@@ -19,12 +19,15 @@ val init : rows:int -> cols:int -> (int -> int -> float) -> t
 val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit
 
-val gemv : t -> float array -> float array
-(** Matrix–vector product. *)
+val gemv : ?domains:int -> t -> float array -> float array
+(** Matrix–vector product. [domains > 1] splits the rows across the shared
+    domain pool; the result is bit-identical for any [domains]. *)
 
-val gemm : t -> t -> t
+val gemm : ?domains:int -> t -> t -> t
 (** Blocked matrix–matrix product (the DMM kernel). The inner kernel runs
-    over a packed transpose of the right operand for stride-1 access. *)
+    over a packed transpose of the right operand for stride-1 access;
+    [domains > 1] distributes whole row blocks, leaving every element's
+    summation order — and hence the result — unchanged. *)
 
 val gemm_naive : t -> t -> t
 (** Textbook triple loop; the correctness oracle for {!gemm}. *)

@@ -24,10 +24,15 @@ val match_kernel :
   Logical.t -> dense_of:(Lh_storage.Table.t -> dense_info option) -> kernel option
 (** Eligibility check only — no computation. *)
 
-val execute : kernel -> Executor.row list
+val execute : ?domains:int -> kernel -> Executor.row list
+(** [domains] (default 1) is forwarded to the BLAS kernels and recorded in
+    the [exec.domains_used] gauge. *)
 
 val try_blas :
-  Logical.t -> dense_of:(Lh_storage.Table.t -> dense_info option) -> Executor.row list option
+  ?domains:int ->
+  Logical.t ->
+  dense_of:(Lh_storage.Table.t -> dense_info option) ->
+  Executor.row list option
 (** [Some rows] when the query matched a dense kernel and was executed by
     the BLAS substrate; rows follow the GROUP BY order and include every
     output key (dense semantics: every group joins). *)

@@ -19,7 +19,7 @@ let find_exn t name =
 
 let names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [] |> List.sort compare
 
-let load_csv t ~name ~schema ?sep path =
-  let table = Lh_storage.Table.load_csv ~name ~schema ~dict:t.dict ?sep path in
+let load_csv t ~name ~schema ?domains ?sep path =
+  let table = Lh_storage.Table.load_csv ~name ~schema ~dict:t.dict ?domains ?sep path in
   register t table;
   table

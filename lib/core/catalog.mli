@@ -15,5 +15,12 @@ val find_exn : t -> string -> Lh_storage.Table.t
 val names : t -> string list
 
 val load_csv :
-  t -> name:string -> schema:Lh_storage.Schema.t -> ?sep:char -> string -> Lh_storage.Table.t
-(** Ingest a delimited file and register the result. *)
+  t ->
+  name:string ->
+  schema:Lh_storage.Schema.t ->
+  ?domains:int ->
+  ?sep:char ->
+  string ->
+  Lh_storage.Table.t
+(** Ingest a delimited file and register the result. [domains] is forwarded
+    to {!Lh_storage.Table.load_csv}. *)

@@ -19,7 +19,7 @@ let default =
     sorted_emit = true;
     blas_targeting = true;
     ghd_heuristics = true;
-    domains = 1;
+    domains = Lh_util.Parfor.default_domains ();
     budget = Lh_util.Budget.unlimited;
   }
 

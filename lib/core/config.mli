@@ -25,7 +25,10 @@ type t = {
           hash table. Disable to measure its contribution. *)
   blas_targeting : bool;  (** §III-D: hand dense LA kernels to the BLAS substrate *)
   ghd_heuristics : bool;  (** §IV-B tie-breaking among equal-FHW GHDs *)
-  domains : int;  (** worker domains for the outermost WCOJ loop *)
+  domains : int;
+      (** worker domains for the outermost WCOJ loop, trie builds and BLAS
+          kernels. [default] starts from [Lh_util.Parfor.default_domains]:
+          1 unless the [LH_DOMAINS] environment variable overrides it. *)
   budget : Lh_util.Budget.t;  (** memory/time budget; checked cooperatively *)
 }
 

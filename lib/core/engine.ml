@@ -50,7 +50,7 @@ let register_rows t ~name ~schema rows =
 
 let load_csv t ~name ~schema ?sep path =
   invalidate_caches t;
-  Catalog.load_csv t.cat ~name ~schema ?sep path
+  Catalog.load_csv t.cat ~name ~schema ~domains:(max 1 t.cfg.Config.domains) ?sep path
 
 let dense_info t (table : T.t) =
   let key = Printf.sprintf "%s/%d" table.T.name table.T.nrows in
@@ -166,7 +166,10 @@ let run_decided t lq decided =
     | Use_scan -> Obs.span "execute.scan" (fun () -> Executor.run_scan t.cfg lq)
     | Use_blas ->
         Obs.span "execute.blas" (fun () ->
-            match Blas_bridge.try_blas lq ~dense_of:(dense_info t) with
+            match
+              Blas_bridge.try_blas ~domains:(max 1 t.cfg.Config.domains) lq
+                ~dense_of:(dense_info t)
+            with
             | Some rows -> rows
             | None -> failwith "Engine: BLAS path vanished between planning and execution")
     | Use_wcoj (_, pnode) ->

@@ -189,7 +189,7 @@ let trie_signature (lq : Logical.t) ~order (edge : Logical.edge) =
     (match edge.Logical.filter with Some p -> Format.asprintf "%a" Ast.pp_pred p | None -> "")
     slots_sig gitems_sig
 
-let build_base_xrel ?cache (lq : Logical.t) ~order (edge : Logical.edge) =
+let build_base_xrel ?cache ~domains (lq : Logical.t) ~order (edge : Logical.edge) =
   let table = edge.Logical.table in
   let resolve = table_resolver edge.Logical.alias table in
   let levels_v = List.filter (fun v -> List.mem v edge.Logical.vertices) order in
@@ -221,7 +221,7 @@ let build_base_xrel ?cache (lq : Logical.t) ~order (edge : Logical.edge) =
     let aggs =
       Array.of_list (List.map (fun (_, k, e) -> (k, Compile.scalar table ~resolve e)) owned)
     in
-    Trie.build ~keys ~rows ~group_cols ~aggs ()
+    Trie.build ~domains ~keys ~rows ~group_cols ~aggs ()
   in
   (* One extra entry for the pseudo-multiplicity slot child nodes compute:
      never owned by a base relation, so its factor is the multiplicity. *)
@@ -678,7 +678,8 @@ let rec exec_child cfg ?cache (lq : Logical.t) (node : pnode) ~parent_order =
     else begin
       Obs.incr c_trie_built;
       Obs.span "trie.build" ~args:[ ("table", "<child-bag>") ] @@ fun () ->
-      Trie.build ~keys ~rows:(Array.init nrows Fun.id) ~group_cols ~aggs ~mults ()
+      Trie.build ~domains:(max 1 cfg.Config.domains) ~keys ~rows:(Array.init nrows Fun.id)
+        ~group_cols ~aggs ~mults ()
     end
   in
   let positions =
@@ -724,7 +725,10 @@ and run_bag cfg ?cache (lq : Logical.t) (node : pnode) ~gb_prefix ~with_pseudo =
   (* Children first (bottom-up). *)
   let derived = List.map (fun c -> exec_child cfg ?cache lq c ~parent_order:order) node.pchildren in
   let bases =
-    List.map (fun e -> build_base_xrel ?cache lq ~order lq.Logical.edges.(e)) node.pbag.Ghd.bag_edges
+    List.map
+      (fun e ->
+        build_base_xrel ?cache ~domains:(max 1 cfg.Config.domains) lq ~order lq.Logical.edges.(e))
+      node.pbag.Ghd.bag_edges
   in
   let rels = Array.of_list (bases @ derived) in
   (* Code sources: every gitem carried by some relation of this node. *)
@@ -838,7 +842,10 @@ and run_bag_root (cfg : Config.t) ?cache lq (node : pnode) gb_prefix =
   let order = node.porder in
   let derived = List.map (fun c -> exec_child cfg ?cache lq c ~parent_order:order) node.pchildren in
   let bases =
-    List.map (fun e -> build_base_xrel ?cache lq ~order lq.Logical.edges.(e)) node.pbag.Ghd.bag_edges
+    List.map
+      (fun e ->
+        build_base_xrel ?cache ~domains:(max 1 cfg.Config.domains) lq ~order lq.Logical.edges.(e))
+      node.pbag.Ghd.bag_edges
   in
   let rels = Array.of_list (bases @ derived) in
   let where_is = Hashtbl.create 8 in

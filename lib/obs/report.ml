@@ -5,15 +5,30 @@ type t = {
 }
 
 let g_peak_words = Obs.gauge "gc.peak_live_words"
+let c_pool_tasks = Obs.counter "pool.tasks"
+let c_pool_chunks = Obs.counter "pool.chunks"
+let g_pool_workers = Obs.gauge "pool.workers"
+
+(* The domain pool lives below the observability layer (Lh_util must not
+   depend on Lh_obs), so its lifetime counters are polled here: syncing
+   before both snapshots turns them into per-session deltas like any other
+   counter. *)
+let sync_pool_counters () =
+  let s = Lh_util.Pool.stats () in
+  Obs.set c_pool_tasks s.Lh_util.Pool.st_tasks;
+  Obs.set c_pool_chunks s.Lh_util.Pool.st_chunks;
+  Obs.set g_pool_workers s.Lh_util.Pool.st_workers
 
 let with_session f =
   Obs.with_enabled true (fun () ->
       Obs.clear_spans ();
+      sync_pool_counters ();
       let before = Obs.snapshot () in
       let t0 = Lh_util.Timing.monotonic_now () in
       let result = f () in
       let total = Lh_util.Timing.monotonic_now () -. t0 in
       Obs.set_max g_peak_words (Gc.quick_stat ()).Gc.heap_words;
+      sync_pool_counters ();
       let after = Obs.snapshot () in
       ( result,
         { total_s = total; spans = Obs.spans (); counters = Obs.diff ~before ~after } ))

@@ -12,7 +12,10 @@ val with_session : (unit -> 'a) -> 'a * t
 (** Runs the thunk with telemetry enabled (restoring the previous flag),
     an empty span buffer, and returns the report for exactly that run.
     Counter values are session deltas; gauges are end-of-session values.
-    Samples [Gc.quick_stat] into the [gc.peak_live_words] gauge. *)
+    Samples [Gc.quick_stat] into the [gc.peak_live_words] gauge and the
+    shared domain pool's {!Lh_util.Pool.stats} into the [pool.tasks] /
+    [pool.chunks] counters (parallel regions and chunks run during the
+    session) and the [pool.workers] gauge. *)
 
 val phases : t -> (string * float) list
 (** Top-level phase breakdown in execution order: durations of the

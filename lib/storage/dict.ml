@@ -23,6 +23,13 @@ let encode t s =
 
 let find t s = Hashtbl.find_opt t.table s
 
+let merge_into ~into local =
+  let remap = Array.make local.len 0 in
+  for c = 0 to local.len - 1 do
+    remap.(c) <- encode into local.strings.(c)
+  done;
+  remap
+
 let decode t code =
   if code < 0 || code >= t.len then invalid_arg (Printf.sprintf "Dict.decode: unknown code %d" code);
   t.strings.(code)

@@ -15,6 +15,14 @@ val encode : t -> string -> int
 val find : t -> string -> int option
 (** Lookup without inserting. *)
 
+val merge_into : into:t -> t -> int array
+(** [merge_into ~into local] encodes every string of [local] into [into] in
+    [local]-code order and returns the remap: local code [c] becomes [into]
+    code [remap.(c)]. Because local codes are themselves first-seen order,
+    folding per-chunk dictionaries into a shared one in chunk order assigns
+    exactly the codes a sequential scan of the concatenated chunks would
+    have — the keystone of the parallel ingest's determinism. *)
+
 val decode : t -> int -> string
 (** Raises [Invalid_argument] for an unknown code. *)
 

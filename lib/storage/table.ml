@@ -68,32 +68,89 @@ let of_rows ~name ~schema ~dict rows =
   in
   create ~name ~schema ~dict cols
 
-let load_csv ~name ~schema ~dict ?sep path =
+let fresh_builders schema =
+  Array.init (Schema.ncols schema) (fun i ->
+      match (Schema.col schema i).Schema.dtype with
+      | Dtype.Float -> `F (Lh_util.Vec.Float.create ())
+      | Dtype.Int | Dtype.String | Dtype.Date -> `I (Lh_util.Vec.Int.create ()))
+
+let ingest_fields ~name ~schema ~dict builders fields =
   let ncols = Schema.ncols schema in
-  let builders =
-    Array.init ncols (fun i ->
-        match (Schema.col schema i).Schema.dtype with
-        | Dtype.Float -> `F (Lh_util.Vec.Float.create ())
-        | Dtype.Int | Dtype.String | Dtype.Date -> `I (Lh_util.Vec.Int.create ()))
+  (* TPC-H '|'-terminated lines produce a trailing empty field; accept it. *)
+  let navail =
+    if Array.length fields = ncols + 1 && fields.(ncols) = "" then ncols else Array.length fields
   in
-  let ingest () row =
-    let fields = Array.of_list row in
-    (* TPC-H '|'-terminated lines produce a trailing empty field; accept it. *)
-    let navail =
-      if Array.length fields = ncols + 1 && fields.(ncols) = "" then ncols else Array.length fields
-    in
-    if navail < ncols then failwith (Printf.sprintf "Table.load_csv %s: short row" name);
-    for i = 0 to ncols - 1 do
-      match builders.(i) with
-      | `F b -> Lh_util.Vec.Float.push b (float_of_string (String.trim fields.(i)))
-      | `I b -> Lh_util.Vec.Int.push b (encode_cell dict (Schema.col schema i).Schema.dtype fields.(i))
-    done
+  if navail < ncols then failwith (Printf.sprintf "Table.load_csv %s: short row" name);
+  for i = 0 to ncols - 1 do
+    match builders.(i) with
+    | `F b -> Lh_util.Vec.Float.push b (float_of_string (String.trim fields.(i)))
+    | `I b -> Lh_util.Vec.Int.push b (encode_cell dict (Schema.col schema i).Schema.dtype fields.(i))
+  done
+
+let finish_builders builders =
+  Array.map
+    (function `F b -> Fcol (Lh_util.Vec.Float.to_array b) | `I b -> Icol (Lh_util.Vec.Int.to_array b))
+    builders
+
+(* Parallel ingest: each chunk of lines parses into private builders with a
+   private dictionary; chunks merge left-to-right, remapping string codes
+   through [Dict.merge_into], so the final code assignment — and therefore
+   the table — is identical to the sequential scan's. *)
+let load_csv_parallel ~name ~schema ~dict ~domains ~sep path =
+  let lines = Lh_util.Csv.read_lines path in
+  let string_col =
+    Array.init (Schema.ncols schema) (fun i -> (Schema.col schema i).Schema.dtype = Dtype.String)
   in
-  Lh_util.Csv.fold_file ?sep path ~init:() ~f:ingest;
+  let ldict, builders =
+    Lh_util.Parfor.map_reduce ~domains ~n:(Array.length lines)
+      ~init:(fun () -> (Dict.create (), fresh_builders schema))
+      ~body:(fun (ldict, builders) i ->
+        let fields = Array.of_list (Lh_util.Csv.split_line ~sep lines.(i)) in
+        ingest_fields ~name ~schema ~dict:ldict builders fields)
+      ~merge:(fun (adict, abuilders) (bdict, bbuilders) ->
+        let remap = Dict.merge_into ~into:adict bdict in
+        Array.iteri
+          (fun i b ->
+            match (abuilders.(i), b) with
+            | `F a, `F b ->
+                for j = 0 to Lh_util.Vec.Float.length b - 1 do
+                  Lh_util.Vec.Float.push a (Lh_util.Vec.Float.get b j)
+                done
+            | `I a, `I b ->
+                let strings = string_col.(i) in
+                for j = 0 to Lh_util.Vec.Int.length b - 1 do
+                  let v = Lh_util.Vec.Int.get b j in
+                  Lh_util.Vec.Int.push a (if strings then remap.(v) else v)
+                done
+            | _ -> assert false)
+          bbuilders;
+        (adict, abuilders))
+  in
+  let remap = Dict.merge_into ~into:dict ldict in
   let cols =
-    Array.map (function `F b -> Fcol (Lh_util.Vec.Float.to_array b) | `I b -> Icol (Lh_util.Vec.Int.to_array b)) builders
+    Array.mapi
+      (fun i b ->
+        match b with
+        | `F b -> Fcol (Lh_util.Vec.Float.to_array b)
+        | `I b ->
+            let a = Lh_util.Vec.Int.to_array b in
+            if string_col.(i) then
+              for j = 0 to Array.length a - 1 do
+                a.(j) <- remap.(a.(j))
+              done;
+            Icol a)
+      builders
   in
   create ~name ~schema ~dict cols
+
+let load_csv ~name ~schema ~dict ?(domains = 1) ?(sep = ',') path =
+  if domains > 1 then load_csv_parallel ~name ~schema ~dict ~domains ~sep path
+  else begin
+    let builders = fresh_builders schema in
+    Lh_util.Csv.fold_file ~sep path ~init:() ~f:(fun () row ->
+        ingest_fields ~name ~schema ~dict builders (Array.of_list row));
+    create ~name ~schema ~dict (finish_builders builders)
+  end
 
 let icol t i =
   match t.cols.(i) with

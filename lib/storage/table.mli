@@ -23,8 +23,14 @@ val create : name:string -> schema:Schema.t -> dict:Dict.t -> column array -> t
 val of_rows : name:string -> schema:Schema.t -> dict:Dict.t -> Dtype.value list list -> t
 (** Convenience constructor for tests and small inputs. *)
 
-val load_csv : name:string -> schema:Schema.t -> dict:Dict.t -> ?sep:char -> string -> t
-(** Ingest a delimited file; one field per schema column, in order. *)
+val load_csv :
+  name:string -> schema:Schema.t -> dict:Dict.t -> ?domains:int -> ?sep:char -> string -> t
+(** Ingest a delimited file; one field per schema column, in order.
+
+    With [domains > 1] the file's lines are parsed in parallel chunks, each
+    against a private {!Dict}; the per-chunk dictionaries fold into [dict]
+    in chunk order (see {!Dict.merge_into}), so the loaded table — codes
+    included — is identical for every [domains] value. *)
 
 val icol : t -> int -> int array
 (** The int-code buffer of a column; raises [Failure] on a float column. *)

@@ -63,7 +63,11 @@ let make_groups ~rows ~group_cols ~aggs ~mults lo hi =
 
 let empty_node = { set = Lh_set.Set.empty; children = [||]; groups = [||] }
 
-let build ~keys ~rows ?(group_cols = [||]) ?(aggs = [||]) ?(mults = fun _ -> 1.0) () =
+(* Per-task build statistics: subtree builds run on worker domains with a
+   private copy, merged in chunk order afterwards. *)
+type bstats = { mutable tuples : int; maxes : int array }
+
+let build ?(domains = 1) ~keys ~rows ?(group_cols = [||]) ?(aggs = [||]) ?(mults = fun _ -> 1.0) () =
   let nlevels = Array.length keys in
   if nlevels = 0 then invalid_arg "Trie.build: at least one key level required";
   let rows = Array.copy rows in
@@ -77,11 +81,10 @@ let build ~keys ~rows ?(group_cols = [||]) ?(aggs = [||]) ?(mults = fun _ -> 1.0
     go 0
   in
   Array.sort cmp rows;
-  let total_tuples = ref 0 in
-  let level_max = Array.make nlevels (-1) in
+  let nrows = Array.length rows in
   (* rows.(lo..hi) share the key prefix above [level]; produce the node for
      this subtree.  Segments of equal value at [level] become set entries. *)
-  let rec build_node level lo hi =
+  let rec build_node stats level lo hi =
     let col = keys.(level) in
     (* Count distinct values first so the arrays are allocated exactly. *)
     let ndistinct = ref 0 in
@@ -106,20 +109,67 @@ let build ~keys ~rows ?(group_cols = [||]) ?(aggs = [||]) ?(mults = fun _ -> 1.0
         incr i
       done;
       values.(!k) <- v;
-      if v > level_max.(level) then level_max.(level) <- v;
+      if v > stats.maxes.(level) then stats.maxes.(level) <- v;
       if last then begin
         groups.(!k) <- make_groups ~rows ~group_cols ~aggs ~mults seg_lo !i;
-        incr total_tuples
+        stats.tuples <- stats.tuples + 1
       end
-      else children.(!k) <- build_node (level + 1) seg_lo !i;
+      else children.(!k) <- build_node stats (level + 1) seg_lo !i;
       incr k
     done;
     { set = Lh_set.Set.of_sorted_array values; children; groups }
   in
-  let root =
-    if Array.length rows = 0 then empty_node else build_node 0 0 (Array.length rows)
-  in
-  { nlevels; root; total_tuples = !total_tuples; level_max }
+  let fresh_stats () = { tuples = 0; maxes = Array.make nlevels (-1) } in
+  if nrows = 0 then
+    { nlevels; root = empty_node; total_tuples = 0; level_max = Array.make nlevels (-1) }
+  else if domains <= 1 then begin
+    let stats = fresh_stats () in
+    let root = build_node stats 0 0 nrows in
+    { nlevels; root; total_tuples = stats.tuples; level_max = stats.maxes }
+  end
+  else begin
+    (* Parallel build, partitioned by first-level key: the sorted rows are
+       segmented on the level-0 value, and each segment's subtree is built
+       independently — exactly the node the sequential recursion would
+       produce, so the result is bit-identical for any [domains]. *)
+    let col0 = keys.(0) in
+    let bounds = Lh_util.Vec.Int.create () in
+    let values = Lh_util.Vec.Int.create () in
+    let i = ref 0 in
+    while !i < nrows do
+      let v = col0.(rows.(!i)) in
+      Lh_util.Vec.Int.push bounds !i;
+      Lh_util.Vec.Int.push values v;
+      while !i < nrows && col0.(rows.(!i)) = v do
+        incr i
+      done
+    done;
+    Lh_util.Vec.Int.push bounds nrows;
+    let values = Lh_util.Vec.Int.to_array values in
+    let bounds = Lh_util.Vec.Int.to_array bounds in
+    let nsegs = Array.length values in
+    let last = nlevels = 1 in
+    let children = if last then [||] else Array.make nsegs empty_node in
+    let groups = if last then Array.make nsegs [||] else [||] in
+    let stats =
+      Lh_util.Parfor.map_reduce ~domains ~n:nsegs ~init:fresh_stats
+        ~body:(fun stats k ->
+          let seg_lo = bounds.(k) and seg_hi = bounds.(k + 1) in
+          if last then begin
+            groups.(k) <- make_groups ~rows ~group_cols ~aggs ~mults seg_lo seg_hi;
+            stats.tuples <- stats.tuples + 1
+          end
+          else children.(k) <- build_node stats 1 seg_lo seg_hi)
+        ~merge:(fun a b ->
+          a.tuples <- a.tuples + b.tuples;
+          Array.iteri (fun l m -> if m > a.maxes.(l) then a.maxes.(l) <- m) b.maxes;
+          a)
+    in
+    (* Level-0 values ascend with the sort, so the last segment holds the max. *)
+    stats.maxes.(0) <- values.(nsegs - 1);
+    let root = { set = Lh_set.Set.of_sorted_array values; children; groups } in
+    { nlevels; root; total_tuples = stats.tuples; level_max = stats.maxes }
+  end
 
 let first_level t = t.root.set
 

@@ -37,6 +37,7 @@ type t = {
 }
 
 val build :
+  ?domains:int ->
   keys:int array array ->
   rows:int array ->
   ?group_cols:int array array ->
@@ -49,7 +50,15 @@ val build :
     [group_cols.(g).(r)] supplies GROUP BY annotation codes; [aggs.(j)] is
     the ⊕ kind and per-row evaluator of owned aggregate slot [j]; [mults]
     gives each row's multiplicity (default 1.0, i.e. [mult] counts rows).
-    At least one key level is required. *)
+    At least one key level is required.
+
+    With [domains > 1] the subtrees under distinct first-level keys are
+    built in parallel on the shared {!Lh_util.Pool}. Each subtree is the
+    same computation the sequential recursion performs over the same row
+    segment, so the resulting trie is bit-identical for every [domains]
+    value (the [aggs] / [mults] evaluators must therefore be safe to call
+    from several domains on disjoint rows — the column-reading closures the
+    engine passes are). *)
 
 val first_level : t -> Lh_set.Set.t
 

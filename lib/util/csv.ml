@@ -54,6 +54,32 @@ let fold_file ?(sep = ',') path ~init ~f =
 let read_file ?sep path =
   List.rev (fold_file ?sep path ~init:[] ~f:(fun acc row -> row :: acc))
 
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | "" -> loop ()
+    | line ->
+        let line =
+          let n = String.length line in
+          if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+        in
+        lines := line :: !lines;
+        loop ()
+  in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) loop;
+  let arr = Array.of_list !lines in
+  let n = Array.length arr in
+  (* !lines is in reverse file order; flip in place. *)
+  for i = 0 to (n / 2) - 1 do
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(n - 1 - i);
+    arr.(n - 1 - i) <- tmp
+  done;
+  arr
+
 let needs_quoting ~sep field =
   String.exists (fun c -> c = sep || c = '"' || c = '\n') field
 

@@ -15,5 +15,9 @@ val read_file : ?sep:char -> string -> string list list
 val fold_file : ?sep:char -> string -> init:'a -> f:('a -> string list -> 'a) -> 'a
 (** Streaming fold over rows, for files too large to hold as string lists. *)
 
+val read_lines : string -> string array
+(** All non-empty lines of a file, CR-stripped but {e not} split — the raw
+    material for a parallel ingest that calls {!split_line} per chunk. *)
+
 val write_file : ?sep:char -> string -> string list list -> unit
 (** Write rows; fields containing the separator or quotes are quoted. *)

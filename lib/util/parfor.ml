@@ -1,5 +1,22 @@
+let env_domains =
+  let parsed =
+    lazy
+      (match Sys.getenv_opt "LH_DOMAINS" with
+      | None -> None
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n >= 1 -> Some (min n (Pool.max_workers + 1))
+          | Some _ | None -> None))
+  in
+  fun () -> Lazy.force parsed
+
 let recommended_domains () =
-  match Domain.recommended_domain_count () with n when n >= 1 -> min 8 n | _ -> 1
+  match env_domains () with
+  | Some n -> n
+  | None -> (
+      match Domain.recommended_domain_count () with n when n >= 1 -> n | _ -> 1)
+
+let default_domains () = match env_domains () with Some n -> n | None -> 1
 
 let chunk_bounds ~chunks ~n k =
   let per = n / chunks and rem = n mod chunks in
@@ -7,28 +24,44 @@ let chunk_bounds ~chunks ~n k =
   let hi = lo + per + (if k < rem then 1 else 0) in
   (lo, hi)
 
+let sequential ~n ~init ~body =
+  let acc = init () in
+  for i = 0 to n - 1 do
+    body acc i
+  done;
+  acc
+
 let map_reduce ~domains ~n ~init ~body ~merge =
   let domains = max 1 (min domains n) in
-  if domains = 1 || n = 0 then begin
-    let acc = init () in
-    for i = 0 to n - 1 do
-      body acc i
-    done;
-    acc
-  end
+  if domains = 1 || n = 0 then sequential ~n ~init ~body
   else begin
-    let run k () =
+    let pool = Pool.global () in
+    Pool.ensure_workers pool (domains - 1);
+    (* Chunk k's accumulator lands in slot k: whichever domain ran it, the
+       merge below happens in chunk order, so the combine order is exactly
+       the [chunk_bounds] partition — deterministic for a fixed [domains]. *)
+    let results = Array.make domains None in
+    let run_chunk k =
       let lo, hi = chunk_bounds ~chunks:domains ~n k in
       let acc = init () in
       for i = lo to hi - 1 do
         body acc i
       done;
-      acc
+      results.(k) <- Some acc
     in
-    (* Chunk 0 runs on the calling domain while the others spawn. *)
-    let spawned = Array.init (domains - 1) (fun k -> Domain.spawn (run (k + 1))) in
-    let first = run 0 () in
-    Array.fold_left (fun acc d -> merge acc (Domain.join d)) first spawned
+    match Pool.run pool ~chunks:domains run_chunk with
+    | () ->
+        let first = Option.get results.(0) in
+        let acc = ref first in
+        for k = 1 to domains - 1 do
+          acc := merge !acc (Option.get results.(k))
+        done;
+        !acc
+    | exception Pool.Busy ->
+        (* Already inside a parallel region (nested call) or another domain
+           holds the pool: degrade to the sequential loop. [Busy] is raised
+           before any chunk starts, so nothing ran twice. *)
+        sequential ~n ~init ~body
   end
 
 let iter ~domains ~n f =

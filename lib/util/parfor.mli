@@ -1,13 +1,47 @@
-(** Naive outermost-loop parallelism over OCaml 5 domains (§III-D).
+(** Outermost-loop parallelism over OCaml 5 domains (§III-D).
 
     The paper parallelizes only the outermost [for] loop of the generic
     WCOJ algorithm; this module provides exactly that: split an index range
-    into contiguous chunks, run one domain per chunk with a private
+    into contiguous chunks, run one chunk per domain with a private
     accumulator, and merge. With [domains = 1] everything runs on the
-    calling domain (deterministic, no spawning). *)
+    calling domain (deterministic, no spawning).
+
+    Execution rides on the process-global {!Pool}: worker domains are
+    spawned once (lazily, on the first call that needs them) and parked
+    between calls, so a [map_reduce] over a small range costs two
+    condition-variable round-trips instead of [domains - 1] domain spawns.
+    Nested calls — a parallel body that itself calls [map_reduce] — run
+    the inner loop sequentially instead of deadlocking on the pool.
+
+    {2 Domain-count policy}
+
+    - [LH_DOMAINS=n] (an integer >= 1) pins both {!recommended_domains}
+      and {!default_domains} to [n]. It is read once, in this module only;
+      everything else ([Config.default], the CLI, the benches) derives
+      from these two functions.
+    - Otherwise {!recommended_domains} is [Domain.recommended_domain_count
+      ()] — the runtime's own view of the hardware, with no artificial cap
+      — and {!default_domains} is 1 (sequential), matching the paper's
+      measurement protocol where parallelism is always opted into.
+    - Requests are clamped to [Pool.max_workers + 1] total domains, below
+      the OCaml runtime's 128-domain limit. *)
+
+val env_domains : unit -> int option
+(** [Some n] iff [LH_DOMAINS] is set to a valid domain count. The single
+    place the environment variable is read. *)
 
 val recommended_domains : unit -> int
-(** [min 8 (cpu count)], at least 1. *)
+(** [LH_DOMAINS] if set, else [Domain.recommended_domain_count ()]; at
+    least 1. *)
+
+val default_domains : unit -> int
+(** The domain count configurations should start from: [LH_DOMAINS] if
+    set, else 1. *)
+
+val chunk_bounds : chunks:int -> n:int -> int -> (int * int)
+(** [chunk_bounds ~chunks ~n k] is the half-open index range [(lo, hi)] of
+    chunk [k]: the [chunks] ranges partition [\[0, n)] with sizes differing
+    by at most one (the first [n mod chunks] chunks are the larger ones). *)
 
 val map_reduce :
   domains:int -> n:int -> init:(unit -> 'acc) -> body:('acc -> int -> unit) -> merge:('acc -> 'acc -> 'acc) -> 'acc

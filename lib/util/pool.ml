@@ -1,0 +1,193 @@
+(* Persistent worker-domain pool. See pool.mli for the contract.
+
+   Synchronization: one mutex guards every mutable field; [work] wakes
+   parked workers when a task is published, [finished] wakes the submitter
+   when the last chunk completes. Chunk results written by workers become
+   visible to the submitter through the same mutex (the release on the
+   final decrement happens-before the submitter's wake-up), so task bodies
+   may write into caller-allocated arrays at distinct indices without any
+   extra fencing. *)
+
+exception Busy
+
+type task = { gen : int; nchunks : int; body : int -> unit }
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  mutable doms : unit Domain.t list;
+  mutable nworkers : int;
+  mutable task : task option;
+  mutable next : int;  (* next unclaimed chunk index *)
+  mutable unfinished : int;  (* chunks claimed-or-pending of the current task *)
+  mutable gen : int;  (* generation of the most recently published task *)
+  mutable stopped : bool;
+  mutable failure : exn option;  (* first chunk exception of the current task *)
+  mutable tasks_run : int;
+  mutable chunks_run : int;
+}
+
+let max_workers = 120
+
+(* Same-domain reentrancy marker: the key holds the pools (usually zero or
+   one) whose task this domain is currently executing a chunk of. *)
+let executing : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Claim and run chunks of [task] until the cursor is exhausted. Called
+   with the lock held; returns with the lock held. *)
+let drain_chunks t (task : task) =
+  let marker = Domain.DLS.get executing in
+  while t.next < task.nchunks do
+    let k = t.next in
+    t.next <- t.next + 1;
+    Mutex.unlock t.lock;
+    marker := t :: !marker;
+    (match task.body k with
+    | () -> marker := List.tl !marker
+    | exception e ->
+        marker := List.tl !marker;
+        Mutex.lock t.lock;
+        if t.failure = None then t.failure <- Some e;
+        Mutex.unlock t.lock);
+    Mutex.lock t.lock;
+    t.unfinished <- t.unfinished - 1;
+    t.chunks_run <- t.chunks_run + 1;
+    if t.unfinished = 0 then Condition.broadcast t.finished
+  done
+
+let rec worker_loop t last_gen =
+  let continue_ =
+    locked t (fun () ->
+        while
+          (not t.stopped)
+          && (match t.task with None -> true | Some task -> task.gen <= last_gen)
+        do
+          Condition.wait t.work t.lock
+        done;
+        if t.stopped then None
+        else begin
+          let task = Option.get t.task in
+          drain_chunks t task;
+          Some task.gen
+        end)
+  in
+  match continue_ with None -> () | Some gen -> worker_loop t gen
+
+let spawn_worker t =
+  let d = Domain.spawn (fun () -> worker_loop t 0) in
+  t.doms <- d :: t.doms;
+  t.nworkers <- t.nworkers + 1
+
+let create ~workers =
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      doms = [];
+      nworkers = 0;
+      task = None;
+      next = 0;
+      unfinished = 0;
+      gen = 0;
+      stopped = false;
+      failure = None;
+      tasks_run = 0;
+      chunks_run = 0;
+    }
+  in
+  locked t (fun () ->
+      for _ = 1 to min workers max_workers do
+        spawn_worker t
+      done);
+  t
+
+let ensure_workers t n =
+  let n = min n max_workers in
+  locked t (fun () ->
+      if not t.stopped then
+        while t.nworkers < n do
+          spawn_worker t
+        done)
+
+let workers t = locked t (fun () -> t.nworkers)
+
+let run t ~chunks body =
+  if chunks > 0 then begin
+    let task =
+      locked t (fun () ->
+          if t.task <> None then raise Busy;
+          if List.memq t !(Domain.DLS.get executing) then raise Busy;
+          t.gen <- t.gen + 1;
+          let task = { gen = t.gen; nchunks = chunks; body } in
+          t.task <- Some task;
+          t.next <- 0;
+          t.unfinished <- chunks;
+          t.failure <- None;
+          t.tasks_run <- t.tasks_run + 1;
+          Condition.broadcast t.work;
+          task)
+    in
+    let failure =
+      locked t (fun () ->
+          drain_chunks t task;
+          while t.unfinished > 0 do
+            Condition.wait t.finished t.lock
+          done;
+          t.task <- None;
+          let f = t.failure in
+          t.failure <- None;
+          f)
+    in
+    match failure with Some e -> raise e | None -> ()
+  end
+
+let shutdown t =
+  let doms =
+    locked t (fun () ->
+        if List.memq t !(Domain.DLS.get executing) then
+          invalid_arg "Pool.shutdown: called from inside a task of this pool";
+        t.stopped <- true;
+        Condition.broadcast t.work;
+        let doms = t.doms in
+        t.doms <- [];
+        t.nworkers <- 0;
+        doms)
+  in
+  List.iter Domain.join doms
+
+(* ------------------------------------------------------------------ *)
+(* Global pool                                                          *)
+
+let global_lock = Mutex.create ()
+let global_pool : t option ref = ref None
+
+let global () =
+  Mutex.lock global_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock global_lock)
+    (fun () ->
+      match !global_pool with
+      | Some t -> t
+      | None ->
+          let t = create ~workers:0 in
+          global_pool := Some t;
+          t)
+
+type stats = { st_workers : int; st_tasks : int; st_chunks : int }
+
+let stats () =
+  let pool =
+    Mutex.lock global_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock global_lock) (fun () -> !global_pool)
+  in
+  match pool with
+  | None -> { st_workers = 0; st_tasks = 0; st_chunks = 0 }
+  | Some t ->
+      locked t (fun () ->
+          { st_workers = t.nworkers; st_tasks = t.tasks_run; st_chunks = t.chunks_run })

@@ -1,0 +1,79 @@
+(** A persistent pool of worker domains.
+
+    [Parfor] used to spawn fresh domains on every [map_reduce] call; at the
+    paper's call frequency (one parallel region per GHD bag, per trie
+    build, per BLAS kernel) the spawn cost dominates small regions and the
+    repeated spawn/join churn defeats the OS scheduler. This pool spawns
+    each worker domain once, parks it on a condition variable, and feeds it
+    chunked index-range tasks.
+
+    A task is a function over chunk indices [0, chunks). Workers (and the
+    submitting domain, which always participates) claim chunk indices from
+    a shared cursor under the pool lock, so chunks are load-balanced across
+    domains while remaining identified by their index — callers that need
+    a deterministic combine order store per-chunk results by index and
+    merge after {!run} returns, which is exactly what
+    {!Parfor.map_reduce} does.
+
+    The pool is not reentrant: one task runs at a time. {!run} raises
+    {!Busy} when the pool is already executing a task — both for nested
+    use (submitting from inside a task of the same pool) and for
+    concurrent use from a second domain. Callers that want graceful
+    degradation catch [Busy] and run sequentially ({!Parfor} does). *)
+
+type t
+
+exception Busy
+(** Raised by {!run} when the pool is already executing a task. Raised
+    before any chunk of the new task has started, so falling back to a
+    sequential loop is always safe. *)
+
+val create : workers:int -> t
+(** A fresh pool with [workers] parked worker domains ([workers >= 0];
+    with 0 workers {!run} degenerates to a sequential loop on the calling
+    domain). Worker count is capped at {!max_workers}. *)
+
+val ensure_workers : t -> int -> unit
+(** [ensure_workers t n] grows the pool to at least [n] workers (no-op if
+    already that large, or if the pool was {!shutdown}). *)
+
+val workers : t -> int
+
+val max_workers : int
+(** Hard cap on workers per pool, comfortably below the OCaml runtime's
+    maximum domain count (128). *)
+
+val run : t -> chunks:int -> (int -> unit) -> unit
+(** [run t ~chunks f] evaluates [f k] for every [k] in [0, chunks), with
+    the calling domain and the workers claiming chunk indices until none
+    remain, and returns when all chunks have finished. If one or more
+    chunks raise, the first exception (in completion order) is re-raised
+    after the task drains. Raises {!Busy} if a task is already running. *)
+
+val shutdown : t -> unit
+(** Parks no more: wakes every worker, joins them, and drops them. The
+    pool remains usable — subsequent {!run}s execute all chunks on the
+    calling domain — but {!ensure_workers} will not respawn. Idempotent.
+    Calling it from inside a task of the same pool is not allowed. *)
+
+(* ------------------------------------------------------------------ *)
+
+(** {1 The process-global pool}
+
+    All library-internal parallelism ({!Parfor}, and through it the trie
+    builder, CSV ingest and the BLAS kernels) shares one global pool so a
+    process never holds more parked domains than its widest parallel
+    region needs. The pool is created lazily on first use: a process that
+    keeps [Config.domains = 1] never spawns a domain. *)
+
+val global : unit -> t
+
+type stats = {
+  st_workers : int;  (** workers currently parked in the global pool *)
+  st_tasks : int;  (** parallel regions executed, process lifetime *)
+  st_chunks : int;  (** chunks executed, process lifetime *)
+}
+
+val stats : unit -> stats
+(** Counters of the global pool. All zero until its first use; reading
+    them does not create the pool. *)
