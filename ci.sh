@@ -12,3 +12,8 @@ dune runtest
 # declares (deps (env_var LH_DOMAINS)) so this is never a cache hit.
 LH_DOMAINS=4 dune runtest
 dune exec bench/main.exe -- --smoke
+# Differential fuzzing leg: a pinned seed so CI is deterministic; raise
+# LH_FUZZ_COUNT locally for a longer hunt. Exits non-zero on any
+# discrepancy between the engine configurations, the pairwise baselines
+# and the brute-force oracle (see bin/lhfuzz.ml and DESIGN.md).
+dune exec bin/lhfuzz.exe -- --seed 42 --count "${LH_FUZZ_COUNT:-1000}" --quiet

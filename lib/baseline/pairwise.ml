@@ -242,8 +242,12 @@ let agg_rows spec (q : Ast.query) agg =
                      (fun g ->
                        g = e
                        ||
+                       (* qualified and unqualified refs to the same column
+                          must match; same-named columns of different
+                          bindings must not *)
                        match (g, e) with
-                       | Ast.Col a, Ast.Col b -> String.equal a.Ast.column b.Ast.column
+                       | Ast.Col a, Ast.Col b ->
+                           Xcompile.resolve spec a = Xcompile.resolve spec b
                        | _ -> false)
                      q.Ast.group_by
                  with

@@ -111,6 +111,18 @@ type kernel =
   | Kmv of { e1 : Logical.edge; i1 : dense_info; c1 : int; i_v : int; e2 : Logical.edge; c2 : int; k : int }
   | Kvm of { e1 : Logical.edge; c1 : int; e2 : Logical.edge; i2 : dense_info; c2 : int; j_v : int; k : int }
 
+let vertex_extent (edge : Logical.edge) (info : dense_info) v =
+  match List.assoc_opt v edge.Logical.vertex_cols with
+  | None -> None
+  | Some c ->
+      let rec go ks ds =
+        match (ks, ds) with
+        | k :: _, d :: _ when k = c -> Some d
+        | _ :: ks, _ :: ds -> go ks ds
+        | _ -> None
+      in
+      go info.dkey_cols (Array.to_list info.dims)
+
 let match_kernel (lq : Logical.t) ~dense_of =
   let ( let* ) o f = Option.bind o f in
   let* () = if Array.length lq.Logical.edges = 2 then Some () else None in
@@ -140,6 +152,13 @@ let match_kernel (lq : Logical.t) ~dense_of =
   let shared = List.filter (fun v -> List.mem v v2) v1 in
   let* k = match shared with [ k ] -> Some k | _ -> None in
   let* () = if List.mem k gkeys then None else Some () in
+  (* Both sides must be dense over the {e same} contraction range: a
+     kernel contracts index-for-index, but the join semantics restrict to
+     the intersection of the key ranges. Unequal extents fall back to the
+     WCOJ path rather than compute the wrong (or no) answer. *)
+  let* d1 = vertex_extent e1 i1 k in
+  let* d2 = vertex_extent e2 i2 k in
+  let* () = if d1 = d2 then Some () else None in
   match (List.length v1, List.length v2, gkeys) with
   | 2, 2, [ g1; g2 ] ->
       (* DMM: orientation by which edge owns which group key. *)

@@ -37,9 +37,14 @@ val dict : t -> Lh_storage.Dict.t
 
 val query : t -> string -> Lh_storage.Table.t
 (** Parse and execute; the result table is named ["result"] (not
-    registered). Raises [Lh_sql.Parser.Parse_error],
-    {!Logical.Unsupported_query}, {!Compile.Unsupported}, or the
-    {!Lh_util.Budget} exceptions. *)
+    registered). Raises [Lh_sql.Lexer.Lex_error] or
+    [Lh_sql.Parser.Parse_error] on malformed input,
+    {!Logical.Unsupported_query} or {!Compile.Unsupported} on queries
+    outside the supported subset, the {!Lh_util.Budget} exceptions when
+    the configured budget is exceeded, and [Failure] for semantic errors
+    discovered during execution (unknown table or column, aggregated
+    keys, ...). [test/test_fuzz.ml] holds the engine to exactly this
+    list. *)
 
 val query_ast : t -> Lh_sql.Ast.query -> Lh_storage.Table.t
 

@@ -532,7 +532,11 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
     match input.boundary with
     | None ->
         let rows = Hashtbl.fold (fun k v acc -> { gcodes = k; slots = v } :: acc) ctx.hash [] in
-        List.sort (fun a b -> compare a.gcodes b.gcodes) rows
+        if rows = [] && Array.length input.gb = 0 then
+          (* scalar aggregate over an empty match set: one identity row,
+             same as the sorted-emit pos-0 wrap above *)
+          [ { gcodes = [||]; slots = Array.map identity_of input.kinds_x } ]
+        else List.sort (fun a b -> compare a.gcodes b.gcodes) rows
     | Some _ -> List.rev !(ctx.out)
   in
 

@@ -1,0 +1,35 @@
+(** The fuzzing dataset: a small, fully deterministic catalog that covers
+    every storage feature the query generator wants to exercise —
+
+    - sparse integer-keyed matrices with duplicate key tuples ([m_a],
+      [m_b], [m_c]: pre-aggregation and join multiplicities),
+    - completely dense matrices and a dense vector ([dm], [dm2], [dv]:
+      the BLAS-targeting path),
+    - a sparse vector ([sv]),
+    - a BI-style star (fact [fact] with dimensions [cust] and [item]:
+      string/date/int/float annotations, filters, GROUP BY),
+    - string-keyed relations ([s1], [s2]: dictionary-coded key joins).
+
+    The dataset is built from a pinned internal seed, so a replayed query
+    seed alone reproduces a failure exactly. *)
+
+type col_info = {
+  ci_name : string;
+  ci_dtype : Lh_storage.Dtype.t;
+  ci_key : bool;
+  ci_strings : string array;  (** distinct values, string columns only *)
+  ci_lo : float;  (** numeric/date minimum (day codes for dates) *)
+  ci_hi : float;
+}
+
+type table_info = { ti_name : string; ti_cols : col_info array; ti_rows : int }
+
+type profile = table_info array
+
+val build : unit -> Levelheaded.Engine.t
+(** A fresh engine with the full dataset registered. *)
+
+val profile : Levelheaded.Engine.t -> profile
+(** Scans every registered table once: the schema plus per-column value
+    ranges / string vocabularies the generator draws filter constants
+    from. Works on any engine, not just {!build}'s. *)

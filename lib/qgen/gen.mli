@@ -1,0 +1,34 @@
+(** Schema-aware random query generation.
+
+    Every generated AST is {e valid} by construction: typed against the
+    dataset profile, inside the engine's supported subset (equi-joins on
+    same-dtype key columns, connected join graphs, single-relation
+    filters, decomposable aggregate expressions, non-float GROUP BY), so
+    a differential run never wastes queries on expected rejections.
+
+    Generation is deterministic per [(seed, index)] — the pair printed
+    with every discrepancy is all that is needed to replay it. *)
+
+type shape =
+  | Scan  (** single relation: filters + aggregates, no or ann-only GROUP BY *)
+  | Chain  (** matrix-product-style linear joins, optional vector tail *)
+  | Star  (** a centre relation joined on its distinct key columns *)
+  | Cycle  (** closed join loop (triangle and longer; fhw > 1) *)
+  | La  (** canonical matvec/matmul aggregates; the dense arms BLAS-match *)
+
+val all_shapes : shape list
+val shape_to_string : shape -> string
+val shape_of_string : string -> shape option
+
+type spec = { shapes : shape list; max_relations : int }
+
+val default_spec : spec
+
+val generate : Dataset.profile -> seed:int -> index:int -> spec -> Lh_sql.Ast.query * shape
+(** Raises [Failure] if the profile lacks the table shapes a requested
+    query shape needs (e.g. no two-int-key relation for [Chain]). *)
+
+val vocabulary : Dataset.profile -> string array
+(** SQL keywords plus every table name, column name, string literal and
+    a few constants of the profile — the token pool for structured
+    robustness fuzzing ([test_fuzz.ml]'s token soup). *)

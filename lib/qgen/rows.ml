@@ -1,0 +1,63 @@
+module Dtype = Lh_storage.Dtype
+
+type row = Dtype.value list
+
+let value_close a b =
+  match (a, b) with
+  | Dtype.VFloat x, Dtype.VFloat y ->
+      (* x = y covers equal infinities, where the subtraction below is nan *)
+      x = y || Float.abs (x -. y) <= 1e-6 *. (1.0 +. Float.max (Float.abs x) (Float.abs y))
+  | x, y -> Dtype.value_equal x y
+
+let row_to_string r = String.concat "|" (List.map Dtype.value_to_string r)
+
+(* Total order on values: the group-by prefix of a row is exact (codes
+   decode identically across evaluators), so sorting both sides with the
+   same comparator yields aligned rows whenever the row sets agree. *)
+let value_order a b =
+  match (a, b) with
+  | Dtype.VInt x, Dtype.VInt y | Dtype.VDate x, Dtype.VDate y -> compare x y
+  | Dtype.VString x, Dtype.VString y -> String.compare x y
+  | Dtype.VFloat x, Dtype.VFloat y -> compare x y
+  | x, y -> compare (Dtype.value_type x) (Dtype.value_type y)
+
+let row_order a b =
+  let rec go = function
+    | [], [] -> 0
+    | [], _ -> -1
+    | _, [] -> 1
+    | x :: xs, y :: ys ->
+        let c = value_order x y in
+        if c <> 0 then c else go (xs, ys)
+  in
+  go (a, b)
+
+let canonical rows = List.sort row_order rows
+
+let rows_equal_aligned a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun ra rb -> List.length ra = List.length rb && List.for_all2 value_close ra rb)
+       a b
+
+let equal a b = rows_equal_aligned (canonical a) (canonical b)
+
+let diff_lists e g =
+  if rows_equal_aligned e g then None
+  else if List.length e <> List.length g then
+    Some (Printf.sprintf "row count differs: expected %d, got %d" (List.length e) (List.length g))
+  else
+    let rec first i = function
+      | [], [] -> Printf.sprintf "rows differ (row %d)" i
+      | ra :: ea, rb :: ga ->
+          if List.length ra = List.length rb && List.for_all2 value_close ra rb then
+            first (i + 1) (ea, ga)
+          else
+            Printf.sprintf "row %d differs\n  expected: %s\n  got:      %s" i (row_to_string ra)
+              (row_to_string rb)
+      | _ -> "rows differ"
+    in
+    Some (first 0 (e, g))
+
+let diff ~expect ~got = diff_lists (canonical expect) (canonical got)
+let diff_aligned ~expect ~got = diff_lists expect got

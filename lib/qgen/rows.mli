@@ -1,0 +1,36 @@
+(** Canonical result-row comparison, shared by the differential fuzzing
+    harness ({!Diff}) and the test suites.
+
+    Every evaluator in this repository ({!Levelheaded.Engine},
+    {!Lh_baseline.Oracle}, {!Lh_baseline.Pairwise}) emits rows sorted by
+    GROUP BY codes, so positional comparison normally suffices; the
+    canonical form re-sorts anyway so that comparisons stay meaningful if
+    an engine under test gets the emit order wrong (that, too, is a
+    reportable discrepancy — see {!diff}). *)
+
+type row = Lh_storage.Dtype.value list
+
+val value_close : Lh_storage.Dtype.value -> Lh_storage.Dtype.value -> bool
+(** Exact on ints, dates and strings; floats compare with relative
+    tolerance [1e-6] (equal infinities compare equal). *)
+
+val row_to_string : row -> string
+(** ["|"]-separated rendering for failure messages. *)
+
+val canonical : row list -> row list
+(** Rows sorted by a total order on values (ints/dates by value, strings
+    lexicographically, floats by IEEE order) — the row-set form used for
+    equality. *)
+
+val equal : row list -> row list -> bool
+(** Canonical row-set equality, {!value_close}-tolerant per cell. *)
+
+val diff : expect:row list -> got:row list -> string option
+(** [None] when {!equal}; otherwise a human-readable description of the
+    first difference (count mismatch or first differing row) in canonical
+    order. *)
+
+val diff_aligned : expect:row list -> got:row list -> string option
+(** Like {!diff} but positional — no canonicalization, so a wrong emit
+    order is itself reported. Used by the test suites, whose evaluators
+    all promise GROUP-BY-sorted output. *)

@@ -1,0 +1,181 @@
+module Ast = Lh_sql.Ast
+
+let conjuncts p =
+  let rec go p acc = match p with Ast.And (a, b) -> go a (go b acc) | p -> p :: acc in
+  go p []
+
+let and_fold = function
+  | [] -> None
+  | p :: ps -> Some (List.fold_left (fun acc q -> Ast.And (acc, q)) p ps)
+
+let aliases_of_cols cols = List.filter_map (fun (c : Ast.col_ref) -> c.relation) cols
+let pred_aliases p = aliases_of_cols (Ast.pred_columns p) |> List.sort_uniq String.compare
+let expr_aliases e = aliases_of_cols (Ast.expr_columns e) |> List.sort_uniq String.compare
+
+let item_aliases = function
+  | Ast.Aggregate (_, None, _) -> []
+  | Ast.Aggregate (_, Some e, _) | Ast.Plain (e, _) -> expr_aliases e
+
+(* Any conjunct that mentions several aliases acts as a join edge for the
+   purposes of connectivity (the classifier only accepts two-column key
+   equalities there, but an invalid candidate is merely rejected by
+   [still_fails], not a soundness problem). *)
+let connected aliases conjs =
+  match aliases with
+  | [] | [ _ ] -> true
+  | first :: _ ->
+      let adj = Hashtbl.create 8 in
+      let neighbours a = try Hashtbl.find adj a with Not_found -> [] in
+      let add a b = Hashtbl.replace adj a (b :: neighbours a) in
+      List.iter
+        (fun p ->
+          match pred_aliases p with
+          | a :: rest -> List.iter (fun b -> add a b; add b a) rest
+          | [] -> ())
+        conjs;
+      let seen = Hashtbl.create 8 in
+      let rec dfs a =
+        if not (Hashtbl.mem seen a) then begin
+          Hashtbl.add seen a ();
+          List.iter dfs (neighbours a)
+        end
+      in
+      dfs first;
+      List.for_all (Hashtbl.mem seen) aliases
+
+let structurally_valid (q : Ast.query) =
+  let aliases = List.map snd q.from in
+  let bound als = List.for_all (fun a -> List.mem a aliases) als in
+  q.from <> [] && q.select <> []
+  && List.for_all (fun it -> bound (item_aliases it)) q.select
+  && List.for_all (fun e -> bound (expr_aliases e)) q.group_by
+  && (match q.where with None -> true | Some p -> bound (pred_aliases p))
+  && connected aliases (match q.where with None -> [] | Some p -> conjuncts p)
+
+(* One-step simplifications of an expression: drop an operand, zero a
+   literal, unwrap a CASE. Each result is "smaller" so the greedy loop
+   terminates. *)
+let rec expr_variants (e : Ast.expr) : Ast.expr list =
+  let inside wrap e = List.map wrap (expr_variants e) in
+  match e with
+  | Ast.Col _ -> []
+  | Ast.Int_lit n -> if n <> 0 then [ Ast.Int_lit 0 ] else []
+  | Ast.Float_lit x -> if x <> 0.0 then [ Ast.Float_lit 0.0 ] else []
+  | Ast.String_lit _ | Ast.Date_lit _ | Ast.Interval_day _ -> []
+  | Ast.Neg a -> (a :: inside (fun a' -> Ast.Neg a') a)
+  | Ast.Add (a, b) ->
+      (a :: b :: inside (fun a' -> Ast.Add (a', b)) a) @ inside (fun b' -> Ast.Add (a, b')) b
+  | Ast.Sub (a, b) ->
+      (a :: b :: inside (fun a' -> Ast.Sub (a', b)) a) @ inside (fun b' -> Ast.Sub (a, b')) b
+  | Ast.Mul (a, b) ->
+      (a :: b :: inside (fun a' -> Ast.Mul (a', b)) a) @ inside (fun b' -> Ast.Mul (a, b')) b
+  | Ast.Div (a, b) -> (a :: inside (fun a' -> Ast.Div (a', b)) a)
+  | Ast.Case_when (p, t, e) ->
+      (t :: e :: List.map (fun p' -> Ast.Case_when (p', t, e)) (pred_variants p))
+      @ inside (fun t' -> Ast.Case_when (p, t', e)) t
+      @ inside (fun e' -> Ast.Case_when (p, t, e')) e
+  | Ast.Extract_year _ -> []
+
+and pred_variants (p : Ast.pred) : Ast.pred list =
+  match p with
+  | Ast.And (a, b) ->
+      (a :: b :: List.map (fun a' -> Ast.And (a', b)) (pred_variants a))
+      @ List.map (fun b' -> Ast.And (a, b')) (pred_variants b)
+  | Ast.Or (a, b) ->
+      (a :: b :: List.map (fun a' -> Ast.Or (a', b)) (pred_variants a))
+      @ List.map (fun b' -> Ast.Or (a, b')) (pred_variants b)
+  | Ast.Not a -> (a :: List.map (fun a' -> Ast.Not a') (pred_variants a))
+  | Ast.Between (e, lo, hi) -> [ Ast.Cmp (Ast.Ge, e, lo); Ast.Cmp (Ast.Le, e, hi) ]
+  | Ast.Cmp (c, a, b) ->
+      List.map (fun a' -> Ast.Cmp (c, a', b)) (expr_variants a)
+      @ List.map (fun b' -> Ast.Cmp (c, a, b')) (expr_variants b)
+  | Ast.Like _ | Ast.Not_like _ -> []
+
+let count_star = Ast.Aggregate (Ast.Count, None, "a0")
+let or_count_star = function [] -> [ count_star ] | items -> items
+
+let remove_nth i xs = List.filteri (fun j _ -> j <> i) xs
+let replace_nth i x xs = List.mapi (fun j y -> if j = i then x else y) xs
+
+let candidates (q : Ast.query) : Ast.query list =
+  let conjs = match q.where with None -> [] | Some p -> conjuncts p in
+  let drop_relation =
+    if List.length q.from < 2 then []
+    else
+      List.mapi
+        (fun i (_, alias) ->
+          let keep als = not (List.mem alias als) in
+          {
+            Ast.from = remove_nth i q.from;
+            select = or_count_star (List.filter (fun it -> keep (item_aliases it)) q.select);
+            group_by = List.filter (fun e -> keep (expr_aliases e)) q.group_by;
+            where = and_fold (List.filter (fun p -> keep (pred_aliases p)) conjs);
+          })
+        q.from
+  in
+  let drop_conjunct =
+    List.mapi (fun i _ -> { q with Ast.where = and_fold (remove_nth i conjs) }) conjs
+  in
+  let drop_group_by =
+    List.mapi
+      (fun i e ->
+        {
+          q with
+          Ast.group_by = remove_nth i q.group_by;
+          select =
+            or_count_star
+              (List.filter (function Ast.Plain (e', _) -> e' <> e | _ -> true) q.select);
+        })
+      q.group_by
+  in
+  let drop_select =
+    if List.length q.select < 2 then []
+    else List.mapi (fun i _ -> { q with Ast.select = remove_nth i q.select }) q.select
+  in
+  let simplify_aggregates =
+    List.concat
+      (List.mapi
+         (fun i it ->
+           match it with
+           | Ast.Aggregate (f, Some e, alias) ->
+               let to_col =
+                 match e with
+                 | Ast.Col _ -> []
+                 | _ ->
+                     List.map
+                       (fun c -> Ast.Aggregate (f, Some (Ast.Col c), alias))
+                       (Ast.expr_columns e)
+               in
+               let smaller =
+                 List.map (fun e' -> Ast.Aggregate (f, Some e', alias)) (expr_variants e)
+               in
+               List.map (fun it' -> { q with Ast.select = replace_nth i it' q.select })
+                 (to_col @ smaller)
+           | _ -> [])
+         q.select)
+  in
+  let simplify_conjunct =
+    List.concat
+      (List.mapi
+         (fun i p ->
+           List.map (fun p' -> { q with Ast.where = and_fold (replace_nth i p' conjs) })
+             (pred_variants p))
+         conjs)
+  in
+  List.filter structurally_valid
+    (drop_relation @ drop_conjunct @ drop_group_by @ drop_select @ simplify_aggregates
+   @ simplify_conjunct)
+
+let shrink ?(max_steps = 400) ~still_fails q0 =
+  let steps = ref 0 in
+  let rec loop q =
+    if !steps >= max_steps then q
+    else
+      match List.find_opt still_fails (candidates q) with
+      | Some q' ->
+          incr steps;
+          loop q'
+      | None -> q
+  in
+  let minimal = loop q0 in
+  (minimal, !steps)

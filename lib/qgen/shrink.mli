@@ -1,0 +1,25 @@
+(** Greedy query minimization for differential failures.
+
+    Given a failing query and a [still_fails] predicate, repeatedly tries
+    one-step reductions — drop a relation (with everything that referenced
+    it), drop a WHERE conjunct, drop a GROUP BY key or a select item,
+    collapse an aggregate expression to a bare column, simplify a
+    predicate or a constant — keeping any reduction that still fails,
+    until none does (or [max_steps] is hit).
+
+    Candidates are structurally valid (bound aliases, connected join
+    graph, non-empty SELECT) but not necessarily inside the engine's
+    supported subset; [still_fails] must return [false] for queries it
+    cannot evaluate, and the shrinker treats them as dead ends. *)
+
+val candidates : Lh_sql.Ast.query -> Lh_sql.Ast.query list
+(** All structurally valid one-step reductions, most aggressive first.
+    Exposed for the test suite. *)
+
+val shrink :
+  ?max_steps:int ->
+  still_fails:(Lh_sql.Ast.query -> bool) ->
+  Lh_sql.Ast.query ->
+  Lh_sql.Ast.query * int
+(** [(minimal, steps)] where [steps] is the number of accepted
+    reductions. [max_steps] (default 400) bounds the greedy descent. *)

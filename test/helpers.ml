@@ -1,26 +1,56 @@
 (* Shared helpers for the test suites. *)
 
 module Dtype = Lh_storage.Dtype
+module Rows = Lh_qgen.Rows
+
+(* Property seed: LH_SEED pins the qcheck generator stream (test/dune
+   declares the env-var dependency so changing it invalidates cached
+   runs); without it each run draws a fresh seed, printed on failure so
+   any run can be replayed exactly. *)
+let qcheck_seed =
+  lazy
+    (match Sys.getenv_opt "LH_SEED" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n -> n
+        | None -> failwith (Printf.sprintf "LH_SEED must be an integer (got %S)" s))
+    | None ->
+        Random.self_init ();
+        Random.int 0x3FFFFFFF)
 
 let qtest ?(count = 200) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+  let seed = Lazy.force qcheck_seed in
+  let reported = ref false in
+  let report () =
+    if not !reported then begin
+      reported := true;
+      Printf.eprintf "\n[%s] property failed; replay with LH_SEED=%d\n%!" name seed
+    end
+  in
+  let prop x =
+    match prop x with
+    | true -> true
+    | false ->
+        report ();
+        false
+    | exception e ->
+        report ();
+        raise e
+  in
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| seed |])
+    (QCheck2.Test.make ~count ~name gen prop)
 
-let value_close a b =
-  match (a, b) with
-  | Dtype.VFloat x, Dtype.VFloat y ->
-      Float.abs (x -. y) <= 1e-6 *. (1.0 +. Float.max (Float.abs x) (Float.abs y))
-  | x, y -> Dtype.value_equal x y
-
-let row_to_string r = String.concat "|" (List.map Dtype.value_to_string r)
+(* Row comparison is the one shared implementation in Lh_qgen.Rows (also
+   used by the differential harness); tests keep positional semantics so
+   a wrong emit order still fails. *)
+let value_close = Rows.value_close
+let row_to_string = Rows.row_to_string
 
 let check_rows_equal name expect got =
-  Alcotest.(check int) (name ^ ": row count") (List.length expect) (List.length got);
-  List.iteri
-    (fun i (e, g) ->
-      if not (List.length e = List.length g && List.for_all2 value_close e g) then
-        Alcotest.failf "%s: row %d differs\n  expected: %s\n  got:      %s" name i
-          (row_to_string e) (row_to_string g))
-    (List.combine expect got)
+  match Rows.diff_aligned ~expect ~got with
+  | None -> ()
+  | Some d -> Alcotest.failf "%s: %s" name d
 
 (* A small fully-loaded engine shared by the integration tests. *)
 let tpch_engine =

@@ -46,6 +46,39 @@ let test_separable_accuracy () =
   let m = Logreg.train ~x ~y ~iterations:200 ~learning_rate:0.5 () in
   Alcotest.(check bool) "accuracy > 0.95" true (Logreg.accuracy m ~x ~y > 0.95)
 
+(* Convergence on a linearly separable toy set with a clear margin: the
+   loss must decrease monotonically along the iteration schedule, end
+   near zero, and the final model must classify perfectly. *)
+let test_logreg_convergence () =
+  let rng = Lh_util.Prng.create 77 in
+  let n = 200 in
+  let x =
+    Dense.init ~rows:n ~cols:3 (fun r c ->
+        match c with
+        | 0 -> 1.0
+        | _ ->
+            let v = Lh_util.Prng.float rng 2.0 -. 1.0 in
+            (* push points away from the separator x1 + x2 = 0 *)
+            let sign = if r land 1 = 0 then 1.0 else -1.0 in
+            v +. (sign *. 1.5))
+  in
+  let y = Array.init n (fun r -> if r land 1 = 0 then 1.0 else 0.0) in
+  let losses =
+    List.map
+      (fun iters -> Logreg.loss (Logreg.train ~x ~y ~iterations:iters ~learning_rate:0.5 ()) ~x ~y)
+      [ 5; 20; 80; 320 ]
+  in
+  let rec monotone = function
+    | a :: (b :: _ as tl) -> a > b && monotone tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "loss decreases with iterations" true (monotone losses);
+  let final = List.nth losses 3 in
+  Alcotest.(check bool) (Printf.sprintf "final loss %.4f < 0.1" final) true (final < 0.1);
+  let m = Logreg.train ~x ~y ~iterations:320 ~learning_rate:0.5 () in
+  Alcotest.(check (float 1e-9)) "separable set classified perfectly" 1.0
+    (Logreg.accuracy m ~x ~y)
+
 let test_encoder_shapes () =
   let dict = Lh_storage.Dict.create () in
   let voters, _ = Lh_datagen.Voter.generate ~dict ~nvoters:500 ~nprecincts:10 () in
@@ -76,6 +109,55 @@ let test_encoder_standardizes () =
   let var = (!sq /. float_of_int n) -. (mean *. mean) in
   Alcotest.(check bool) "mean ~ 0" true (Float.abs mean < 1e-9);
   Alcotest.(check bool) "var ~ 1" true (Float.abs (var -. 1.0) < 1e-6)
+
+(* Round-trip: each row's hot one-hot column must decode — via its
+   feature name, "col=value" — back to the category string actually
+   stored in the table. *)
+let test_encoder_onehot_roundtrip () =
+  let dict = Lh_storage.Dict.create () in
+  let voters, _ = Lh_datagen.Voter.generate ~dict ~nvoters:300 ~nprecincts:8 () in
+  let enc = Encoder.encode ~table:voters ~numeric:[] ~categorical:[ "v_party" ] in
+  let party = Lh_storage.Schema.find_exn voters.Lh_storage.Table.schema "v_party" in
+  for r = 0 to voters.Lh_storage.Table.nrows - 1 do
+    let hot = ref [] in
+    for c = 1 to enc.Encoder.matrix.Dense.cols - 1 do
+      if Dense.get enc.Encoder.matrix r c = 1.0 then hot := c :: !hot
+    done;
+    match !hot with
+    | [ c ] -> (
+        match Lh_storage.Table.value voters ~row:r ~col:party with
+        | Lh_storage.Dtype.VString s ->
+            Alcotest.(check string)
+              (Printf.sprintf "row %d decodes" r)
+              ("v_party=" ^ s) enc.Encoder.feature_names.(c)
+        | _ -> Alcotest.fail "v_party is not a string column")
+    | hs -> Alcotest.failf "row %d has %d hot columns" r (List.length hs)
+  done
+
+(* Round-trip: de-standardizing with the column's own mean and sd must
+   recover every raw numeric value exactly (up to float tolerance). *)
+let test_encoder_destandardize_roundtrip () =
+  let dict = Lh_storage.Dict.create () in
+  let voters, _ = Lh_datagen.Voter.generate ~dict ~nvoters:400 ~nprecincts:8 () in
+  let enc = Encoder.encode ~table:voters ~numeric:[ "v_income" ] ~categorical:[] in
+  Alcotest.(check string) "numeric feature named" "v_income" enc.Encoder.feature_names.(1);
+  let col = Lh_storage.Schema.find_exn voters.Lh_storage.Table.schema "v_income" in
+  let n = voters.Lh_storage.Table.nrows in
+  let mean = ref 0.0 and sq = ref 0.0 in
+  for r = 0 to n - 1 do
+    let v = Lh_storage.Table.number voters col r in
+    mean := !mean +. v;
+    sq := !sq +. (v *. v)
+  done;
+  let mean = !mean /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  let sd = if var <= 1e-12 then 1.0 else sqrt var in
+  for r = 0 to n - 1 do
+    let raw = Lh_storage.Table.number voters col r in
+    let recovered = (Dense.get enc.Encoder.matrix r 1 *. sd) +. mean in
+    if Float.abs (recovered -. raw) > 1e-6 *. (1.0 +. Float.abs raw) then
+      Alcotest.failf "row %d: de-standardized %f <> raw %f" r recovered raw
+  done
 
 let test_voter_pipeline_learns () =
   (* the full §VII pipeline at small scale: join is identity here; encode +
@@ -109,11 +191,14 @@ let () =
           Alcotest.test_case "gradient finite-difference" `Quick test_gradient_finite_difference;
           Alcotest.test_case "training reduces loss" `Quick test_training_reduces_loss;
           Alcotest.test_case "separable accuracy" `Quick test_separable_accuracy;
+          Alcotest.test_case "convergence on separable set" `Quick test_logreg_convergence;
         ] );
       ( "encoder",
         [
           Alcotest.test_case "shapes + one-hot" `Quick test_encoder_shapes;
           Alcotest.test_case "standardization" `Quick test_encoder_standardizes;
+          Alcotest.test_case "one-hot round-trip" `Quick test_encoder_onehot_roundtrip;
+          Alcotest.test_case "de-standardize round-trip" `Quick test_encoder_destandardize_roundtrip;
           Alcotest.test_case "labels" `Quick test_labels_from_int_column;
         ] );
       ("pipeline", [ Alcotest.test_case "voter pipeline learns" `Quick test_voter_pipeline_learns ]);
