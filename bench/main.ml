@@ -29,7 +29,7 @@ let fig1 bi la =
       C.print_row (C.system_name s) [ cell bi; cell la ])
     [ C.Lh; C.Hyper_like; C.Monet_like; C.Lh_logicblox; C.Mkl_like ]
 
-let all_ids = [ "table2-bi"; "table2-la"; "table3"; "table4"; "fig1"; "fig5a"; "fig5b"; "fig5c"; "fig6"; "ablations" ]
+let all_ids = [ "table2-bi"; "table2-la"; "table3"; "table4"; "fig1"; "fig5a"; "fig5b"; "fig5c"; "fig6"; "ablations"; "repeated" ]
 
 let run_ids params ids =
   let wants id = List.mem id ids in
@@ -58,6 +58,7 @@ let run_ids params ids =
   if wants "fig5c" then tagged "fig5c" (fun () -> Exp_fig5.run_fig5c params);
   if wants "fig6" then tagged "fig6" (fun () -> ignore (Exp_fig6.run params));
   if wants "ablations" then tagged "ablations" (fun () -> Exp_ablations.run params);
+  if wants "repeated" then tagged "repeated" (fun () -> ignore (Exp_repeated.run params));
   C.write_json ()
 
 (* ---------------- smoke: one query per experiment family, telemetry on,
@@ -100,6 +101,11 @@ let smoke params =
   L.Engine.set_config eng Levelheaded.Config.logicblox_like;
   analyze "table3/ablated" Queries.q3;
   L.Engine.set_config eng saved;
+  (* repeated: the same query twice through the plan cache — the second
+     run must hit and skip GHD selection + attribute ordering. *)
+  L.Engine.reset_plan_cache eng;
+  analyze "plancache/cold" Queries.q3;
+  analyze "plancache/warm" Queries.q3;
   (* parallel execution: one cell per family at domains=2. The reports
      must show the pool engaged (exec.domains_used >= 2; pool.tasks > 0
      for the WCOJ cells — the tiny dense matrix fits one GEMM block, so
@@ -144,7 +150,7 @@ let smoke params =
       "wcoj.leaf_ticks"; "scan.rows_scanned"; "rows.emitted"; "blas.dispatch";
       "budget.ticks"; "dense_cache.hit"; "dense_cache.miss"; "baseline.hash_builds";
       "baseline.rows_joined"; "exec.domains_used"; "gc.peak_live_words";
-      "pool.tasks"; "pool.chunks"; "pool.workers";
+      "pool.tasks"; "pool.chunks"; "pool.workers"; "plan_cache.hit"; "plan_cache.miss";
     ]
   in
   let missing = List.filter (fun nm -> not (present nm)) required in
@@ -153,7 +159,7 @@ let smoke params =
     [
       "trie_cache.hit"; "trie_cache.miss"; "trie.built"; "wcoj.intersections";
       "scan.rows_scanned"; "rows.emitted"; "blas.dispatch"; "baseline.hash_builds";
-      "baseline.rows_joined"; "gc.peak_live_words";
+      "baseline.rows_joined"; "gc.peak_live_words"; "plan_cache.hit"; "plan_cache.miss";
     ]
   in
   let zero = List.filter (fun nm -> present nm && sum nm = 0) must_be_nonzero in
@@ -179,6 +185,28 @@ let smoke params =
   in
   (* Parallel assertions on the domains=2 cells. *)
   let counter_of (r : Report.t) name = Option.value (List.assoc_opt name r.Report.counters) ~default:0 in
+  (* Plan-cache assertions: the warm run must be a hit and must not have
+     re-planned (no GHD / attribute-ordering spans in its trace). *)
+  let bad_plancache =
+    match List.assoc_opt "plancache/warm" reports with
+    | None -> [ "plancache/warm report missing" ]
+    | Some (r : Report.t) ->
+        let problems = ref [] in
+        if counter_of r "plan_cache.hit" < 1 then
+          problems :=
+            Printf.sprintf "plancache/warm: plan_cache.hit = %d (want >= 1)"
+              (counter_of r "plan_cache.hit")
+            :: !problems;
+        List.iter
+          (fun (s : Lh_obs.Obs.span) ->
+            if s.Lh_obs.Obs.sname = "plan.ghd" || s.Lh_obs.Obs.sname = "plan.attr_order" then
+              problems :=
+                Printf.sprintf "plancache/warm: span %s present (query was re-planned)"
+                  s.Lh_obs.Obs.sname
+                :: !problems)
+          r.Report.spans;
+        !problems
+  in
   let bad_parallel =
     List.concat_map
       (fun (label, (r : Report.t)) ->
@@ -200,7 +228,8 @@ let smoke params =
      one-off OS/GC stall, not an instrumentation gap — a missing span
      would degrade every query report. Warn on one, fail on two. *)
   let coverage_failures = if List.length bad_coverage >= 2 then bad_coverage else [] in
-  if missing = [] && zero = [] && coverage_failures = [] && bad_parallel = [] then begin
+  if missing = [] && zero = [] && coverage_failures = [] && bad_parallel = [] && bad_plancache = []
+  then begin
     List.iter
       (fun msg -> Printf.printf "smoke warn: %s (single stall tolerated)\n" msg)
       bad_coverage;
@@ -213,6 +242,7 @@ let smoke params =
     List.iter (fun nm -> Printf.eprintf "smoke FAIL: counter %s never incremented\n" nm) zero;
     List.iter (fun msg -> Printf.eprintf "smoke FAIL: %s\n" msg) coverage_failures;
     List.iter (fun msg -> Printf.eprintf "smoke FAIL: %s\n" msg) bad_parallel;
+    List.iter (fun msg -> Printf.eprintf "smoke FAIL: %s\n" msg) bad_plancache;
     1
   end
 

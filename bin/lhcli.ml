@@ -92,7 +92,28 @@ let path_name = function
   | L.Engine.Wcoj_path -> "wcoj"
   | L.Engine.Blas_path -> "blas"
 
-let query_run tables tpch_dir sql explain_only analyze trace_file metrics_file sep domains =
+(* --param values: narrowest type that parses wins (int, float, date),
+   falling back to string. Force a string with quotes: --param "'42'". *)
+let parse_param s =
+  let unquoted =
+    let n = String.length s in
+    if n >= 2 && s.[0] = '\'' && s.[n - 1] = '\'' then Some (String.sub s 1 (n - 2)) else None
+  in
+  match unquoted with
+  | Some str -> Lh_storage.Dtype.VString str
+  | None -> (
+      match int_of_string_opt s with
+      | Some i -> Lh_storage.Dtype.VInt i
+      | None -> (
+          match float_of_string_opt s with
+          | Some f -> Lh_storage.Dtype.VFloat f
+          | None -> (
+              match Lh_storage.Date.of_string s with
+              | d -> Lh_storage.Dtype.VDate d
+              | exception _ -> Lh_storage.Dtype.VString s)))
+
+let query_run tables tpch_dir sql explain_only analyze trace_file metrics_file sep domains params
+    repeat prepare_flag =
   let failed = ref false in
   (* Configure domains before loading: ingest parallelizes too. *)
   let config = { L.Config.default with L.Config.domains = max 1 domains } in
@@ -116,10 +137,54 @@ let query_run tables tpch_dir sql explain_only analyze trace_file metrics_file s
       Printf.printf "loaded %s as %s\n%!" path name)
     tables;
   let instrumented = analyze || trace_file <> None || metrics_file <> None in
+  let use_prepared = prepare_flag || params <> [] || repeat > 1 in
+  let write_sinks report =
+    let write what path json k =
+      match Lh_obs.Report.write_file path json with
+      | () -> Printf.eprintf "wrote %s to %s%s\n" what path k
+      | exception Sys_error msg ->
+          Printf.eprintf "error: cannot write %s: %s\n" what msg;
+          failed := true
+    in
+    Option.iter
+      (fun path ->
+        write "Chrome trace" path (Lh_obs.Report.chrome_trace report)
+          " (open via chrome://tracing)")
+      trace_file;
+    Option.iter
+      (fun path -> write "metrics JSON" path (Lh_obs.Report.metrics_json report) "")
+      metrics_file
+  in
   (match sql with
   | None -> Printf.eprintf "no --sql given\n"
   | Some sql ->
       if explain_only then print_string (L.Engine.explain eng sql).L.Engine.etext
+      else if use_prepared then begin
+        let values = List.map parse_param params in
+        let stmt, prep_dt = Lh_util.Timing.time (fun () -> L.Engine.prepare eng sql) in
+        let n = L.Engine.Stmt.nparams stmt in
+        Printf.eprintf "-- prepared in %s (%d parameter%s)\n%!"
+          (Lh_util.Timing.duration_to_string prep_dt)
+          n
+          (if n = 1 then "" else "s");
+        for k = 1 to max 1 repeat do
+          let last = k = max 1 repeat in
+          if last && instrumented then begin
+            let result, report = L.Engine.Stmt.exec_analyze stmt values in
+            print_result result;
+            Printf.eprintf "-- exec %d/%d: %d rows in %s\n" k (max 1 repeat) result.Table.nrows
+              (Lh_util.Timing.duration_to_string report.Lh_obs.Report.total_s);
+            prerr_string (Lh_obs.Report.to_text report);
+            write_sinks report
+          end
+          else begin
+            let result, dt = Lh_util.Timing.time (fun () -> L.Engine.Stmt.exec stmt values) in
+            if last then print_result result;
+            Printf.eprintf "-- exec %d/%d: %d rows in %s\n%!" k (max 1 repeat) result.Table.nrows
+              (Lh_util.Timing.duration_to_string dt)
+          end
+        done
+      end
       else if instrumented then begin
         let result, ex, report = L.Engine.query_analyze eng sql in
         print_result result;
@@ -127,21 +192,7 @@ let query_run tables tpch_dir sql explain_only analyze trace_file metrics_file s
           (Lh_util.Timing.duration_to_string report.Lh_obs.Report.total_s)
           (path_name ex.L.Engine.epath);
         prerr_string (Lh_obs.Report.to_text report);
-        let write what path json k =
-          match Lh_obs.Report.write_file path json with
-          | () -> Printf.eprintf "wrote %s to %s%s\n" what path k
-          | exception Sys_error msg ->
-              Printf.eprintf "error: cannot write %s: %s\n" what msg;
-              failed := true
-        in
-        Option.iter
-          (fun path ->
-            write "Chrome trace" path (Lh_obs.Report.chrome_trace report)
-              " (open via chrome://tracing)")
-          trace_file;
-        Option.iter
-          (fun path -> write "metrics JSON" path (Lh_obs.Report.metrics_json report) "")
-          metrics_file
+        write_sinks report
       end
       else begin
         let (result, ex), dt = Lh_util.Timing.time (fun () -> L.Engine.query_explain eng sql) in
@@ -180,9 +231,24 @@ let query_cmd =
              ~doc:"Worker domains for ingest, trie builds and query execution (default: \
                    \\$LH_DOMAINS if set, else 1)")
   in
+  let params =
+    Arg.(value & opt_all string [] & info [ "param"; "p" ] ~docv:"VALUE"
+           ~doc:"Bind a positional parameter (repeat for \\$1, \\$2, ...). Typed by narrowest \
+                 parse: int, float, date (YYYY-MM-DD), else string; quote ('42') to force \
+                 string. Implies the prepared path.")
+  in
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Prepare once and execute $(docv) times, timing each execution")
+  in
+  let prepare_flag =
+    Arg.(value & flag & info [ "prepare" ]
+           ~doc:"Use Engine.prepare / Stmt.exec even without parameters or --repeat")
+  in
   Cmd.v (Cmd.info "query" ~doc:"Load delimited files and run SQL")
     Term.(
-      const query_run $ tables $ tpch $ sql $ explain $ analyze $ trace $ metrics $ sep $ domains)
+      const query_run $ tables $ tpch $ sql $ explain $ analyze $ trace $ metrics $ sep $ domains
+      $ params $ repeat $ prepare_flag)
 
 let () =
   let info = Cmd.info "lhcli" ~doc:"LevelHeaded command-line interface" in

@@ -17,3 +17,7 @@ dune exec bench/main.exe -- --smoke
 # discrepancy between the engine configurations, the pairwise baselines
 # and the brute-force oracle (see bin/lhfuzz.ml and DESIGN.md).
 dune exec bin/lhfuzz.exe -- --seed 42 --count "${LH_FUZZ_COUNT:-1000}" --quiet
+# Same seed with the plan cache disabled: every query replans from
+# scratch, so a cache-keying or invalidation bug that the cached leg
+# masks (stale plan reused across configs) shows up as a discrepancy.
+LH_PLAN_CACHE=0 dune exec bin/lhfuzz.exe -- --seed 42 --count "${LH_FUZZ_COUNT:-1000}" --quiet

@@ -44,6 +44,7 @@ let rec scalar spec e =
       fun _ -> v
   | Ast.String_lit s -> unsupported "string literal %S in numeric position" s
   | Ast.Interval_day _ -> unsupported "unfolded interval"
+  | Ast.Param i -> unsupported "unbound parameter $%d" i
   | Ast.Neg a ->
       let fa = scalar spec a in
       fun env -> -.fa env

@@ -26,7 +26,7 @@ let rec const_value = function
       match (const_value a, const_value b) with
       | Some x, Some y -> Some (Dtype.VFloat (Dtype.numeric x /. Dtype.numeric y))
       | _ -> None)
-  | Ast.Col _ | Ast.Case_when _ | Ast.Extract_year _ | Ast.Interval_day _ -> None
+  | Ast.Col _ | Ast.Case_when _ | Ast.Extract_year _ | Ast.Interval_day _ | Ast.Param _ -> None
 
 and const_arith iop fop a b =
   match (const_value a, const_value b) with
@@ -58,6 +58,7 @@ let rec scalar tbl ~resolve e =
       fun _ -> v
   | Ast.String_lit s -> unsupported "string literal %S in numeric position" s
   | Ast.Interval_day _ -> unsupported "unfolded interval literal"
+  | Ast.Param i -> unsupported "unbound parameter $%d" i
   | Ast.Neg a ->
       let fa = scalar tbl ~resolve a in
       fun r -> -.fa r

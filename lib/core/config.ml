@@ -9,7 +9,16 @@ type t = {
   ghd_heuristics : bool;
   domains : int;
   budget : Lh_util.Budget.t;
+  plan_cache_capacity : int;
 }
+
+let default_plan_cache_capacity () =
+  match Sys.getenv_opt "LH_PLAN_CACHE" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | _ -> 64)
+  | None -> 64
 
 let default =
   {
@@ -21,6 +30,7 @@ let default =
     ghd_heuristics = true;
     domains = Lh_util.Parfor.default_domains ();
     budget = Lh_util.Budget.unlimited;
+    plan_cache_capacity = default_plan_cache_capacity ();
   }
 
 let logicblox_like =

@@ -30,6 +30,10 @@ type t = {
           kernels. [default] starts from [Lh_util.Parfor.default_domains]:
           1 unless the [LH_DOMAINS] environment variable overrides it. *)
   budget : Lh_util.Budget.t;  (** memory/time budget; checked cooperatively *)
+  plan_cache_capacity : int;
+      (** max entries in the engine's normalized-AST plan cache; [0]
+          disables caching entirely. Default 64, overridable via the
+          [LH_PLAN_CACHE] environment variable. *)
 }
 
 val default : t

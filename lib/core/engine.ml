@@ -2,17 +2,89 @@ module T = Lh_storage.Table
 module Schema = Lh_storage.Schema
 module Dtype = Lh_storage.Dtype
 module Obs = Lh_obs.Obs
+module Ast = Lh_sql.Ast
+module Normalize = Lh_sql.Normalize
 
 let c_rows_emitted = Obs.counter "rows.emitted"
 let c_dense_hit = Obs.counter "dense_cache.hit"
 let c_dense_miss = Obs.counter "dense_cache.miss"
+let c_plan_hit = Obs.counter "plan_cache.hit"
+let c_plan_miss = Obs.counter "plan_cache.miss"
+let c_plan_evict = Obs.counter "plan_cache.evict"
+
+(* ------------------------------------------------------------------ *)
+(* Typed errors                                                         *)
+
+module Error = struct
+  type t =
+    | Parse_error of string
+    | Unsupported of string
+    | Unknown_table of string
+    | Unknown_column of string
+    | Budget_exceeded
+    | Semantic of string
+
+  let to_string = function
+    | Parse_error m -> Printf.sprintf "parse error: %s" m
+    | Unsupported m -> Printf.sprintf "unsupported query: %s" m
+    | Unknown_table n -> Printf.sprintf "unknown table %S" n
+    | Unknown_column n -> Printf.sprintf "unknown column %S" n
+    | Budget_exceeded -> "budget exceeded"
+    | Semantic m -> m
+
+  let pp fmt e = Format.pp_print_string fmt (to_string e)
+end
+
+exception Error of Error.t
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Engine.Error: %s" (Error.to_string e))
+    | _ -> None)
+
+let err e = raise (Error e)
+let semantic fmt = Printf.ksprintf (fun s -> err (Error.Semantic s)) fmt
+
+(* Budget exceptions deliberately pass through unclassified so callers
+   (e.g. the benchmark harness) can distinguish OOM from timeout; anything
+   else unrecognized is a bug and propagates raw. *)
+let classify = function
+  | Lh_sql.Lexer.Lex_error m | Lh_sql.Parser.Parse_error m -> Some (Error.Parse_error m)
+  | Logical.Unknown_table n -> Some (Error.Unknown_table n)
+  | Logical.Unknown_column n -> Some (Error.Unknown_column n)
+  | Logical.Unsupported_query m | Compile.Unsupported m -> Some (Error.Unsupported m)
+  | Failure m -> Some (Error.Semantic m)
+  | _ -> None
+
+let wrap f =
+  try f () with
+  | Error _ as e -> raise e
+  | exn -> ( match classify exn with Some e -> err e | None -> raise exn)
+
+(* ------------------------------------------------------------------ *)
+
+type centry = { c_plan : plan; mutable c_used : int }
+
+and plan = {
+  p_ast : Ast.query;  (** parameterized (normalized) AST *)
+  p_nparams : int;
+  mutable p_lq : Logical.t;  (** unbound: filters/owners may hold [Param]s *)
+  mutable p_ghd : Ghd.t option;  (** [None] on the scan path (no vertices) *)
+  mutable p_pnode : Executor.pnode option;
+  mutable p_epoch : int;
+}
 
 type t = {
   cat : Catalog.t;
   mutable cfg : Config.t;
   dense_cache : (string, Blas_bridge.dense_info option) Hashtbl.t;
   trie_cache : Executor.trie_cache;
+  plans : (string, centry) Hashtbl.t;  (** normalized-AST text -> plan *)
+  mutable plan_tick : int;  (** logical clock for LRU eviction *)
+  mutable epoch : int;  (** bumped on catalog / plan-relevant config change *)
 }
+
+type stmt = { s_eng : t; s_sql : string; s_plan : plan }
 
 type path = Scan_path | Wcoj_path | Blas_path
 
@@ -24,18 +96,44 @@ let create ?(config = Config.default) () =
     cfg = config;
     dense_cache = Hashtbl.create 8;
     trie_cache = Hashtbl.create 32;
+    plans = Hashtbl.create 16;
+    plan_tick = 0;
+    epoch = 0;
   }
 
 let config t = t.cfg
-let set_config t cfg = t.cfg <- cfg
 let catalog t = t.cat
+
+let reset_plan_cache t = Hashtbl.reset t.plans
+
+(* Only the knobs that shape the plan itself (hypergraph, GHD, attribute
+   order) invalidate cached plans. Execution-time knobs (domains, budget,
+   sorted_emit, capacity) don't; blas_targeting doesn't either because the
+   BLAS-vs-WCOJ dispatch is re-checked at bind time against the live
+   config. *)
+let plan_relevant (c : Config.t) =
+  ( c.Config.attribute_elimination,
+    c.Config.attr_order,
+    c.Config.relax_materialized_first,
+    c.Config.ghd_heuristics )
+
+let set_config t cfg =
+  let changed = plan_relevant cfg <> plan_relevant t.cfg in
+  t.cfg <- cfg;
+  if changed then begin
+    Hashtbl.reset t.plans;
+    t.epoch <- t.epoch + 1
+  end
 
 (* (Re-)registering a name invalidates cached plans/tries for it. Every
    entry point that mutates the catalog must go through this: serving a
-   cached trie for a replaced table would silently return stale rows. *)
+   cached trie or plan for a replaced table would silently return stale
+   rows (plans capture table values in their bindings). *)
 let invalidate_caches t =
   Hashtbl.reset t.trie_cache;
-  Hashtbl.reset t.dense_cache
+  Hashtbl.reset t.dense_cache;
+  Hashtbl.reset t.plans;
+  t.epoch <- t.epoch + 1
 
 let register t table =
   invalidate_caches t;
@@ -118,26 +216,23 @@ type decided =
   | Use_blas
   | Use_wcoj of Ghd.t * Executor.pnode
 
+let blas_eligible t lq ~span_name =
+  t.cfg.Config.blas_targeting && t.cfg.Config.attribute_elimination
+  && Option.is_some
+       (Obs.span span_name (fun () -> Blas_bridge.match_kernel lq ~dense_of:(dense_info t)))
+
 let decide t (lq : Logical.t) =
   if Array.length lq.Logical.vertices = 0 then Use_scan
+  else if blas_eligible t lq ~span_name:"plan.blas_match" then Use_blas
   else begin
-    let blas_ok =
-      t.cfg.Config.blas_targeting && t.cfg.Config.attribute_elimination
-      && Option.is_some
-           (Obs.span "plan.blas_match" (fun () ->
-                Blas_bridge.match_kernel lq ~dense_of:(dense_info t)))
+    let ghd =
+      Obs.span "plan.ghd" (fun () -> Ghd.plan lq ~heuristics:t.cfg.Config.ghd_heuristics)
     in
-    if blas_ok then Use_blas
-    else begin
-      let ghd =
-        Obs.span "plan.ghd" (fun () -> Ghd.plan lq ~heuristics:t.cfg.Config.ghd_heuristics)
-      in
-      let dense_of (e : Logical.edge) = Option.is_some (dense_info t e.Logical.table) in
-      let pnode =
-        Obs.span "plan.attr_order" (fun () -> Executor.physical t.cfg lq ~dense_of ghd)
-      in
-      Use_wcoj (ghd, pnode)
-    end
+    let dense_of (e : Logical.edge) = Option.is_some (dense_info t e.Logical.table) in
+    let pnode =
+      Obs.span "plan.attr_order" (fun () -> Executor.physical t.cfg lq ~dense_of ghd)
+    in
+    Use_wcoj (ghd, pnode)
   end
 
 let explain_of t lq decided =
@@ -160,7 +255,7 @@ let explain_of t lq decided =
   ignore t;
   { epath = path; efhw = fhw; etext = Buffer.contents buf }
 
-let run_decided t lq decided =
+let run_decided t lq decided ~name =
   let rows =
     match decided with
     | Use_scan -> Obs.span "execute.scan" (fun () -> Executor.run_scan t.cfg lq)
@@ -176,46 +271,219 @@ let run_decided t lq decided =
         Obs.span "execute.wcoj" (fun () -> Executor.run t.cfg ~cache:t.trie_cache lq pnode)
   in
   Obs.span "finalize" (fun () ->
-      let result = finalize_rows lq rows ~dict:(Catalog.dict t.cat) ~name:"result" in
+      let result = finalize_rows lq rows ~dict:(Catalog.dict t.cat) ~name in
       Obs.add c_rows_emitted result.T.nrows;
       result)
 
 (* One shared pipeline so every entry point produces the same span tree:
-   query (root) > parse > translate > plan > execute.* > finalize. *)
+   query (root) > parse > [normalize] > translate > plan > [bind] >
+   execute.* > finalize. *)
 let translate_spanned t ast =
   Obs.span "translate" (fun () ->
       Logical.translate t.cat ~attribute_elimination:t.cfg.Config.attribute_elimination ast)
 
-let run_pipeline t lq ~want_explain =
+(* Direct (uncached, unprepared) pipeline; used when the plan cache is
+   disabled and by [explain]. *)
+let run_pipeline t lq ~want_explain ~name =
   let d = Obs.span "plan" (fun () -> decide t lq) in
   let ex =
     if want_explain then Some (Obs.span "explain" (fun () -> explain_of t lq d)) else None
   in
   Lh_util.Budget.start t.cfg.Config.budget;
-  (run_decided t lq d, ex)
+  (run_decided t lq d ~name, ex)
+
+(* ------------------------------------------------------------------ *)
+(* Prepared plans                                                       *)
+
+(* GHD and attribute order are computed on the unbound (parameterized)
+   plan: [Logical.bind_params] cannot change the hypergraph shape, so both
+   stay valid for every binding. The BLAS decision does depend on bound
+   filter values, so it is re-checked (cheaply) at bind time instead. *)
+let plan_structures t (lq : Logical.t) =
+  if Array.length lq.Logical.vertices = 0 then (None, None)
+  else begin
+    let ghd =
+      Obs.span "plan.ghd" (fun () -> Ghd.plan lq ~heuristics:t.cfg.Config.ghd_heuristics)
+    in
+    let dense_of (e : Logical.edge) = Option.is_some (dense_info t e.Logical.table) in
+    let pnode =
+      Obs.span "plan.attr_order" (fun () -> Executor.physical t.cfg lq ~dense_of ghd)
+    in
+    (Some ghd, Some pnode)
+  end
+
+let make_plan t ast =
+  let nparams =
+    let ps = Ast.query_params ast in
+    let n = List.length ps in
+    if ps <> List.init n (fun i -> i + 1) then
+      semantic "parameters must be numbered contiguously from $1 (got %s)"
+        (String.concat ", " (List.map (Printf.sprintf "$%d") ps));
+    n
+  in
+  let lq = translate_spanned t ast in
+  let ghd, pnode = Obs.span "plan" (fun () -> plan_structures t lq) in
+  { p_ast = ast; p_nparams = nparams; p_lq = lq; p_ghd = ghd; p_pnode = pnode; p_epoch = t.epoch }
+
+(* The catalog (or a plan-shaping config knob) changed under this plan:
+   transparently re-translate and re-plan against the current state. *)
+let revalidate t plan =
+  if plan.p_epoch <> t.epoch then begin
+    let lq = translate_spanned t plan.p_ast in
+    let ghd, pnode = Obs.span "plan" (fun () -> plan_structures t lq) in
+    plan.p_lq <- lq;
+    plan.p_ghd <- ghd;
+    plan.p_pnode <- pnode;
+    plan.p_epoch <- t.epoch
+  end
+
+let exec_plan t plan params ~want_explain ~name =
+  let ngiven = List.length params in
+  if ngiven <> plan.p_nparams then
+    semantic "statement expects %d parameter%s, got %d" plan.p_nparams
+      (if plan.p_nparams = 1 then "" else "s")
+      ngiven;
+  revalidate t plan;
+  let values = Array.of_list params in
+  let lookup i =
+    if i >= 1 && i <= Array.length values then Normalize.literal_of_value values.(i - 1)
+    else semantic "no value bound for parameter $%d" i
+  in
+  let lq = Obs.span "bind" (fun () -> Logical.bind_params plan.p_lq lookup) in
+  let d =
+    if Array.length lq.Logical.vertices = 0 then Use_scan
+    else if blas_eligible t lq ~span_name:"bind.blas_match" then Use_blas
+    else Use_wcoj (Option.get plan.p_ghd, Option.get plan.p_pnode)
+  in
+  let ex =
+    if want_explain then Some (Obs.span "explain" (fun () -> explain_of t lq d)) else None
+  in
+  Lh_util.Budget.start t.cfg.Config.budget;
+  (run_decided t lq d ~name, ex)
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache                                                           *)
+
+let evict_if_full t =
+  if Hashtbl.length t.plans >= max 1 t.cfg.Config.plan_cache_capacity then begin
+    (* Capacity is small: a linear scan for the LRU entry is fine. *)
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key e ->
+        match !victim with
+        | Some (_, used) when used <= e.c_used -> ()
+        | _ -> victim := Some (key, e.c_used))
+      t.plans;
+    match !victim with
+    | Some (key, _) ->
+        Hashtbl.remove t.plans key;
+        Obs.incr c_plan_evict
+    | None -> ()
+  end
+
+let cached_plan t ast =
+  let norm, values = Obs.span "normalize" (fun () -> Normalize.lift_literals ast) in
+  let key = Format.asprintf "%a" Ast.pp_query norm in
+  t.plan_tick <- t.plan_tick + 1;
+  let plan =
+    match Hashtbl.find_opt t.plans key with
+    | Some e ->
+        Obs.incr c_plan_hit;
+        e.c_used <- t.plan_tick;
+        e.c_plan
+    | None ->
+        Obs.incr c_plan_miss;
+        evict_if_full t;
+        let plan = make_plan t norm in
+        Hashtbl.replace t.plans key { c_plan = plan; c_used = t.plan_tick };
+        plan
+  in
+  (plan, values)
+
+let run_query_ast t ast ~want_explain ~name =
+  if Ast.max_param ast > 0 then
+    semantic "query contains parameters; use Engine.prepare / Stmt.exec to bind them";
+  if t.cfg.Config.plan_cache_capacity = 0 then begin
+    let lq = translate_spanned t ast in
+    run_pipeline t lq ~want_explain ~name
+  end
+  else begin
+    let plan, values = cached_plan t ast in
+    exec_plan t plan values ~want_explain ~name
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public query entry points                                            *)
 
 let query_ast t ast =
-  Obs.span "query" (fun () ->
-      let lq = translate_spanned t ast in
-      fst (run_pipeline t lq ~want_explain:false))
+  wrap (fun () ->
+      Obs.span "query" (fun () -> fst (run_query_ast t ast ~want_explain:false ~name:"result")))
 
-let run_sql t sql ~want_explain =
+let run_sql t sql ~want_explain ~name =
   Obs.span "query" (fun () ->
       let ast = Obs.span "parse" (fun () -> Lh_sql.Parser.parse sql) in
-      let lq = translate_spanned t ast in
-      run_pipeline t lq ~want_explain)
+      run_query_ast t ast ~want_explain ~name)
 
-let query t sql = fst (run_sql t sql ~want_explain:false)
+let query t sql = wrap (fun () -> fst (run_sql t sql ~want_explain:false ~name:"result"))
+
+let query_result t sql =
+  match query t sql with
+  | result -> Ok result
+  | exception Error e -> Stdlib.Error e
+  | exception (Lh_util.Budget.Out_of_memory_budget | Lh_util.Budget.Timed_out) ->
+      Stdlib.Error Error.Budget_exceeded
+
+let query_into t ~name sql =
+  let result = wrap (fun () -> fst (run_sql t sql ~want_explain:false ~name)) in
+  register t result;
+  result
 
 let query_explain t sql =
-  let result, ex = run_sql t sql ~want_explain:true in
-  (result, Option.get ex)
+  wrap (fun () ->
+      let result, ex = run_sql t sql ~want_explain:true ~name:"result" in
+      (result, Option.get ex))
 
 let query_analyze t sql =
-  let (result, ex), report = Lh_obs.Report.with_session (fun () -> run_sql t sql ~want_explain:true) in
-  (result, Option.get ex, report)
+  wrap (fun () ->
+      let (result, ex), report =
+        Lh_obs.Report.with_session (fun () -> run_sql t sql ~want_explain:true ~name:"result")
+      in
+      (result, Option.get ex, report))
 
 let explain t sql =
-  let ast = Lh_sql.Parser.parse sql in
-  let lq = Logical.translate t.cat ~attribute_elimination:t.cfg.Config.attribute_elimination ast in
-  explain_of t lq (decide t lq)
+  wrap (fun () ->
+      let ast = Lh_sql.Parser.parse sql in
+      let lq = Logical.translate t.cat ~attribute_elimination:t.cfg.Config.attribute_elimination ast in
+      explain_of t lq (decide t lq))
+
+(* ------------------------------------------------------------------ *)
+(* Prepared statements                                                  *)
+
+let prepare_ast t ast =
+  wrap (fun () ->
+      Obs.span "prepare" (fun () -> { s_eng = t; s_sql = ""; s_plan = make_plan t ast }))
+
+let prepare t sql =
+  wrap (fun () ->
+      Obs.span "prepare" (fun () ->
+          let ast = Obs.span "parse" (fun () -> Lh_sql.Parser.parse sql) in
+          { s_eng = t; s_sql = sql; s_plan = make_plan t ast }))
+
+module Stmt = struct
+  let sql s = s.s_sql
+  let nparams s = s.s_plan.p_nparams
+
+  let exec ?(name = "result") s params =
+    wrap (fun () ->
+        Obs.span "query" (fun () ->
+            fst (exec_plan s.s_eng s.s_plan params ~want_explain:false ~name)))
+
+  let exec_analyze ?(name = "result") s params =
+    wrap (fun () ->
+        let result, report =
+          Lh_obs.Report.with_session (fun () ->
+              Obs.span "query" (fun () ->
+                  fst (exec_plan s.s_eng s.s_plan params ~want_explain:false ~name)))
+        in
+        (result, report))
+end

@@ -4,8 +4,17 @@
       let eng = Engine.create () in
       let matrix = Lh_storage.Schema.create [ ("i", Int, Key); ("j", Int, Key); ("v", Float, Annotation) ] in
       let _ = Engine.load_csv eng ~name:"m" ~schema:matrix "matrix.csv" in
+      (* one-shot *)
       let result = Engine.query eng
-        "select m1.i, m2.j, sum(m1.v * m2.v) as v from m m1, m m2 where m1.j = m2.i group by m1.i, m2.j"
+        "select m1.i, m2.j, sum(m1.v * m2.v) as v from m m1, m m2 where m1.j = m2.i group by m1.i, m2.j" in
+      (* plan once, execute many: *)
+      let stmt = Engine.prepare eng
+        "select count(*) as n from m m1, m m2 where m1.j = m2.i and m1.v > $1" in
+      List.iter
+        (fun threshold ->
+          let r = Engine.Stmt.exec stmt [ Lh_storage.Dtype.VFloat threshold ] in
+          ignore r)
+        [ 0.1; 0.5; 0.9 ]
     ]}
 
     A query runs through: SQL parse → hypergraph translation (§IV-A) →
@@ -13,9 +22,42 @@
     §III-D), or GHD selection (§IV-B) + cost-based attribute ordering (§V)
     + the generic WCOJ interpreter. The result is an ordinary table
     registered against the same catalog, so results can be queried again
-    (e.g. a matrix product fed into another multiplication). *)
+    (e.g. a matrix product fed into another multiplication).
+
+    {2 Plan cache}
+
+    Behind {!query}, literals are hoisted out of the AST
+    ({!Lh_sql.Normalize.lift_literals}) and the parameterized plan — parse,
+    hypergraph, GHD, attribute order — is cached keyed on the normalized
+    AST, LRU-bounded by [Config.plan_cache_capacity] ([0] disables).
+    Repeating a query shape with different constants only re-binds the
+    constants; selectivity-dependent choices (BLAS-vs-WCOJ dispatch,
+    equality-selection weights) are re-checked cheaply at bind time.
+    Cached plans are invalidated by {!register} / {!register_rows} /
+    {!load_csv}, and by {!set_config} when a plan-shaping knob changes.
+    Hits/misses/evictions are observable as the [plan_cache.*] counters. *)
 
 type t
+
+(** Typed query failures. {!query_result} returns these; the raising entry
+    points throw them wrapped in the {!Error} exception. *)
+module Error : sig
+  type t =
+    | Parse_error of string  (** lexer or parser rejection *)
+    | Unsupported of string  (** outside the supported subset (§III) *)
+    | Unknown_table of string
+    | Unknown_column of string
+    | Budget_exceeded  (** memory or time budget hit mid-execution *)
+    | Semantic of string
+        (** anything else wrong with the statement: parameter arity or
+            numbering, parameters in an unprepared query, execution-time
+            semantic failures *)
+
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+exception Error of Error.t
 
 type path = Scan_path | Wcoj_path | Blas_path
 
@@ -27,7 +69,14 @@ type explain = {
 
 val create : ?config:Config.t -> unit -> t
 val config : t -> Config.t
+
 val set_config : t -> Config.t -> unit
+(** Swap the configuration. Flushes cached plans (and revalidates live
+    prepared statements on their next execution) iff a plan-shaping knob
+    changed: [attribute_elimination], [attr_order],
+    [relax_materialized_first] or [ghd_heuristics]. Trie and dense-matrix
+    caches are content-addressed and survive config changes. *)
+
 val catalog : t -> Catalog.t
 
 val register : t -> Lh_storage.Table.t -> unit
@@ -37,14 +86,19 @@ val dict : t -> Lh_storage.Dict.t
 
 val query : t -> string -> Lh_storage.Table.t
 (** Parse and execute; the result table is named ["result"] (not
-    registered). Raises [Lh_sql.Lexer.Lex_error] or
-    [Lh_sql.Parser.Parse_error] on malformed input,
-    {!Logical.Unsupported_query} or {!Compile.Unsupported} on queries
-    outside the supported subset, the {!Lh_util.Budget} exceptions when
-    the configured budget is exceeded, and [Failure] for semantic errors
-    discovered during execution (unknown table or column, aggregated
-    keys, ...). [test/test_fuzz.ml] holds the engine to exactly this
-    list. *)
+    registered). Raises {!Error} for everything wrong with the statement
+    itself (see {!module-Error}), and lets the {!Lh_util.Budget}
+    exceptions pass through raw so callers can tell OOM from timeout.
+    [test/test_fuzz.ml] holds the engine to exactly this contract. *)
+
+val query_result : t -> string -> (Lh_storage.Table.t, Error.t) result
+(** Non-raising variant of {!query}; budget overruns map to
+    [Error Budget_exceeded]. *)
+
+val query_into : t -> name:string -> string -> Lh_storage.Table.t
+(** Like {!query} but names the result table [name] and registers it in
+    the catalog so later queries can read it. Registration invalidates
+    cached plans and tries (the catalog changed). *)
 
 val query_ast : t -> Lh_sql.Ast.query -> Lh_storage.Table.t
 
@@ -60,3 +114,44 @@ val query_analyze : t -> string -> Lh_storage.Table.t * explain * Lh_obs.Report.
 
 val explain : t -> string -> explain
 (** Plan without executing (the BLAS/scan decision is still reported). *)
+
+(** {2 Prepared statements} *)
+
+type stmt
+(** A statement prepared against one engine: parsed, translated to a
+    hypergraph, GHD-decomposed and attribute-ordered exactly once.
+    Executing it only binds parameter values (re-checking the cheap
+    selectivity-dependent decisions) and runs. A statement survives
+    catalog and config changes: it transparently re-plans when the engine
+    state it was prepared under has moved on. *)
+
+val prepare : t -> string -> stmt
+(** Parse and plan a parameterized statement. Parameters are written
+    [$1], [$2], … (or [?], numbered left to right; the two styles cannot
+    be mixed) and may appear wherever a literal may. Indices must be
+    contiguous from [$1]. Raises {!Error} like {!query}. *)
+
+val prepare_ast : t -> Lh_sql.Ast.query -> stmt
+
+module Stmt : sig
+  val sql : stmt -> string
+  (** The source text (empty for {!prepare_ast}). *)
+
+  val nparams : stmt -> int
+
+  val exec : ?name:string -> stmt -> Lh_storage.Dtype.value list -> Lh_storage.Table.t
+  (** Bind the parameter values (positionally: the i-th value binds
+      [$i]) and execute. Raises {!Error} ([Semantic]) on arity mismatch.
+      [name] names the result table (default ["result"]; the result is
+      not registered). *)
+
+  val exec_analyze :
+    ?name:string -> stmt -> Lh_storage.Dtype.value list -> Lh_storage.Table.t * Lh_obs.Report.t
+  (** {!exec} with telemetry, like {!query_analyze}. The report's span
+      tree shows [bind] instead of [translate]/[plan]: no planning
+      happens on a prepared execution. *)
+end
+
+val reset_plan_cache : t -> unit
+(** Drop every cached plan (counters are untouched). Prepared statements
+    are unaffected. Meant for benchmarks that measure cold planning. *)

@@ -44,6 +44,8 @@ type t = {
 }
 
 exception Unsupported_query of string
+exception Unknown_table of string
+exception Unknown_column of string
 
 let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported_query s)) fmt
 
@@ -56,11 +58,11 @@ let resolver bindings (c : Ast.col_ref) =
   match c.Ast.relation with
   | Some alias -> (
       match List.assoc_opt alias bindings with
-      | None -> unsupported "unknown relation alias %S" alias
+      | None -> raise (Unknown_table alias)
       | Some table -> (
           match Schema.find table.T.schema c.Ast.column with
           | Some i -> { ralias = alias; rtable = table; rcol = i }
-          | None -> unsupported "relation %s has no column %S" alias c.Ast.column))
+          | None -> raise (Unknown_column (Printf.sprintf "%s.%s" alias c.Ast.column))))
   | None -> (
       let hits =
         List.filter_map
@@ -72,7 +74,7 @@ let resolver bindings (c : Ast.col_ref) =
       in
       match hits with
       | [ r ] -> r
-      | [] -> unsupported "no relation in FROM has a column %S" c.Ast.column
+      | [] -> raise (Unknown_column c.Ast.column)
       | _ -> unsupported "ambiguous column %S (qualify it with an alias)" c.Ast.column)
 
 let is_key r = Schema.is_key r.rtable.T.schema r.rcol
@@ -119,8 +121,10 @@ let classify resolve p =
             (String.concat ", " aliases))
 
 let rec has_eq_filter = function
-  | Ast.Cmp (Ast.Eq, Ast.Col _, e) | Ast.Cmp (Ast.Eq, e, Ast.Col _) ->
-      Option.is_some (Compile.const_value e)
+  | Ast.Cmp (Ast.Eq, Ast.Col _, e) | Ast.Cmp (Ast.Eq, e, Ast.Col _) -> (
+      (* A parameter is a constant-to-be: it always binds to a literal, so
+         planning may rely on the equality selection being present. *)
+      match e with Ast.Param _ -> true | _ -> Option.is_some (Compile.const_value e))
   | Ast.And (a, b) -> has_eq_filter a || has_eq_filter b
   | Ast.Or _ | Ast.Not _ | Ast.Cmp _ | Ast.Between _ | Ast.Like _ | Ast.Not_like _ -> false
 
@@ -186,12 +190,18 @@ let merge_factors fs =
     fs;
   List.rev_map (fun alias -> (alias, Hashtbl.find tbl alias)) !order
 
-let rec decompose resolve e : term list =
+let rec decompose ~fallback resolve e : term list =
+  let decompose = decompose ~fallback in
   match const_float e with
   | Some c -> [ { tcoeff = c; tfactors = [] } ]
   | None -> (
       match expr_aliases resolve e with
       | [ alias ] -> [ { tcoeff = 1.0; tfactors = [ (alias, e) ] } ]
+      | [] when Ast.expr_params e <> [] ->
+          (* Value known only at bind time: park it as a factor on an
+             arbitrary relation — a row-wise constant summed with join
+             multiplicity gives the same total whichever edge owns it. *)
+          [ { tcoeff = 1.0; tfactors = [ (fallback, e) ] } ]
       | _ -> (
           match e with
           | Ast.Add (a, b) -> decompose resolve a @ decompose resolve b
@@ -223,7 +233,7 @@ let rec decompose resolve e : term list =
                   unsupported
                     "CASE across relations is only supported as CASE WHEN single-relation-pred THEN expr ELSE 0")
           | Ast.Col _ | Ast.Int_lit _ | Ast.Float_lit _ | Ast.String_lit _ | Ast.Date_lit _
-          | Ast.Interval_day _ | Ast.Extract_year _ ->
+          | Ast.Interval_day _ | Ast.Extract_year _ | Ast.Param _ ->
               unsupported "aggregate expression spans relations in a way that cannot be decomposed"))
 
 and negate terms = List.map (fun t -> { t with tcoeff = -.t.tcoeff }) terms
@@ -270,7 +280,7 @@ let translate catalog ~attribute_elimination (q : Ast.query) =
       (fun (tname, alias) ->
         match Catalog.find catalog tname with
         | Some table -> (alias, table)
-        | None -> unsupported "unknown table %S" tname)
+        | None -> raise (Unknown_table tname))
       q.Ast.from
   in
   let dup =
@@ -474,6 +484,9 @@ let translate catalog ~attribute_elimination (q : Ast.query) =
         count_slot := Some j;
         j
   in
+  (* Owner for bind-time constants (pure-parameter factors); any edge works. *)
+  let fallback = match bindings with (alias, _) :: _ -> alias | [] -> assert false in
+  let decompose = decompose ~fallback in
   let slots_of_terms terms =
     List.map
       (fun t ->
@@ -565,6 +578,31 @@ let translate catalog ~attribute_elimination (q : Ast.query) =
     group_by;
     outputs;
   }
+
+let bind_params t f =
+  let edges =
+    Array.map
+      (fun (e : edge) ->
+        match e.filter with
+        | None -> e
+        | Some p ->
+            let p' = Normalize.subst_pred f p in
+            { e with filter = Some p'; eq_selected = has_eq_filter p' })
+      t.edges
+  in
+  let slots =
+    Array.map
+      (fun s -> { s with owners = List.map (fun (a, e) -> (a, Normalize.subst_expr f e)) s.owners })
+      t.slots
+  in
+  let group_by =
+    Array.map
+      (function
+        | Group_key _ as g -> g
+        | Group_ann a -> Group_ann { a with expr = Normalize.subst_expr f a.expr })
+      t.group_by
+  in
+  { t with edges; slots; group_by }
 
 let edge_vertex_list t = Array.map (fun (e : edge) -> e.vertices) t.edges
 

@@ -62,11 +62,34 @@ type t = {
 
 exception Unsupported_query of string
 
+exception Unknown_table of string
+(** FROM references a table the catalog doesn't hold, or a column is
+    qualified with an alias not bound in FROM. *)
+
+exception Unknown_column of string
+(** A referenced column exists in no bound relation (payload is
+    ["alias.column"] when the reference was qualified). *)
+
 val translate : Catalog.t -> attribute_elimination:bool -> Lh_sql.Ast.query -> t
 (** Raises {!Unsupported_query} (with an explanation) on queries outside
     the supported subset: disjunctions spanning relations, non-equi joins,
     joins on annotation columns, Cartesian products, aggregates the term
-    decomposition cannot split, ungrouped plain outputs. *)
+    decomposition cannot split, ungrouped plain outputs — and
+    {!Unknown_table} / {!Unknown_column} on name-resolution failures.
+    Parameters ([Ast.Param]) may appear wherever literals may; the
+    resulting plan is bound with {!bind_params} before execution. *)
+
+val has_eq_filter : Lh_sql.Ast.pred -> bool
+(** Whether a filter conjunction contains an equality against a constant
+    (drives the GHD weight rule of §V-B). An equality against a parameter
+    counts: it is guaranteed to be a constant once bound, so prepared
+    plans see the same weights as direct ones. *)
+
+val bind_params : t -> (int -> Lh_sql.Ast.expr) -> t
+(** Substitute parameters in edge filters and slot owner expressions,
+    recomputing each edge's [eq_selected] flag. The hypergraph shape
+    (vertices, edges, slot count, outputs) is unchanged, so a GHD and
+    attribute order computed on the unbound plan remain valid. *)
 
 val edge_vertex_list : t -> int list array
 (** [edges] as plain vertex-id lists — the hypergraph the GHD layer

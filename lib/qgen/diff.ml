@@ -60,8 +60,23 @@ let evaluators ~inject_bug eng =
     { ev_name = name; ev_run = (fun ast -> Lh_baseline.Pairwise.query ~lookup ~mode ast) }
   in
   let d = L.Config.default in
+  (* Prepared-statement path: hoist literals into parameters, plan the
+     parameterized AST, then bind the hoisted values back at exec — the
+     round trip must agree with direct evaluation on every query. *)
+  let prepared =
+    {
+      ev_name = "engine-prepared";
+      ev_run =
+        (fun ast ->
+          let lifted, values = Lh_sql.Normalize.lift_literals ast in
+          let stmt = L.Engine.prepare_ast eng lifted in
+          Lh_storage.Table.to_rows (L.Engine.Stmt.exec stmt values));
+    }
+  in
   [
     engine_with "engine" d;
+    prepared;
+    engine_with "engine-nocache" { d with L.Config.plan_cache_capacity = 0 };
     engine_with "engine-domains4" { d with L.Config.domains = 4 };
     engine_with "engine-naive-order" { d with L.Config.attr_order = L.Config.Naive };
     engine_with "engine-worst-order"

@@ -61,7 +61,7 @@ let rec expr_variants (e : Ast.expr) : Ast.expr list =
   | Ast.Col _ -> []
   | Ast.Int_lit n -> if n <> 0 then [ Ast.Int_lit 0 ] else []
   | Ast.Float_lit x -> if x <> 0.0 then [ Ast.Float_lit 0.0 ] else []
-  | Ast.String_lit _ | Ast.Date_lit _ | Ast.Interval_day _ -> []
+  | Ast.String_lit _ | Ast.Date_lit _ | Ast.Interval_day _ | Ast.Param _ -> []
   | Ast.Neg a -> (a :: inside (fun a' -> Ast.Neg a') a)
   | Ast.Add (a, b) ->
       (a :: b :: inside (fun a' -> Ast.Add (a', b)) a) @ inside (fun b' -> Ast.Add (a, b')) b

@@ -9,6 +9,7 @@ type expr =
   | String_lit of string
   | Date_lit of int
   | Interval_day of int
+  | Param of int
   | Neg of expr
   | Add of expr * expr
   | Sub of expr * expr
@@ -54,6 +55,7 @@ let rec pp_expr fmt = function
   | String_lit s -> Format.fprintf fmt "'%s'" s
   | Date_lit d -> Format.fprintf fmt "date '%s'" (Lh_storage.Date.to_string d)
   | Interval_day n -> Format.fprintf fmt "interval '%d' day" n
+  | Param i -> Format.fprintf fmt "$%d" i
   | Neg e -> Format.fprintf fmt "(-%a)" pp_expr e
   | Add (a, b) -> Format.fprintf fmt "(%a + %a)" pp_expr a pp_expr b
   | Sub (a, b) -> Format.fprintf fmt "(%a - %a)" pp_expr a pp_expr b
@@ -122,7 +124,7 @@ let rec norm_intervals e =
       | `I m, `I n -> `I (m - n)
       | `E x, `E y -> `E (Sub (x, y))
       | _ -> failwith "Ast.fold_intervals: interval subtracted from a non-date")
-  | Col _ | Int_lit _ | Float_lit _ | String_lit _ | Date_lit _ -> `E e
+  | Col _ | Int_lit _ | Float_lit _ | String_lit _ | Date_lit _ | Param _ -> `E e
   | Neg a -> `E (Neg (strict a))
   | Mul (a, b) -> `E (Mul (strict a, strict b))
   | Div (a, b) -> `E (Div (strict a, strict b))
@@ -138,7 +140,7 @@ let fold_intervals = strict
 
 let rec expr_columns = function
   | Col c -> [ c ]
-  | Int_lit _ | Float_lit _ | String_lit _ | Date_lit _ | Interval_day _ -> []
+  | Int_lit _ | Float_lit _ | String_lit _ | Date_lit _ | Interval_day _ | Param _ -> []
   | Neg e | Extract_year e -> expr_columns e
   | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> expr_columns a @ expr_columns b
   | Case_when (p, a, b) -> pred_columns p @ expr_columns a @ expr_columns b
@@ -149,6 +151,32 @@ and pred_columns = function
   | Like (e, _) | Not_like (e, _) -> expr_columns e
   | And (a, b) | Or (a, b) -> pred_columns a @ pred_columns b
   | Not p -> pred_columns p
+
+let rec expr_params = function
+  | Param i -> [ i ]
+  | Col _ | Int_lit _ | Float_lit _ | String_lit _ | Date_lit _ | Interval_day _ -> []
+  | Neg e | Extract_year e -> expr_params e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> expr_params a @ expr_params b
+  | Case_when (p, a, b) -> pred_params p @ expr_params a @ expr_params b
+
+and pred_params = function
+  | Cmp (_, a, b) -> expr_params a @ expr_params b
+  | Between (e, lo, hi) -> expr_params e @ expr_params lo @ expr_params hi
+  | Like (e, _) | Not_like (e, _) -> expr_params e
+  | And (a, b) | Or (a, b) -> pred_params a @ pred_params b
+  | Not p -> pred_params p
+
+let query_params q =
+  let items =
+    List.concat_map
+      (function Aggregate (_, Some e, _) | Plain (e, _) -> expr_params e | Aggregate (_, None, _) -> [])
+      q.select
+  in
+  let where = match q.where with Some p -> pred_params p | None -> [] in
+  let gb = List.concat_map expr_params q.group_by in
+  List.sort_uniq compare (items @ where @ gb)
+
+let max_param q = List.fold_left max 0 (query_params q)
 
 let like_match ~pattern s =
   let np = String.length pattern and ns = String.length s in

@@ -13,6 +13,9 @@ type expr =
   | String_lit of string
   | Date_lit of int  (** days since epoch; see {!Lh_storage.Date} *)
   | Interval_day of int  (** [INTERVAL 'n' DAY]; folded away before planning *)
+  | Param of int
+      (** positional parameter [$n] (1-based; [?] is numbered by the
+          parser); bound to a literal before execution *)
   | Neg of expr
   | Add of expr * expr
   | Sub of expr * expr
@@ -55,6 +58,16 @@ val fold_intervals : expr -> expr
 
 val expr_columns : expr -> col_ref list
 val pred_columns : pred -> col_ref list
+
+val expr_params : expr -> int list
+val pred_params : pred -> int list
+
+val query_params : query -> int list
+(** The distinct parameter indices appearing anywhere in the query,
+    sorted ascending. *)
+
+val max_param : query -> int
+(** Highest parameter index used; [0] for a parameter-free query. *)
 
 val like_match : pattern:string -> string -> bool
 (** SQL LIKE semantics: [%] matches any run, [_] any single character. *)

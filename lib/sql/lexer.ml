@@ -3,6 +3,8 @@ type token =
   | INT of int
   | FLOAT of float
   | STRING of string
+  | PARAM of int
+  | QMARK
   | LPAREN
   | RPAREN
   | COMMA
@@ -57,6 +59,20 @@ let tokenize input =
         end
         else emit (INT (int_of_string (String.sub input i (!j - i))));
         go !j
+      end
+      else if c = '$' then begin
+        let j = ref (i + 1) in
+        while !j < n && is_digit input.[!j] do
+          incr j
+        done;
+        if !j = i + 1 then
+          raise (Lex_error (Printf.sprintf "expected a parameter number after '$' at offset %d" i));
+        emit (PARAM (int_of_string (String.sub input (i + 1) (!j - i - 1))));
+        go !j
+      end
+      else if c = '?' then begin
+        emit QMARK;
+        go (i + 1)
       end
       else if c = '\'' then begin
         let buf = Buffer.create 16 in
@@ -123,6 +139,8 @@ let token_to_string = function
   | INT i -> string_of_int i
   | FLOAT f -> string_of_float f
   | STRING s -> Printf.sprintf "'%s'" s
+  | PARAM i -> Printf.sprintf "$%d" i
+  | QMARK -> "?"
   | LPAREN -> "(" | RPAREN -> ")" | COMMA -> "," | DOT -> "." | STAR -> "*"
   | PLUS -> "+" | MINUS -> "-" | SLASH -> "/"
   | EQ -> "=" | NE -> "<>" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="

@@ -6,6 +6,8 @@ type token =
   | INT of int
   | FLOAT of float
   | STRING of string
+  | PARAM of int  (** positional parameter [$n], 1-based *)
+  | QMARK  (** anonymous positional parameter [?] *)
   | LPAREN
   | RPAREN
   | COMMA

@@ -1,6 +1,14 @@
 exception Parse_error of string
 
-type state = { tokens : Lexer.token array; mutable pos : int }
+(* [anon] numbers the anonymous [?] parameters left to right; [dollar]
+   records that an explicit [$n] was seen — the two styles cannot be mixed
+   in one statement (the [?]s' positions would be ambiguous). *)
+type state = {
+  tokens : Lexer.token array;
+  mutable pos : int;
+  mutable anon : int;
+  mutable dollar : bool;
+}
 
 let fail msg = raise (Parse_error msg)
 let peek st = st.tokens.(st.pos)
@@ -86,6 +94,17 @@ and parse_primary st =
   | Lexer.STRING s ->
       advance st;
       Ast.String_lit s
+  | Lexer.PARAM i ->
+      advance st;
+      if st.anon > 0 then fail "cannot mix $n and ? parameters in one statement";
+      if i < 1 then fail (Printf.sprintf "parameter $%d: parameters are numbered from $1" i);
+      st.dollar <- true;
+      Ast.Param i
+  | Lexer.QMARK ->
+      advance st;
+      if st.dollar then fail "cannot mix $n and ? parameters in one statement";
+      st.anon <- st.anon + 1;
+      Ast.Param st.anon
   | Lexer.LPAREN ->
       advance st;
       let e = parse_expr_prec st in
@@ -150,8 +169,10 @@ and parse_pred_atom st =
   if keyword st "not" then Ast.Not (parse_pred_atom st)
   else if peek st = Lexer.LPAREN then begin
     (* Could open a nested predicate or a parenthesized expression; try the
-       predicate first and backtrack. *)
+       predicate first and backtrack (restoring the [?] counter too, so
+       anonymous parameters consumed by the failed attempt are renumbered). *)
     let saved = st.pos in
+    let saved_anon = st.anon in
     match
       advance st;
       let p = parse_pred_prec st in
@@ -161,6 +182,7 @@ and parse_pred_atom st =
     | p -> p
     | exception Parse_error _ ->
         st.pos <- saved;
+        st.anon <- saved_anon;
         parse_comparison st
   end
   else parse_comparison st
@@ -293,7 +315,7 @@ let parse_query st =
   { Ast.select; from; where; group_by }
 
 let with_state input f =
-  let st = { tokens = Lexer.tokenize input; pos = 0 } in
+  let st = { tokens = Lexer.tokenize input; pos = 0; anon = 0; dollar = false } in
   f st
 
 let parse input = with_state input parse_query

@@ -3,17 +3,15 @@
 
 module L = Levelheaded
 
-(* The closed list of exceptions Engine.query documents (engine.mli):
-   lexer and parser rejections, the two planner/compiler "outside the
-   supported subset" errors, budget violations, and Failure for semantic
-   errors discovered during execution (dictionary misses, BLAS shape
-   checks, ...). Anything else — Assert_failure, Invalid_argument,
-   Not_found, Stack_overflow — is a crash and fails the property. *)
+(* The closed list of exceptions Engine.query documents (engine.mli): the
+   typed Engine.Error (parse rejections, unsupported queries, unknown
+   names, semantic failures) plus the raw budget violations, which pass
+   through so callers can tell OOM from timeout. Anything else —
+   Assert_failure, Invalid_argument, Not_found, Stack_overflow, or a
+   naked Failure/Parse_error the engine forgot to classify — is a crash
+   and fails the property. *)
 let acceptable = function
-  | Lh_sql.Lexer.Lex_error _ | Lh_sql.Parser.Parse_error _ | L.Logical.Unsupported_query _
-  | L.Compile.Unsupported _ | Lh_util.Budget.Out_of_memory_budget | Lh_util.Budget.Timed_out
-  | Failure _ ->
-      true
+  | L.Engine.Error _ | Lh_util.Budget.Out_of_memory_budget | Lh_util.Budget.Timed_out -> true
   | _ -> false
 
 (* random strings through the whole front end *)
