@@ -118,6 +118,7 @@ let query_run tables tpch_dir sql explain_only analyze trace_file metrics_file s
   (* Configure domains before loading: ingest parallelizes too. *)
   let config = { L.Config.default with L.Config.domains = max 1 domains } in
   let eng = L.Engine.create ~config () in
+  let go () =
   (match tpch_dir with
   | None -> ()
   | Some dir ->
@@ -202,6 +203,18 @@ let query_run tables tpch_dir sql explain_only analyze trace_file metrics_file s
           (path_name ex.L.Engine.epath)
       end);
   if !failed then 1 else 0
+  in
+  (* Typed failures (including injected faults and budget overruns) get a
+     clean one-line error and exit 1 rather than cmdliner's uncaught-
+     exception banner. *)
+  match go () with
+  | code -> code
+  | exception L.Engine.Error e ->
+      Printf.eprintf "error: %s\n" (L.Engine.Error.to_string e);
+      1
+  | exception (Lh_util.Budget.Timed_out | Lh_util.Budget.Out_of_memory_budget) ->
+      Printf.eprintf "error: budget exceeded (time or memory limit hit mid-execution)\n";
+      1
 
 let query_cmd =
   let tables =

@@ -6,19 +6,41 @@
    the brute-force oracle. Mismatches are shrunk to a minimal repro and
    printed with the seed/index needed to replay them.
 
+   With --inject-fault it instead runs the crash-recovery harness: for
+   every registered fault site, arm the site (all three kinds), drive a
+   workload into it, and assert the typed error + bit-identical re-query
+   on the same engine.
+
    Examples:
 
      lhfuzz --seed 42 --count 1000
      lhfuzz --seed 42 --index 173 --count 1        # replay one query
      lhfuzz --shape la --shape chain --count 200   # restrict shapes
      lhfuzz --inject-bug --count 50                # demo: detect + shrink
+     lhfuzz --inject-fault --seed 42               # crash-only recovery sweep
 *)
 
 module Diff = Lh_qgen.Diff
 module Gen = Lh_qgen.Gen
+module Crashtest = Lh_qgen.Crashtest
 open Cmdliner
 
-let run seed count first_index shapes max_relations inject_bug quiet =
+let run_crashtest seed attempts quiet =
+  let progress line = if not quiet then Printf.eprintf "... %s\n%!" line in
+  let summary = Crashtest.run ~progress ~attempts ~seed () in
+  print_string (Crashtest.to_text summary);
+  if Crashtest.ok summary then begin
+    print_endline "OK: every fault site recovered";
+    0
+  end
+  else begin
+    print_endline "FAIL: fault sites without crash-only recovery";
+    1
+  end
+
+let run seed count first_index shapes max_relations inject_bug inject_fault attempts quiet =
+  if inject_fault then run_crashtest seed attempts quiet
+  else
   let shapes =
     match shapes with
     | [] -> Gen.all_shapes
@@ -81,9 +103,23 @@ let cmd =
            ~doc:"Add a deliberately wrong evaluator (sign-flips floats) to demonstrate \
                  mismatch detection and shrinking")
   in
+  let inject_fault =
+    Arg.(value & flag & info [ "inject-fault" ]
+           ~doc:"Run the fault-injection crash-recovery harness instead of differential \
+                 fuzzing: arm every registered fault site (generic/timeout/oom kinds), \
+                 assert a typed error surfaces and that re-running the same workload on \
+                 the same engine matches a clean engine bit-for-bit")
+  in
+  let attempts =
+    Arg.(value & opt int 40 & info [ "attempts" ] ~docv:"N"
+           ~doc:"With --inject-fault: per-site bound on the search for a generated query \
+                 that reaches the site")
+  in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress output") in
   Cmd.v
     (Cmd.info "lhfuzz" ~doc:"Differential query fuzzer for the LevelHeaded engine")
-    Term.(const run $ seed $ count $ index $ shape $ max_relations $ inject_bug $ quiet)
+    Term.(
+      const run $ seed $ count $ index $ shape $ max_relations $ inject_bug $ inject_fault
+      $ attempts $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -21,3 +21,12 @@ dune exec bin/lhfuzz.exe -- --seed 42 --count "${LH_FUZZ_COUNT:-1000}" --quiet
 # scratch, so a cache-keying or invalidation bug that the cached leg
 # masks (stale plan reused across configs) shows up as a discrepancy.
 LH_PLAN_CACHE=0 dune exec bin/lhfuzz.exe -- --seed 42 --count "${LH_FUZZ_COUNT:-1000}" --quiet
+# Fault-injection legs: for every registered fault site, arm it (generic,
+# timeout and OOM kinds), drive a workload into it, and require a typed
+# error plus a bit-identical re-query on the same engine (crash-only
+# recovery; see lib/fault and lib/qgen/crashtest.ml). LH_FAULT_COUNT
+# bounds the per-site search for a reaching query. The LH_DOMAINS=4 leg
+# additionally covers the pool worker capture/re-park path (pool.chunk is
+# unreachable at domains=1 and excused there).
+dune exec bin/lhfuzz.exe -- --inject-fault --seed 42 --attempts "${LH_FAULT_COUNT:-40}" --quiet
+LH_DOMAINS=4 dune exec bin/lhfuzz.exe -- --inject-fault --seed 42 --attempts "${LH_FAULT_COUNT:-40}" --quiet

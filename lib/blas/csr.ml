@@ -55,12 +55,17 @@ let of_coo (c : Coo.t) =
     values = Array.sub values 0 !write;
   }
 
-let spmv ?(domains = 1) t x =
+let fault_spmv = Lh_fault.Fault.site "csr.spmv"
+let fault_spgemm = Lh_fault.Fault.site "csr.spgemm"
+
+let spmv ?(domains = 1) ?(budget = Lh_util.Budget.unlimited) t x =
   if Array.length x <> t.ncols then invalid_arg "Csr.spmv: dimension mismatch";
   let y = Array.make t.nrows 0.0 in
   (* Row-partitioned; per-row summation order unchanged, so the result is
      bit-identical for any [domains]. *)
   Lh_util.Parfor.iter ~domains ~n:t.nrows (fun i ->
+      Lh_fault.Fault.hit fault_spmv;
+      if i land 63 = 0 then Lh_util.Budget.check budget;
       let acc = ref 0.0 in
       for p = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
         acc :=
@@ -82,7 +87,7 @@ type spgemm_acc = {
   out_val : Lh_util.Vec.Float.t;
 }
 
-let spgemm ?(domains = 1) a b =
+let spgemm ?(domains = 1) ?(budget = Lh_util.Budget.unlimited) a b =
   if a.ncols <> b.nrows then invalid_arg "Csr.spgemm: dimension mismatch";
   let init () =
     {
@@ -95,6 +100,10 @@ let spgemm ?(domains = 1) a b =
     }
   in
   let body w i =
+    (* A Gustavson row can touch up to nnz(B) entries, so check every row
+       rather than masking; the atomic-load probe is cheap either way. *)
+    Lh_fault.Fault.hit fault_spgemm;
+    Lh_util.Budget.check budget;
     let row_start = Lh_util.Vec.Int.length w.out_col in
     let ntouched = ref 0 in
     for p = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do

@@ -15,16 +15,19 @@ val of_coo : Coo.t -> t
 
 val nnz : t -> int
 
-val spmv : ?domains:int -> t -> float array -> float array
+val spmv : ?domains:int -> ?budget:Lh_util.Budget.t -> t -> float array -> float array
 (** Sparse matrix – dense vector product (the SMV kernel). [domains > 1]
     splits the rows across the shared domain pool; bit-identical result
-    for any [domains]. *)
+    for any [domains]. [budget] is checkpointed every 64 rows (default:
+    unlimited). Fault site: ["csr.spmv"]. *)
 
-val spgemm : ?domains:int -> t -> t -> t
+val spgemm : ?domains:int -> ?budget:Lh_util.Budget.t -> t -> t -> t
 (** Gustavson row-by-row sparse product with a dense accumulator and
     touched-list per workspace (the SMM kernel). [domains > 1] gives each
     contiguous row chunk its own workspace and concatenates the outputs in
-    row order — bit-identical to the sequential product. *)
+    row order — bit-identical to the sequential product. [budget] is
+    checkpointed once per output row (a Gustavson row can touch up to
+    nnz(B) entries). Fault site: ["csr.spgemm"]. *)
 
 val transpose : t -> t
 val to_dense : t -> Dense.t

@@ -20,12 +20,19 @@ let init ~rows ~cols f =
 let get m i j = m.data.((i * m.cols) + j)
 let set m i j v = m.data.((i * m.cols) + j) <- v
 
-let gemv ?(domains = 1) m x =
+let fault_gemv = Lh_fault.Fault.site "dense.gemv"
+let fault_gemm = Lh_fault.Fault.site "dense.gemm"
+
+let gemv ?(domains = 1) ?(budget = Lh_util.Budget.unlimited) m x =
   if Array.length x <> m.cols then invalid_arg "Dense.gemv: dimension mismatch";
   let y = Array.make m.rows 0.0 in
   (* Row-partitioned: each index owns y.(i), and the per-row summation order
      is the sequential one, so the result is bit-identical for any [domains]. *)
   Lh_util.Parfor.iter ~domains ~n:m.rows (fun i ->
+      Lh_fault.Fault.hit fault_gemv;
+      (* Budget checkpoints every 64 rows keep the overhead off the dot
+         products while bounding overshoot to one row block. *)
+      if i land 63 = 0 then Lh_util.Budget.check budget;
       let base = i * m.cols in
       let acc = ref 0.0 in
       for j = 0 to m.cols - 1 do
@@ -40,7 +47,7 @@ let transpose m =
 (* Block size tuned for L1-resident panels of doubles. *)
 let block = 64
 
-let gemm ?(domains = 1) a b =
+let gemm ?(domains = 1) ?(budget = Lh_util.Budget.unlimited) a b =
   if a.cols <> b.rows then invalid_arg "Dense.gemm: dimension mismatch";
   let n = a.rows and k = a.cols and m = b.cols in
   let bt = transpose b in
@@ -56,6 +63,9 @@ let gemm ?(domains = 1) a b =
       let ihi = min (i0 + block) n in
       let j0 = ref 0 in
       while !j0 < m do
+        (* Once per 64x64 panel = roughly every 4096 multiply-adds. *)
+        Lh_fault.Fault.hit fault_gemm;
+        Lh_util.Budget.check budget;
         let jhi = min (!j0 + block) m in
         for i = i0 to ihi - 1 do
           let abase = i * k in

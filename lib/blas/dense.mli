@@ -19,15 +19,20 @@ val init : rows:int -> cols:int -> (int -> int -> float) -> t
 val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit
 
-val gemv : ?domains:int -> t -> float array -> float array
+val gemv : ?domains:int -> ?budget:Lh_util.Budget.t -> t -> float array -> float array
 (** Matrix–vector product. [domains > 1] splits the rows across the shared
-    domain pool; the result is bit-identical for any [domains]. *)
+    domain pool; the result is bit-identical for any [domains]. [budget] is
+    checkpointed every 64 rows (default: unlimited), so a runaway product
+    raises {!Lh_util.Budget.Timed_out} / {!Lh_util.Budget.Out_of_memory_budget}
+    instead of running to completion. Fault site: ["dense.gemv"]. *)
 
-val gemm : ?domains:int -> t -> t -> t
+val gemm : ?domains:int -> ?budget:Lh_util.Budget.t -> t -> t -> t
 (** Blocked matrix–matrix product (the DMM kernel). The inner kernel runs
     over a packed transpose of the right operand for stride-1 access;
     [domains > 1] distributes whole row blocks, leaving every element's
-    summation order — and hence the result — unchanged. *)
+    summation order — and hence the result — unchanged. [budget] is
+    checkpointed once per 64x64 panel (~4096 multiply-adds). Fault site:
+    ["dense.gemm"]. *)
 
 val gemm_naive : t -> t -> t
 (** Textbook triple loop; the correctness oracle for {!gemm}. *)

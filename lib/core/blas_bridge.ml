@@ -5,6 +5,7 @@ open Lh_sql
 
 let c_dispatch = Obs.counter "blas.dispatch"
 let g_domains = Obs.gauge "exec.domains_used"
+let fault_dispatch = Lh_fault.Fault.site "blas.dispatch"
 
 type dense_info = { dkey_cols : int list; dims : int array }
 
@@ -181,8 +182,9 @@ let match_kernel (lq : Logical.t) ~dense_of =
       Some (Kvm { e1; c1; e2; i2; c2; j_v; k })
   | _ -> None
 
-let execute ?(domains = 1) kernel =
+let execute ?(domains = 1) ?(budget = Lh_util.Budget.unlimited) kernel =
   Obs.incr c_dispatch;
+  Lh_fault.Fault.hit fault_dispatch;
   Obs.set_max g_domains domains;
   let kname = match kernel with Kmm _ -> "gemm" | Kmv _ -> "gemv" | Kvm _ -> "gemv_t" in
   Obs.span "blas.kernel" ~args:[ ("kernel", kname) ] @@ fun () ->
@@ -190,7 +192,7 @@ let execute ?(domains = 1) kernel =
   | Kmm { e1; i1; c1; i_v; e2; i2; c2; j_v; k; first_is_i } ->
       let a = to_dense e1 i1 ~value_col:c1 ~row_v:i_v ~col_v:k in
       let b = to_dense e2 i2 ~value_col:c2 ~row_v:k ~col_v:j_v in
-      let c = Lh_blas.Dense.gemm ~domains a b in
+      let c = Lh_blas.Dense.gemm ~domains ~budget a b in
       (* Key production (the paper's <2% overhead): emit group codes in
          GROUP BY lexicographic order. *)
       let rows = ref [] in
@@ -208,7 +210,7 @@ let execute ?(domains = 1) kernel =
       let x = to_vector e2 ~value_col:c2 ~v:k in
       if Array.length x <> a.Lh_blas.Dense.cols then
         failwith "Blas_bridge: vector/matrix dimension mismatch";
-      let y = Lh_blas.Dense.gemv ~domains a x in
+      let y = Lh_blas.Dense.gemv ~domains ~budget a x in
       List.init (Array.length y) (fun i -> { Executor.gcodes = [| i |]; slots = [| y.(i) |] })
   | Kvm { e1; c1; e2; i2; c2; j_v; k } ->
       let b = to_dense e2 i2 ~value_col:c2 ~row_v:k ~col_v:j_v in
@@ -216,7 +218,8 @@ let execute ?(domains = 1) kernel =
       if Array.length x <> b.Lh_blas.Dense.rows then
         failwith "Blas_bridge: vector/matrix dimension mismatch";
       let bt = Lh_blas.Dense.transpose b in
-      let y = Lh_blas.Dense.gemv ~domains bt x in
+      let y = Lh_blas.Dense.gemv ~domains ~budget bt x in
       List.init (Array.length y) (fun j -> { Executor.gcodes = [| j |]; slots = [| y.(j) |] })
 
-let try_blas ?domains lq ~dense_of = Option.map (execute ?domains) (match_kernel lq ~dense_of)
+let try_blas ?domains ?budget lq ~dense_of =
+  Option.map (execute ?domains ?budget) (match_kernel lq ~dense_of)

@@ -24,12 +24,16 @@ val match_kernel :
   Logical.t -> dense_of:(Lh_storage.Table.t -> dense_info option) -> kernel option
 (** Eligibility check only — no computation. *)
 
-val execute : ?domains:int -> kernel -> Executor.row list
+val execute : ?domains:int -> ?budget:Lh_util.Budget.t -> kernel -> Executor.row list
 (** [domains] (default 1) is forwarded to the BLAS kernels and recorded in
-    the [exec.domains_used] gauge. *)
+    the [exec.domains_used] gauge; [budget] (default unlimited) is
+    checkpointed inside the kernels so a runaway product raises the budget
+    exception instead of running to completion. Fault site:
+    ["blas.dispatch"] fires at dispatch, before any buffer extraction. *)
 
 val try_blas :
   ?domains:int ->
+  ?budget:Lh_util.Budget.t ->
   Logical.t ->
   dense_of:(Lh_storage.Table.t -> dense_info option) ->
   Executor.row list option

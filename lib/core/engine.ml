@@ -12,6 +12,13 @@ let c_plan_hit = Obs.counter "plan_cache.hit"
 let c_plan_miss = Obs.counter "plan_cache.miss"
 let c_plan_evict = Obs.counter "plan_cache.evict"
 
+(* Fault sites covering the engine's own control points; the executor,
+   storage and BLAS layers register their sites locally. *)
+let fault_query = Lh_fault.Fault.site "engine.query"
+let fault_prepare = Lh_fault.Fault.site "engine.prepare"
+let fault_bind = Lh_fault.Fault.site "engine.bind"
+let fault_plan_fill = Lh_fault.Fault.site "plan_cache.fill"
+
 (* ------------------------------------------------------------------ *)
 (* Typed errors                                                         *)
 
@@ -23,6 +30,7 @@ module Error = struct
     | Unknown_column of string
     | Budget_exceeded
     | Semantic of string
+    | Fault_injected of string
 
   let to_string = function
     | Parse_error m -> Printf.sprintf "parse error: %s" m
@@ -31,6 +39,7 @@ module Error = struct
     | Unknown_column n -> Printf.sprintf "unknown column %S" n
     | Budget_exceeded -> "budget exceeded"
     | Semantic m -> m
+    | Fault_injected site -> Printf.sprintf "fault injected at site %S" site
 
   let pp fmt e = Format.pp_print_string fmt (to_string e)
 end
@@ -53,6 +62,7 @@ let classify = function
   | Logical.Unknown_table n -> Some (Error.Unknown_table n)
   | Logical.Unknown_column n -> Some (Error.Unknown_column n)
   | Logical.Unsupported_query m | Compile.Unsupported m -> Some (Error.Unsupported m)
+  | Lh_fault.Fault.Injected site -> Some (Error.Fault_injected site)
   | Failure m -> Some (Error.Semantic m)
   | _ -> None
 
@@ -140,15 +150,22 @@ let register t table =
   Catalog.register t.cat table
 let dict t = Catalog.dict t.cat
 
+(* Ingest entry points wrap like the query entry points do, so an aborted
+   load (bad row, injected fault) surfaces as a typed [Error] with the
+   catalog unchanged: the caches are dropped up front (cheap and
+   idempotent) and the table is only registered after a fully successful
+   build. *)
 let register_rows t ~name ~schema rows =
-  invalidate_caches t;
-  let table = T.of_rows ~name ~schema ~dict:(Catalog.dict t.cat) rows in
-  Catalog.register t.cat table;
-  table
+  wrap (fun () ->
+      invalidate_caches t;
+      let table = T.of_rows ~name ~schema ~dict:(Catalog.dict t.cat) rows in
+      Catalog.register t.cat table;
+      table)
 
 let load_csv t ~name ~schema ?sep path =
-  invalidate_caches t;
-  Catalog.load_csv t.cat ~name ~schema ~domains:(max 1 t.cfg.Config.domains) ?sep path
+  wrap (fun () ->
+      invalidate_caches t;
+      Catalog.load_csv t.cat ~name ~schema ~domains:(max 1 t.cfg.Config.domains) ?sep path)
 
 let dense_info t (table : T.t) =
   let key = Printf.sprintf "%s/%d" table.T.name table.T.nrows in
@@ -262,8 +279,8 @@ let run_decided t lq decided ~name =
     | Use_blas ->
         Obs.span "execute.blas" (fun () ->
             match
-              Blas_bridge.try_blas ~domains:(max 1 t.cfg.Config.domains) lq
-                ~dense_of:(dense_info t)
+              Blas_bridge.try_blas ~domains:(max 1 t.cfg.Config.domains)
+                ~budget:t.cfg.Config.budget lq ~dense_of:(dense_info t)
             with
             | Some rows -> rows
             | None -> failwith "Engine: BLAS path vanished between planning and execution")
@@ -313,6 +330,7 @@ let plan_structures t (lq : Logical.t) =
   end
 
 let make_plan t ast =
+  Lh_fault.Fault.hit fault_prepare;
   let nparams =
     let ps = Ast.query_params ast in
     let n = List.length ps in
@@ -343,6 +361,7 @@ let exec_plan t plan params ~want_explain ~name =
     semantic "statement expects %d parameter%s, got %d" plan.p_nparams
       (if plan.p_nparams = 1 then "" else "s")
       ngiven;
+  Lh_fault.Fault.hit fault_bind;
   revalidate t plan;
   let values = Array.of_list params in
   let lookup i =
@@ -395,12 +414,18 @@ let cached_plan t ast =
         Obs.incr c_plan_miss;
         evict_if_full t;
         let plan = make_plan t norm in
+        (* Between building the plan and publishing it: a fault here (or
+           any exception out of [make_plan] above) must leave the cache
+           without a partial entry — the entry is only installed on
+           success. *)
+        Lh_fault.Fault.hit fault_plan_fill;
         Hashtbl.replace t.plans key { c_plan = plan; c_used = t.plan_tick };
         plan
   in
   (plan, values)
 
 let run_query_ast t ast ~want_explain ~name =
+  Lh_fault.Fault.hit fault_query;
   if Ast.max_param ast > 0 then
     semantic "query contains parameters; use Engine.prepare / Stmt.exec to bind them";
   if t.cfg.Config.plan_cache_capacity = 0 then begin

@@ -52,6 +52,11 @@ module Error : sig
         (** anything else wrong with the statement: parameter arity or
             numbering, parameters in an unprepared query, execution-time
             semantic failures *)
+    | Fault_injected of string
+        (** an armed {!Lh_fault.Fault} site fired; the payload names the
+            site. Only ever seen under fault injection (tests, the
+            [lhfuzz --inject-fault] harness); the engine remains fully
+            usable afterwards — re-running the same query must succeed. *)
 
   val to_string : t -> string
   val pp : Format.formatter -> t -> unit

@@ -21,6 +21,13 @@ let c_scan_rows = Obs.counter "scan.rows_scanned"
 let g_domains = Obs.gauge "exec.domains_used"
 let g_peak_words = Obs.gauge "gc.peak_live_words"
 
+(* Probed unmasked (one atomic load when disarmed): fuzzer-scale queries
+   produce far fewer than 1024 leaf ticks, so hanging the probe off the
+   budget mask would leave the site unreachable exactly where the
+   crashtest harness needs it. *)
+let fault_leaf = Lh_fault.Fault.site "exec.wcoj.leaf"
+let fault_scan = Lh_fault.Fault.site "exec.scan.row"
+
 (* ------------------------------------------------------------------ *)
 (* Physical planning                                                    *)
 
@@ -368,6 +375,7 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
       done
   in
   let leaf ctx fold =
+    Lh_fault.Fault.hit fault_leaf;
     ctx.ticks <- ctx.ticks + 1;
     if ctx.ticks land 1023 = 0 then begin
       Obs.incr c_budget_ticks;
@@ -938,6 +946,7 @@ let run_scan cfg (lq : Logical.t) =
   let acc : (int array, float array) Hashtbl.t = Hashtbl.create 64 in
   Array.iteri
     (fun i r ->
+      Lh_fault.Fault.hit fault_scan;
       if i land 4095 = 0 then begin
         Obs.incr c_budget_ticks;
         Lh_util.Budget.check budget

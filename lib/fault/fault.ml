@@ -1,0 +1,211 @@
+exception Injected of string
+
+type kind = Generic | Timeout | Oom
+type trigger = Nth of int | Prob of float * int | Always
+type spec = { sp_pattern : string; sp_kind : kind; sp_trigger : trigger }
+
+type site = {
+  s_name : string;
+  s_hits : int Atomic.t;
+  s_fired : int Atomic.t;
+  mutable s_armed : (kind * trigger) option;
+}
+
+(* One mutex guards the registry and the armed-spec list; [s_armed] is
+   written under it and read racily by probes (arming happens-before the
+   armed run — see the .mli contract). The [enabled] flag is the probes'
+   fast-path gate. *)
+let lock = Mutex.create ()
+let registry : (string, site) Hashtbl.t = Hashtbl.create 32
+let armed_specs : spec list ref = ref []
+let enabled = Atomic.make false
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* Budget exceptions live above this library; Lh_util.Budget installs the
+   real ones at load time. *)
+let timeout_exn = ref (Injected "<budget.timeout>")
+let oom_exn = ref (Injected "<budget.oom>")
+
+let set_budget_exns ~timeout ~oom =
+  timeout_exn := timeout;
+  oom_exn := oom
+
+let glob_match ~pattern name =
+  let np = String.length pattern and nn = String.length name in
+  let rec go pi ni =
+    if pi = np then ni = nn
+    else
+      match pattern.[pi] with
+      | '*' ->
+          let rec try_at k = k <= nn && (go (pi + 1) k || try_at (k + 1)) in
+          try_at ni
+      | c -> ni < nn && name.[ni] = c && go (pi + 1) (ni + 1)
+  in
+  go 0 0
+
+let apply_spec_to_site sp s =
+  if glob_match ~pattern:sp.sp_pattern s.s_name then begin
+    s.s_armed <- Some (sp.sp_kind, sp.sp_trigger);
+    Atomic.set s.s_hits 0;
+    Atomic.set s.s_fired 0
+  end
+
+let site name =
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some s -> s
+      | None ->
+          let s =
+            { s_name = name; s_hits = Atomic.make 0; s_fired = Atomic.make 0; s_armed = None }
+          in
+          (* Earliest-armed spec first so "most recently armed wins". *)
+          List.iter (fun sp -> apply_spec_to_site sp s) (List.rev !armed_specs);
+          Hashtbl.replace registry name s;
+          s)
+
+let name s = s.s_name
+
+(* splitmix-style finalizer over the native int width; only used to draw
+   a deterministic uniform per (seed, site, hit index). *)
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x4be98134a5976fd3 in
+  let z = (z lxor (z lsr 27)) * 0x3bd0d69a6ddbbbed in
+  (z lxor (z lsr 31)) land max_int
+
+let uniform ~seed ~name ~hit =
+  let z = mix (seed + (Hashtbl.hash name * 0x9e3779b9) + (hit * 0x85ebca6b)) in
+  float_of_int (z land 0xFFFFFF) /. 16777216.0
+
+let raise_kind kind site_name =
+  match kind with
+  | Generic -> raise (Injected site_name)
+  | Timeout -> raise !timeout_exn
+  | Oom -> raise !oom_exn
+
+let hit s =
+  if Atomic.get enabled then
+    match s.s_armed with
+    | None -> ()
+    | Some (kind, trigger) ->
+        let n = 1 + Atomic.fetch_and_add s.s_hits 1 in
+        let fire =
+          match trigger with
+          | Always -> true
+          | Nth k -> n = k
+          | Prob (p, seed) -> uniform ~seed ~name:s.s_name ~hit:n < p
+        in
+        if fire then begin
+          Atomic.incr s.s_fired;
+          raise_kind kind s.s_name
+        end
+
+let point n = if Atomic.get enabled then hit (site n)
+
+let arm_spec sp =
+  locked (fun () ->
+      armed_specs := sp :: !armed_specs;
+      Hashtbl.iter (fun _ s -> apply_spec_to_site sp s) registry;
+      Atomic.set enabled true)
+
+let arm ?(kind = Generic) ?(trigger = Nth 1) pattern =
+  arm_spec { sp_pattern = pattern; sp_kind = kind; sp_trigger = trigger }
+
+let disarm_all () =
+  locked (fun () ->
+      armed_specs := [];
+      Atomic.set enabled false;
+      Hashtbl.iter
+        (fun _ s ->
+          s.s_armed <- None;
+          Atomic.set s.s_hits 0;
+          Atomic.set s.s_fired 0)
+        registry)
+
+let registered () =
+  locked (fun () -> Hashtbl.fold (fun n _ acc -> n :: acc) registry []) |> List.sort compare
+
+let lookup n = locked (fun () -> Hashtbl.find_opt registry n)
+let hits n = match lookup n with Some s -> Atomic.get s.s_hits | None -> 0
+let fired n = match lookup n with Some s -> Atomic.get s.s_fired | None -> 0
+
+let total_fired () =
+  locked (fun () -> Hashtbl.fold (fun _ s acc -> acc + Atomic.get s.s_fired) registry 0)
+
+let armed_sites () =
+  locked (fun () ->
+      Hashtbl.fold (fun n s acc -> if s.s_armed <> None then n :: acc else acc) registry [])
+  |> List.sort compare
+
+let kind_to_string = function Generic -> "generic" | Timeout -> "timeout" | Oom -> "oom"
+
+let kind_of_string = function
+  | "generic" -> Some Generic
+  | "timeout" -> Some Timeout
+  | "oom" -> Some Oom
+  | _ -> None
+
+let split_on char s =
+  String.split_on_char char s |> List.map String.trim |> List.filter (fun f -> f <> "")
+
+let parse_one text =
+  match split_on ':' text with
+  | [] -> Error "empty fault spec"
+  | pattern :: opts ->
+      let rec go kind trigger seed = function
+        | [] ->
+            let trigger =
+              match (trigger, seed) with
+              | Some (Prob (p, _)), Some s -> Prob (p, s)
+              | Some t, _ -> t
+              | None, _ -> Nth 1
+            in
+            Ok { sp_pattern = pattern; sp_kind = kind; sp_trigger = trigger }
+        | "always" :: rest -> go kind (Some Always) seed rest
+        | opt :: rest -> (
+            match String.index_opt opt '=' with
+            | None -> Error (Printf.sprintf "bad fault option %S (want key=value)" opt)
+            | Some i -> (
+                let key = String.sub opt 0 i in
+                let v = String.sub opt (i + 1) (String.length opt - i - 1) in
+                match key with
+                | "kind" -> (
+                    match kind_of_string v with
+                    | Some k -> go k trigger seed rest
+                    | None -> Error (Printf.sprintf "unknown fault kind %S" v))
+                | "nth" -> (
+                    match int_of_string_opt v with
+                    | Some n when n >= 1 -> go kind (Some (Nth n)) seed rest
+                    | _ -> Error (Printf.sprintf "nth wants a positive integer, got %S" v))
+                | "p" -> (
+                    match float_of_string_opt v with
+                    | Some p when p >= 0.0 && p <= 1.0 ->
+                        go kind (Some (Prob (p, match seed with Some s -> s | None -> 0))) seed rest
+                    | _ -> Error (Printf.sprintf "p wants a probability in [0,1], got %S" v))
+                | "seed" -> (
+                    match int_of_string_opt v with
+                    | Some s -> go kind trigger (Some s) rest
+                    | None -> Error (Printf.sprintf "seed wants an integer, got %S" v))
+                | _ -> Error (Printf.sprintf "unknown fault option %S" key)))
+      in
+      go Generic None None opts
+
+let parse_spec text =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> ( match parse_one part with Ok sp -> go (sp :: acc) rest | Error _ as e -> e)
+  in
+  match split_on ',' text with [] -> Error "empty LH_FAULT spec" | parts -> go [] parts
+
+(* LH_FAULT is read once, here, so arming works uniformly in every binary
+   (CLI, fuzzer, tests, benches). Sites register later than this module
+   initializes, which is why specs are kept and applied in [site]. *)
+let () =
+  match Sys.getenv_opt "LH_FAULT" with
+  | None | Some "" -> ()
+  | Some text -> (
+      match parse_spec text with
+      | Ok specs -> List.iter arm_spec specs
+      | Error msg -> Printf.eprintf "LH_FAULT ignored: %s\n%!" msg)

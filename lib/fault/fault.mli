@@ -1,0 +1,109 @@
+(** Deterministic, seed-driven fault injection.
+
+    Hot paths throughout the engine register named {e fault sites}
+    ([Fault.site "pool.chunk"] at module-initialization time, like
+    [Lh_obs.Obs.counter]) and probe them with {!hit}. A disarmed probe is
+    one atomic load and a branch — cheap enough for per-row loops. An
+    armed site raises at a deterministic trigger point, letting the test
+    and CI harnesses prove the {e crash-only invariant}: any failure
+    surfaces as a typed error and leaves the engine (pool, caches,
+    prepared statements) fully usable.
+
+    Sites are armed by glob pattern, either programmatically ({!arm}) or
+    through the [LH_FAULT] environment variable, read once at program
+    start:
+
+    {v
+      LH_FAULT="trie.build.node"                  # fire on the 1st hit
+      LH_FAULT="pool.*:kind=timeout:nth=3"        # 3rd hit raises Timed_out
+      LH_FAULT="exec.*:p=0.001:seed=7,csv.line"   # several specs, comma-separated
+    v}
+
+    Spec syntax: [glob[:kind=generic|timeout|oom][:nth=N|:p=F|:always][:seed=N]].
+    Defaults: [kind=generic], [nth=1].
+
+    This library sits below [Lh_util] and therefore cannot name the
+    budget exceptions; [Lh_util.Budget] installs them at load time via
+    {!set_budget_exns}. Until then, [timeout]/[oom] kinds degrade to
+    {!Injected}.
+
+    Concurrency: {!hit} is safe from any domain ([Nth] counts via an
+    atomic). Arming and disarming must not race in-flight work — arm,
+    run, disarm, in that order, as the harnesses do. Under [Prob] the
+    per-site hit {e index} sequence depends on domain interleaving;
+    [Nth 1] (the default, and what the crashtest harness uses) is
+    deterministic whenever the site is reached at all. *)
+
+exception Injected of string
+(** Raised by a firing site of kind [Generic]; the payload is the site
+    name. *)
+
+type kind = Generic | Timeout | Oom
+
+type trigger =
+  | Nth of int  (** fire on exactly the Nth hit since arming, 1-based *)
+  | Prob of float * int  (** [(p, seed)]: each hit fires with probability [p] *)
+  | Always
+
+type site
+
+val site : string -> site
+(** Registers (or retrieves) the site named [name]. Registration is
+    idempotent and thread-safe; armed specs whose pattern matches are
+    applied to late-registered sites too. *)
+
+val name : site -> string
+
+val hit : site -> unit
+(** The probe. No-op unless some site is armed; raises per the matching
+    spec's kind when this site's trigger fires. *)
+
+val point : string -> unit
+(** [point n] = [hit (site n)], for cold paths. Note the site is only
+    registered once the point is first executed; hot paths and anything
+    the crashtest harness should enumerate must use {!site} at module
+    init instead. *)
+
+val arm : ?kind:kind -> ?trigger:trigger -> string -> unit
+(** [arm pattern] arms every registered (and future) site matching the
+    glob [pattern] ([*] matches any substring). Defaults: [Generic],
+    [Nth 1]. Re-arming a site resets its hit/fired counts; when several
+    armed patterns match one site, the most recently armed wins. *)
+
+val disarm_all : unit -> unit
+(** Disarms every site, clears pending patterns and resets all hit and
+    fired counts. Probes return to the single-load fast path. *)
+
+val registered : unit -> string list
+(** Sorted names of every site registered so far (i.e. by the modules
+    linked and initialized in this process). *)
+
+val hits : string -> int
+(** Hits recorded at the named site since it was (re-)armed; 0 when the
+    site is unknown, disarmed or never hit. *)
+
+val fired : string -> int
+(** Times the named site actually raised since it was (re-)armed. *)
+
+val total_fired : unit -> int
+(** Sum of {!fired} across all sites — polled into the [fault.injected]
+    telemetry counter by [Lh_obs.Report]. *)
+
+val armed_sites : unit -> string list
+(** Sorted names of the currently armed sites. *)
+
+val glob_match : pattern:string -> string -> bool
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+type spec = { sp_pattern : string; sp_kind : kind; sp_trigger : trigger }
+
+val parse_spec : string -> (spec list, string) result
+(** Parses an [LH_FAULT]-syntax string (comma-separated specs). *)
+
+val arm_spec : spec -> unit
+
+val set_budget_exns : timeout:exn -> oom:exn -> unit
+(** Installs the exceptions raised by [Timeout]/[Oom] kinds. Called by
+    [Lh_util.Budget] at load time; not for general use. *)

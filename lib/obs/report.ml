@@ -8,16 +8,18 @@ let g_peak_words = Obs.gauge "gc.peak_live_words"
 let c_pool_tasks = Obs.counter "pool.tasks"
 let c_pool_chunks = Obs.counter "pool.chunks"
 let g_pool_workers = Obs.gauge "pool.workers"
+let c_fault_injected = Obs.counter "fault.injected"
 
-(* The domain pool lives below the observability layer (Lh_util must not
-   depend on Lh_obs), so its lifetime counters are polled here: syncing
-   before both snapshots turns them into per-session deltas like any other
-   counter. *)
+(* The domain pool and the fault registry live below the observability
+   layer (Lh_util must not depend on Lh_obs), so their lifetime counters
+   are polled here: syncing before both snapshots turns them into
+   per-session deltas like any other counter. *)
 let sync_pool_counters () =
   let s = Lh_util.Pool.stats () in
   Obs.set c_pool_tasks s.Lh_util.Pool.st_tasks;
   Obs.set c_pool_chunks s.Lh_util.Pool.st_chunks;
-  Obs.set g_pool_workers s.Lh_util.Pool.st_workers
+  Obs.set g_pool_workers s.Lh_util.Pool.st_workers;
+  Obs.set c_fault_injected (Lh_fault.Fault.total_fired ())
 
 let with_session f =
   Obs.with_enabled true (fun () ->

@@ -1,0 +1,379 @@
+module L = Levelheaded
+module Fault = Lh_fault.Fault
+module Obs = Lh_obs.Obs
+module Table = Lh_storage.Table
+module Schema = Lh_storage.Schema
+module Dtype = Lh_storage.Dtype
+
+let c_requery_ok = Obs.counter "recover.requery_ok"
+
+type outcome = Passed | Excused of string | Failed of string
+type site_report = { sr_site : string; sr_outcome : outcome }
+type summary = { s_seed : int; s_sites : site_report list }
+
+(* How to reach each site. [Query shapes] searches fuzzer-generated
+   queries of those shapes on the pinned dataset; [Kernel] calls the CSR
+   kernels directly (no generated query is guaranteed to route through
+   them); [Ingest] loads a temporary CSV into a fresh engine. *)
+type scenario = Query of Gen.shape list | Kernel | Ingest
+
+let scenarios =
+  [
+    ("engine.query", Query [ Gen.Scan; Gen.Chain ]);
+    ("engine.prepare", Query [ Gen.Scan; Gen.Chain ]);
+    ("engine.bind", Query [ Gen.Scan; Gen.Chain ]);
+    ("plan_cache.fill", Query [ Gen.Scan; Gen.Chain ]);
+    ("exec.scan.row", Query [ Gen.Scan ]);
+    ("exec.wcoj.leaf", Query [ Gen.Chain; Gen.Star; Gen.Cycle ]);
+    ("trie.build.node", Query [ Gen.Chain; Gen.Star ]);
+    ("blas.dispatch", Query [ Gen.La ]);
+    ("dense.gemv", Query [ Gen.La ]);
+    ("dense.gemm", Query [ Gen.La ]);
+    ("pool.chunk", Query [ Gen.Chain; Gen.La ]);
+    ("csr.spmv", Kernel);
+    ("csr.spgemm", Kernel);
+    ("csv.line", Ingest);
+    ("ingest.row", Ingest);
+  ]
+
+let kinds = [ Fault.Generic; Fault.Timeout; Fault.Oom ]
+let kind_str = Fault.kind_to_string
+let sql_of_ast ast = Format.asprintf "%a" Lh_sql.Ast.pp_query ast
+
+(* Bit-identical row-set equality: the recovery contract is exact, not
+   tolerance-based — the re-run takes the very same code path as the clean
+   run, so even float summation order must agree. *)
+let rows_identical a b = Rows.canonical a = Rows.canonical b
+
+(* ------------------------------------------------------------------ *)
+(* Query scenarios                                                      *)
+
+let check_fault_result ~site kind (res : (Table.t, L.Engine.Error.t) result) =
+  match (kind, res) with
+  | Fault.Generic, Error (L.Engine.Error.Fault_injected s) when s = site -> Ok ()
+  | (Fault.Timeout | Fault.Oom), Error L.Engine.Error.Budget_exceeded -> Ok ()
+  | _, Ok _ -> Error "fault fired but the query succeeded (silently swallowed)"
+  | _, Error e ->
+      Error (Printf.sprintf "expected typed fault error, got: %s" (L.Engine.Error.to_string e))
+
+(* One (site, kind) trial on one query: fresh engine, arm, run, check the
+   typed error, then re-run the same query on the same engine and demand
+   the clean answer. *)
+let run_kind ~site ~kind ~sql ~clean_rows =
+  let eng = Dataset.build () in
+  Fault.disarm_all ();
+  Fault.arm ~kind ~trigger:(Fault.Nth 1) site;
+  let res =
+    try L.Engine.query_result eng sql
+    with e ->
+      Fault.disarm_all ();
+      failwith
+        (Printf.sprintf "%s: unhandled exception escaped query_result: %s" (kind_str kind)
+           (Printexc.to_string e))
+  in
+  let nfired = Fault.fired site in
+  Fault.disarm_all ();
+  if nfired = 0 then match res with Ok _ -> `Unreached | Error _ -> `Skip
+  else
+    match check_fault_result ~site kind res with
+    | Error msg -> `Outcome (Failed (Printf.sprintf "%s: %s" (kind_str kind) msg))
+    | Ok () -> (
+        match L.Engine.query_result eng sql with
+        | exception e ->
+            `Outcome
+              (Failed
+                 (Printf.sprintf "%s: re-query raised: %s" (kind_str kind) (Printexc.to_string e)))
+        | Error e ->
+            `Outcome
+              (Failed
+                 (Printf.sprintf "%s: re-query on the faulted engine failed: %s" (kind_str kind)
+                    (L.Engine.Error.to_string e)))
+        | Ok t ->
+            if rows_identical (Table.to_rows t) clean_rows then begin
+              Obs.incr c_requery_ok;
+              `Recovered
+            end
+            else
+              `Outcome
+                (Failed
+                   (Printf.sprintf "%s: re-query differs from a clean engine's answer"
+                      (kind_str kind))))
+
+(* One candidate query at (seed, index). The generic-kind trial doubles as
+   the reachability probe; once it fires, the same deterministic path
+   reaches the site for the budget kinds too. *)
+let try_one ~seed ~index ~spec ~site ~profile =
+  let ast, _shape = Gen.generate profile ~seed ~index spec in
+  let sql = sql_of_ast ast in
+  Fault.disarm_all ();
+  let clean = Dataset.build () in
+  match L.Engine.query_result clean sql with
+  | Error _ -> `Skip
+  | Ok t -> (
+      let clean_rows = Table.to_rows t in
+      match run_kind ~site ~kind:Fault.Generic ~sql ~clean_rows with
+      | (`Unreached | `Skip) as r -> r
+      | `Outcome o -> `Outcome o
+      | `Recovered ->
+          let rec go = function
+            | [] -> `Outcome Passed
+            | k :: rest -> (
+                match run_kind ~site ~kind:k ~sql ~clean_rows with
+                | `Recovered -> go rest
+                | `Outcome o -> `Outcome o
+                | `Unreached ->
+                    `Outcome
+                      (Failed
+                         (Printf.sprintf "%s: site unexpectedly unreached on replay" (kind_str k)))
+                | `Skip ->
+                    `Outcome
+                      (Failed
+                         (Printf.sprintf "%s: query failed without the fault firing" (kind_str k))))
+          in
+          go [ Fault.Timeout; Fault.Oom ])
+
+let query_site ~attempts ~seed site shapes =
+  let dflt = L.Config.default in
+  if site = "pool.chunk" && dflt.L.Config.domains <= 1 then
+    Excused "requires domains > 1 (covered by the LH_DOMAINS=4 leg)"
+  else begin
+    let spec = { Gen.shapes; Gen.max_relations = 3 } in
+    let profile =
+      Fault.disarm_all ();
+      Dataset.profile (Dataset.build ())
+    in
+    let exception Done of outcome in
+    try
+      for index = 0 to attempts - 1 do
+        match try_one ~seed ~index ~spec ~site ~profile with
+        | `Unreached | `Skip -> ()
+        | `Outcome o -> raise (Done o)
+      done;
+      Failed (Printf.sprintf "no generated query reached the site in %d attempts" attempts)
+    with Done o -> o
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Kernel scenarios: the CSR kernels are not reachable through the SQL
+   surface (the engine's BLAS targeting is dense-only), so they are
+   exercised by direct calls on a small fixed matrix.                   *)
+
+let kernel_site site =
+  let domains = max 1 L.Config.default.L.Config.domains in
+  let coo =
+    Lh_blas.Coo.create ~nrows:6 ~ncols:6
+      ~row:[| 0; 0; 1; 2; 2; 3; 4; 5; 5 |]
+      ~col:[| 1; 3; 2; 0; 5; 4; 1; 0; 2 |]
+      ~value:[| 1.5; -2.0; 3.25; 0.5; 4.0; -1.25; 2.75; 6.0; -0.5 |]
+  in
+  let a = Lh_blas.Csr.of_coo coo in
+  let x = Array.init 6 (fun i -> float_of_int (i + 1) *. 0.5) in
+  let run () =
+    match site with
+    | "csr.spmv" -> `V (Lh_blas.Csr.spmv ~domains a x)
+    | _ -> `M (Lh_blas.Csr.spgemm ~domains a a)
+  in
+  Fault.disarm_all ();
+  let clean = run () in
+  let expected_exn kind e =
+    match (kind, e) with
+    | Fault.Generic, Fault.Injected s -> s = site
+    | Fault.Timeout, Lh_util.Budget.Timed_out -> true
+    | Fault.Oom, Lh_util.Budget.Out_of_memory_budget -> true
+    | _ -> false
+  in
+  let rec go = function
+    | [] -> Passed
+    | kind :: rest -> (
+        Fault.disarm_all ();
+        Fault.arm ~kind ~trigger:(Fault.Nth 1) site;
+        let outcome =
+          match run () with
+          | _ ->
+              Fault.disarm_all ();
+              Failed (Printf.sprintf "%s: kernel completed despite the armed fault" (kind_str kind))
+          | exception e ->
+              let fired = Fault.fired site > 0 in
+              Fault.disarm_all ();
+              if not fired then
+                Failed
+                  (Printf.sprintf "%s: exception without the site firing: %s" (kind_str kind)
+                     (Printexc.to_string e))
+              else if not (expected_exn kind e) then
+                Failed
+                  (Printf.sprintf "%s: unexpected exception: %s" (kind_str kind)
+                     (Printexc.to_string e))
+              else begin
+                match run () with
+                | exception e ->
+                    Failed
+                      (Printf.sprintf "%s: re-run raised: %s" (kind_str kind) (Printexc.to_string e))
+                | r ->
+                    if r = clean then begin
+                      Obs.incr c_requery_ok;
+                      Passed
+                    end
+                    else
+                      Failed (Printf.sprintf "%s: re-run differs from clean result" (kind_str kind))
+              end
+        in
+        match outcome with Passed -> go rest | o -> o)
+  in
+  go kinds
+
+(* ------------------------------------------------------------------ *)
+(* Ingest scenarios: a fault mid-load must leave the catalog without the
+   table; reloading on the same engine must then produce the clean
+   catalog and answers.                                                 *)
+
+let ingest_site site =
+  let path = Filename.temp_file "lh_crashtest" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      for i = 0 to 7 do
+        Printf.fprintf oc "%d,%d,%g\n" i (i * 3 mod 8) (float_of_int (i + 1) *. 1.5)
+      done;
+      close_out oc;
+      let schema =
+        Schema.create
+          [
+            ("i", Dtype.Int, Schema.Key);
+            ("j", Dtype.Int, Schema.Key);
+            ("v", Dtype.Float, Schema.Annotation);
+          ]
+      in
+      let sql = "select sum(v) as s from t" in
+      Fault.disarm_all ();
+      let clean = L.Engine.create () in
+      ignore (L.Engine.load_csv clean ~name:"t" ~schema path);
+      let clean_rows =
+        match L.Engine.query_result clean sql with
+        | Ok t -> Table.to_rows t
+        | Error e -> failwith ("clean ingest query failed: " ^ L.Engine.Error.to_string e)
+      in
+      let expected_exn kind e =
+        match (kind, e) with
+        | Fault.Generic, L.Engine.Error (L.Engine.Error.Fault_injected s) -> s = site
+        | Fault.Timeout, Lh_util.Budget.Timed_out -> true
+        | Fault.Oom, Lh_util.Budget.Out_of_memory_budget -> true
+        | _ -> false
+      in
+      let rec go = function
+        | [] -> Passed
+        | kind :: rest -> (
+            let eng = L.Engine.create () in
+            Fault.disarm_all ();
+            (* Nth 3: abort mid-file, after some rows are already staged. *)
+            Fault.arm ~kind ~trigger:(Fault.Nth 3) site;
+            let outcome =
+              match L.Engine.load_csv eng ~name:"t" ~schema path with
+              | _ ->
+                  Fault.disarm_all ();
+                  Failed
+                    (Printf.sprintf "%s: ingest completed despite the armed fault" (kind_str kind))
+              | exception e ->
+                  let fired = Fault.fired site > 0 in
+                  Fault.disarm_all ();
+                  if not fired then
+                    Failed
+                      (Printf.sprintf "%s: exception without the site firing: %s" (kind_str kind)
+                         (Printexc.to_string e))
+                  else if not (expected_exn kind e) then
+                    Failed
+                      (Printf.sprintf "%s: unexpected exception: %s" (kind_str kind)
+                         (Printexc.to_string e))
+                  else if L.Catalog.find (L.Engine.catalog eng) "t" <> None then
+                    Failed
+                      (Printf.sprintf "%s: partial table registered after aborted ingest"
+                         (kind_str kind))
+                  else begin
+                    match L.Engine.load_csv eng ~name:"t" ~schema path with
+                    | exception e ->
+                        Failed
+                          (Printf.sprintf "%s: re-ingest raised: %s" (kind_str kind)
+                             (Printexc.to_string e))
+                    | _ -> (
+                        match L.Engine.query_result eng sql with
+                        | Ok t when rows_identical (Table.to_rows t) clean_rows ->
+                            Obs.incr c_requery_ok;
+                            Passed
+                        | Ok _ ->
+                            Failed
+                              (Printf.sprintf "%s: post-recovery query differs" (kind_str kind))
+                        | Error e ->
+                            Failed
+                              (Printf.sprintf "%s: post-recovery query failed: %s" (kind_str kind)
+                                 (L.Engine.Error.to_string e)))
+                  end
+            in
+            match outcome with Passed -> go rest | o -> o)
+      in
+      go kinds)
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(progress = fun _ -> ()) ?(attempts = 40) ~seed () =
+  Fault.disarm_all ();
+  let registered = Fault.registered () in
+  let scenario_names = List.map fst scenarios in
+  let reports =
+    List.map
+      (fun (site, scen) ->
+        progress (Printf.sprintf "crashtest %s" site);
+        let outcome =
+          if not (List.mem site registered) then
+            Failed "site not registered in this binary (renamed or dead code?)"
+          else
+            try
+              match scen with
+              | Query shapes -> query_site ~attempts ~seed site shapes
+              | Kernel -> kernel_site site
+              | Ingest -> ingest_site site
+            with e -> Failed ("harness exception: " ^ Printexc.to_string e)
+        in
+        { sr_site = site; sr_outcome = outcome })
+      scenarios
+  in
+  (* Coverage is part of the contract: a site someone registers without
+     teaching the harness how to reach it fails loudly, here. The [test.*]
+     prefix is reserved for the fault registry's own unit tests
+     (test/test_fault.ml registers synthetic sites in-process). *)
+  let uncovered =
+    List.filter
+      (fun s ->
+        (not (List.mem s scenario_names)) && not (Fault.glob_match ~pattern:"test.*" s))
+      registered
+    |> List.map (fun s ->
+           { sr_site = s; sr_outcome = Failed "registered fault site has no crashtest scenario" })
+  in
+  Fault.disarm_all ();
+  { s_seed = seed; s_sites = reports @ uncovered }
+
+let ok s =
+  List.for_all (fun r -> match r.sr_outcome with Failed _ -> false | _ -> true) s.s_sites
+
+let to_text s =
+  let b = Buffer.create 512 in
+  let failed = ref 0 and excused = ref 0 in
+  List.iter
+    (fun r ->
+      let status, detail =
+        match r.sr_outcome with
+        | Passed -> ("PASS", "")
+        | Excused m ->
+            incr excused;
+            ("SKIP", m)
+        | Failed m ->
+            incr failed;
+            ("FAIL", m)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  [%s] %-18s%s\n" status r.sr_site
+           (if detail = "" then "" else " " ^ detail)))
+    s.s_sites;
+  Buffer.add_string b
+    (Printf.sprintf "crashtest seed %d: %d sites, %d failed, %d excused\n" s.s_seed
+       (List.length s.s_sites) !failed !excused);
+  Buffer.contents b

@@ -1,0 +1,52 @@
+(** Seeded crash-only recovery harness over the fault-injection registry.
+
+    For every registered {!Lh_fault.Fault} site the harness arms the site
+    (each kind in turn: generic, timeout, OOM), drives a workload that
+    reaches it — a fuzzer-generated query, a direct kernel call, or a CSV
+    ingest, depending on the site — and then asserts the crash-only
+    invariant end to end:
+
+    + the armed fault fires deterministically and surfaces as the typed
+      error the engine contract promises ([Engine.Error Fault_injected]
+      for generic faults, the budget error for timeout/OOM kinds) — never
+      a crash, hang, or silent success;
+    + the engine (or pool / kernel state) that absorbed the fault is
+      immediately reusable: re-running the exact same workload on the
+      {e same} engine succeeds and is bit-identical to a clean engine's
+      answer.
+
+    Every site must be covered: a registered site with no scenario, or a
+    scenario whose workload cannot reach its site, is a failure — the
+    harness is the executable inventory of the fault surface. Sites that
+    are unreachable {e by construction} under the current configuration
+    (e.g. ["pool.chunk"] at [domains = 1]) are excused, and covered by the
+    [LH_DOMAINS=4] CI leg instead. The [test.*] name prefix is reserved
+    for the registry's own unit tests and exempt from coverage.
+
+    The harness is deterministic per [seed]: it generates queries with
+    {!Gen.generate} over the pinned {!Dataset}, so a failing [(site,
+    seed)] pair replays exactly. Wired into [lhfuzz --inject-fault] and
+    the fault-injection legs of [ci.sh]. *)
+
+type outcome =
+  | Passed
+  | Excused of string  (** unreachable by construction under this config *)
+  | Failed of string
+
+type site_report = { sr_site : string; sr_outcome : outcome }
+
+type summary = {
+  s_seed : int;
+  s_sites : site_report list;  (** one report per registered site *)
+}
+
+val run : ?progress:(string -> unit) -> ?attempts:int -> seed:int -> unit -> summary
+(** Run every scenario. [attempts] (default 40) bounds the per-site search
+    for a generated query that reaches the site. [progress] is called with
+    a short line as each site starts. Leaves the fault registry disarmed. *)
+
+val ok : summary -> bool
+(** No [Failed] site ([Excused] is acceptable). *)
+
+val to_text : summary -> string
+(** One line per site plus a pass/fail tail, for CLI output. *)

@@ -37,6 +37,12 @@ let encode_cell dict dtype raw =
   | Dtype.String -> Dict.encode dict raw
   | Dtype.Float -> failwith "Table.encode_cell: float handled separately"
 
+(* Fired once per ingested row on both CSV paths (the sequential fold and
+   the parallel chunk bodies) and on [of_rows]. A fault here aborts the
+   load before [create] runs, so no table is ever registered from a
+   partial ingest. *)
+let fault_row = Lh_fault.Fault.site "ingest.row"
+
 let of_rows ~name ~schema ~dict rows =
   let ncols = Schema.ncols schema in
   let builders =
@@ -47,6 +53,7 @@ let of_rows ~name ~schema ~dict rows =
   in
   List.iter
     (fun row ->
+      Lh_fault.Fault.hit fault_row;
       if List.length row <> ncols then failwith (Printf.sprintf "Table.of_rows %s: ragged row" name);
       List.iteri
         (fun i v ->
@@ -75,6 +82,7 @@ let fresh_builders schema =
       | Dtype.Int | Dtype.String | Dtype.Date -> `I (Lh_util.Vec.Int.create ()))
 
 let ingest_fields ~name ~schema ~dict builders fields =
+  Lh_fault.Fault.hit fault_row;
   let ncols = Schema.ncols schema in
   (* TPC-H '|'-terminated lines produce a trailing empty field; accept it. *)
   let navail =

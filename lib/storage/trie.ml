@@ -63,6 +63,12 @@ let make_groups ~rows ~group_cols ~aggs ~mults lo hi =
 
 let empty_node = { set = Lh_set.Set.empty; children = [||]; groups = [||] }
 
+(* Fired on entry to every subtree build (and per segment on the parallel
+   path), so an armed "trie.build.node" fault aborts a build mid-way. The
+   trie value is only returned on success, so an aborted build can never
+   leave a partial trie behind — callers that cache tries rely on this. *)
+let fault_node = Lh_fault.Fault.site "trie.build.node"
+
 (* Per-task build statistics: subtree builds run on worker domains with a
    private copy, merged in chunk order afterwards. *)
 type bstats = { mutable tuples : int; maxes : int array }
@@ -85,6 +91,7 @@ let build ?(domains = 1) ~keys ~rows ?(group_cols = [||]) ?(aggs = [||]) ?(mults
   (* rows.(lo..hi) share the key prefix above [level]; produce the node for
      this subtree.  Segments of equal value at [level] become set entries. *)
   let rec build_node stats level lo hi =
+    Lh_fault.Fault.hit fault_node;
     let col = keys.(level) in
     (* Count distinct values first so the arrays are allocated exactly. *)
     let ndistinct = ref 0 in
@@ -156,6 +163,7 @@ let build ?(domains = 1) ~keys ~rows ?(group_cols = [||]) ?(aggs = [||]) ?(mults
         ~body:(fun stats k ->
           let seg_lo = bounds.(k) and seg_hi = bounds.(k + 1) in
           if last then begin
+            Lh_fault.Fault.hit fault_node;
             groups.(k) <- make_groups ~rows ~group_cols ~aggs ~mults seg_lo seg_hi;
             stats.tuples <- stats.tuples + 1
           end

@@ -1,6 +1,11 @@
 exception Out_of_memory_budget
 exception Timed_out
 
+(* Lh_fault sits below this library and cannot name these exceptions;
+   installing them here lets armed sites of kind [timeout]/[oom] raise the
+   real budget exceptions anywhere in the stack. *)
+let () = Lh_fault.Fault.set_budget_exns ~timeout:Timed_out ~oom:Out_of_memory_budget
+
 type t = {
   max_live_words : int;
   max_seconds : float;

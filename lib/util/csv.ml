@@ -1,3 +1,8 @@
+(* Fired once per non-empty input line in both readers, so an armed
+   "csv.line" fault aborts an ingest mid-file regardless of which path
+   (sequential fold or parallel read_lines) the caller took. *)
+let fault_line = Lh_fault.Fault.site "csv.line"
+
 let split_line ~sep line =
   let n = String.length line in
   let fields = ref [] in
@@ -42,6 +47,7 @@ let fold_file ?(sep = ',') path ~init ~f =
     | exception End_of_file -> acc
     | "" -> loop acc
     | line ->
+        Lh_fault.Fault.hit fault_line;
         let line =
           (* Tolerate CRLF files. *)
           let n = String.length line in
@@ -62,6 +68,7 @@ let read_lines path =
     | exception End_of_file -> ()
     | "" -> loop ()
     | line ->
+        Lh_fault.Fault.hit fault_line;
         let line =
           let n = String.length line in
           if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line

@@ -10,6 +10,11 @@
 
 exception Busy
 
+(* Fired once per claimed chunk, before its body runs; the injected
+   exception travels the same capture/re-raise path as a real body
+   failure, which is exactly what the crashtest harness exercises. *)
+let fault_chunk = Lh_fault.Fault.site "pool.chunk"
+
 type task = { gen : int; nchunks : int; body : int -> unit }
 
 type t = {
@@ -39,21 +44,34 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* Claim and run chunks of [task] until the cursor is exhausted. Called
-   with the lock held; returns with the lock held. *)
+   with the lock held; returns with the lock held.
+
+   Fail-fast: once any chunk has recorded a failure, the remaining chunks
+   are still claimed and counted (so the completion accounting stays
+   exact and every waiter wakes) but their bodies are skipped — the task
+   is doomed, running them would only delay the caller's re-raise and,
+   under fault injection, pile further exceptions onto a poisoned
+   state. *)
 let drain_chunks t (task : task) =
   let marker = Domain.DLS.get executing in
   while t.next < task.nchunks do
     let k = t.next in
     t.next <- t.next + 1;
+    let skip = t.failure <> None in
     Mutex.unlock t.lock;
-    marker := t :: !marker;
-    (match task.body k with
-    | () -> marker := List.tl !marker
-    | exception e ->
-        marker := List.tl !marker;
-        Mutex.lock t.lock;
-        if t.failure = None then t.failure <- Some e;
-        Mutex.unlock t.lock);
+    if not skip then begin
+      marker := t :: !marker;
+      match
+        Lh_fault.Fault.hit fault_chunk;
+        task.body k
+      with
+      | () -> marker := List.tl !marker
+      | exception e ->
+          marker := List.tl !marker;
+          Mutex.lock t.lock;
+          if t.failure = None then t.failure <- Some e;
+          Mutex.unlock t.lock
+    end;
     Mutex.lock t.lock;
     t.unfinished <- t.unfinished - 1;
     t.chunks_run <- t.chunks_run + 1;

@@ -48,7 +48,15 @@ val run : t -> chunks:int -> (int -> unit) -> unit
     the calling domain and the workers claiming chunk indices until none
     remain, and returns when all chunks have finished. If one or more
     chunks raise, the first exception (in completion order) is re-raised
-    after the task drains. Raises {!Busy} if a task is already running. *)
+    after the task drains; chunks claimed after a failure was recorded are
+    skipped (fail-fast), so [f] may have run for any strict subset of the
+    index range. Either way every worker re-parks and the pool is
+    immediately reusable for the next task. Raises {!Busy} if a task is
+    already running.
+
+    The fault site ["pool.chunk"] fires at the start of each claimed
+    chunk body and follows the same capture/re-raise path as a real
+    failure. *)
 
 val shutdown : t -> unit
 (** Parks no more: wakes every worker, joins them, and drops them. The

@@ -107,6 +107,46 @@ let test_pool_exception_propagates () =
           (* the pool must have drained and stayed usable *)
           Pool.run pool ~chunks:2 (fun _ -> ()))
 
+let test_pool_fail_fast () =
+  (* workers:0 — the submitter drains every chunk itself, sequentially, so
+     the skip-after-failure accounting is deterministic: chunk 0 fails and
+     the remaining 99 bodies must be skipped, not run. *)
+  let pool = Pool.create ~workers:0 in
+  let executed = ref 0 in
+  (match
+     Pool.run pool ~chunks:100 (fun k ->
+         incr executed;
+         if k = 0 then failwith "boom")
+   with
+  | () -> Alcotest.fail "expected the failure to re-raise"
+  | exception Failure msg -> Alcotest.(check string) "first failure re-raised" "boom" msg);
+  Alcotest.(check int) "bodies after the failure are skipped" 1 !executed;
+  (* the failure is per-task state: the pool is immediately reusable *)
+  let ok = ref 0 in
+  Pool.run pool ~chunks:10 (fun _ -> incr ok);
+  Alcotest.(check int) "pool reusable after fail-fast" 10 !ok
+
+let test_pool_reuse_after_worker_failure () =
+  let pool = Pool.create ~workers:3 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      for round = 1 to 5 do
+        (match
+           Pool.run pool ~chunks:16 (fun k ->
+               if k land 3 = round land 3 then failwith "injected")
+         with
+        | () -> Alcotest.fail "expected a failure"
+        | exception Failure _ -> ());
+        (* every worker re-parked, no wedged Busy state: a normal task on
+           the same pool must run all its chunks *)
+        let acc = Atomic.make 0 in
+        Pool.run pool ~chunks:8 (fun _ -> Atomic.incr acc);
+        Alcotest.(check int)
+          (Printf.sprintf "round %d: task after failure runs all chunks" round)
+          8 (Atomic.get acc)
+      done)
+
 (* ---- Parfor on the global pool ---- *)
 
 let test_map_reduce_merge_order () =
@@ -350,6 +390,9 @@ let () =
           Alcotest.test_case "nested run raises Busy" `Quick test_pool_nested_busy;
           Alcotest.test_case "usable after shutdown" `Quick test_pool_shutdown_usable;
           Alcotest.test_case "chunk exception re-raised" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "failure skips remaining chunks" `Quick test_pool_fail_fast;
+          Alcotest.test_case "reuse after repeated worker failures" `Quick
+            test_pool_reuse_after_worker_failure;
         ] );
       ( "storage",
         [
