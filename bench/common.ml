@@ -44,23 +44,46 @@ let relative ~baseline = function
   | o -> outcome_to_string o
 
 (* §VI-A protocol: one warm-up run (index construction excluded via the
-   trie cache), then [runs] hot measurements with min/max trimmed. A
-   budget violation on any run reports oom / t/o. *)
-let measure ?budget ~runs f =
+   trie cache), then [runs] hot measurements with min/max trimmed (the
+   same trimmed mean as [Timing.measure]). A budget violation on any run
+   reports oom / t/o. Also returns the raw per-run samples so cells can
+   report latency percentiles, not just the mean. *)
+let measure_samples ?budget ~runs f =
   let budget = Option.value budget ~default:Budget.unlimited in
   Budget.start budget;
   match f () with
-  | exception Budget.Out_of_memory_budget -> Oom
-  | exception Budget.Timed_out -> Timeout
+  | exception Budget.Out_of_memory_budget -> (Oom, [])
+  | exception Budget.Timed_out -> (Timeout, [])
   | _ -> (
-      let guarded () =
+      let samples = ref [] in
+      let run () =
         Budget.start budget;
-        ignore (Sys.opaque_identity (f ()))
+        let t0 = Timing.monotonic_now () in
+        ignore (Sys.opaque_identity (f ()));
+        samples := (Timing.monotonic_now () -. t0) :: !samples
       in
-      match Timing.measure ~runs guarded with
-      | t -> Time t
-      | exception Budget.Out_of_memory_budget -> Oom
-      | exception Budget.Timed_out -> Timeout)
+      match
+        for _ = 1 to max 1 runs do
+          run ()
+        done
+      with
+      | () ->
+          let xs = List.rev !samples in
+          let kept =
+            if List.length xs >= 3 then
+              (* drop the fastest and the slowest run *)
+              match List.sort compare xs with
+              | _fastest :: rest -> (
+                  match List.rev rest with _slowest :: mid -> mid | [] -> [])
+              | [] -> []
+            else xs
+          in
+          let mean = List.fold_left ( +. ) 0.0 kept /. float_of_int (List.length kept) in
+          (Time mean, xs)
+      | exception Budget.Out_of_memory_budget -> (Oom, List.rev !samples)
+      | exception Budget.Timed_out -> (Timeout, List.rev !samples))
+
+let measure ?budget ~runs f = fst (measure_samples ?budget ~runs f)
 
 (* ---------------- engines over one dataset ---------------- *)
 
@@ -86,7 +109,7 @@ let json_out : string option ref = ref None
 let current_experiment = ref ""
 let json_records : Json.t list ref = ref []
 
-let record_cell ?domains ?seq_report ~system ~sql ~outcome report =
+let record_cell ?domains ?seq_report ?(samples = []) ~system ~sql ~outcome report =
   if !json_out <> None then begin
     let open Lh_obs in
     let base =
@@ -101,6 +124,16 @@ let record_cell ?domains ?seq_report ~system ~sql ~outcome report =
       match domains with None -> [] | Some d -> [ ("domains", Json.Int d) ]
     in
     let timing = match outcome with Time t -> [ ("seconds", Json.Float t) ] | _ -> [] in
+    (* Per-cell latency percentiles over the raw hot-run samples, via a
+       local (unregistered) log2 histogram. *)
+    let latency =
+      match samples with
+      | [] -> []
+      | _ ->
+          let h = Hist.make () in
+          List.iter (Hist.observe_always h) samples;
+          [ ("latency", Hist.stats_json (Hist.snapshot h)) ]
+    in
     let telemetry =
       match report with
       | None -> []
@@ -111,6 +144,8 @@ let record_cell ?domains ?seq_report ~system ~sql ~outcome report =
               Json.Obj (List.map (fun (n, d) -> (n, Json.Float d)) (Report.phases r)) );
             ( "counters",
               Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) r.Report.counters) );
+            ( "histograms",
+              Json.Obj (List.map (fun (n, s) -> (n, Hist.stats_json s)) r.Report.hists) );
           ]
     in
     (* Parallel speedup decomposition: when the cell also ran instrumented
@@ -136,8 +171,12 @@ let record_cell ?domains ?seq_report ~system ~sql ~outcome report =
           ]
       | _ -> []
     in
-    json_records := Json.Obj (base @ domains_field @ timing @ telemetry @ speedups) :: !json_records
+    json_records :=
+      Json.Obj (base @ domains_field @ timing @ latency @ telemetry @ speedups)
+      :: !json_records
   end
+
+let records_json () = Json.List (List.rev !json_records)
 
 let write_json () =
   match !json_out with
@@ -161,14 +200,14 @@ let instrumented_rerun f =
    [sequential] is given (the same cell pinned to domains=1), it too runs
    instrumented so the record carries speedup columns. *)
 let measured ?budget ~runs ?domains ?sequential ~system ~sql f =
-  let outcome = measure ?budget ~runs f in
+  let outcome, samples = measure_samples ?budget ~runs f in
   let report = match outcome with Time _ -> instrumented_rerun f | _ -> None in
   let seq_report =
     match (report, sequential) with
     | Some _, Some fseq -> instrumented_rerun fseq
     | _ -> None
   in
-  record_cell ?domains ?seq_report ~system ~sql ~outcome report;
+  record_cell ?domains ?seq_report ~samples ~system ~sql ~outcome report;
   outcome
 
 (* Run [sql] on [system] against the master engine. Engine configs are

@@ -106,6 +106,16 @@ let smoke params =
   L.Engine.reset_plan_cache eng;
   analyze "plancache/cold" Queries.q3;
   analyze "plancache/warm" Queries.q3;
+  (* slow-query log: threshold 0 logs every query; the JSONL lines must
+     parse back through lib/obs/json.ml with an "ok" outcome. *)
+  let slow_lines = ref [] in
+  L.Engine.set_profile_sink eng
+    (Some (fun p -> slow_lines := L.Profile.to_string p :: !slow_lines));
+  let saved = L.Engine.config eng in
+  L.Engine.set_config eng { saved with L.Config.slow_log_ms = 0.0 };
+  analyze "slowlog/scan" Queries.q1;
+  L.Engine.set_config eng saved;
+  L.Engine.set_profile_sink eng None;
   (* parallel execution: one cell per family at domains=2. The reports
      must show the pool engaged (exec.domains_used >= 2; pool.tasks > 0
      for the WCOJ cells — the tiny dense matrix fits one GEMM block, so
@@ -151,6 +161,7 @@ let smoke params =
       "budget.ticks"; "dense_cache.hit"; "dense_cache.miss"; "baseline.hash_builds";
       "baseline.rows_joined"; "exec.domains_used"; "gc.peak_live_words";
       "pool.tasks"; "pool.chunks"; "pool.workers"; "plan_cache.hit"; "plan_cache.miss";
+      "profile.records"; "slowlog.lines";
     ]
   in
   let missing = List.filter (fun nm -> not (present nm)) required in
@@ -160,6 +171,7 @@ let smoke params =
       "trie_cache.hit"; "trie_cache.miss"; "trie.built"; "wcoj.intersections";
       "scan.rows_scanned"; "rows.emitted"; "blas.dispatch"; "baseline.hash_builds";
       "baseline.rows_joined"; "gc.peak_live_words"; "plan_cache.hit"; "plan_cache.miss";
+      "profile.records"; "slowlog.lines";
     ]
   in
   let zero = List.filter (fun nm -> present nm && sum nm = 0) must_be_nonzero in
@@ -224,11 +236,45 @@ let smoke params =
         !problems)
       !par_reports
   in
+  (* Profile / histogram / slow-log assertions. *)
+  let bad_profile =
+    let problems = ref [] in
+    let fail fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+    List.iter
+      (fun (label, (r : Report.t)) ->
+        if label <> "baseline/pairwise" then
+          match List.assoc_opt "query.latency" r.Report.hists with
+          | Some s when Lh_obs.Hist.count s >= 1 -> ()
+          | _ -> fail "%s: query.latency histogram absent/empty in report" label)
+      reports;
+    (match L.Engine.last_profile eng with
+    | None -> fail "last_profile: no profile recorded"
+    | Some p ->
+        if p.L.Profile.p_outcome <> L.Profile.Ok_result then
+          fail "last_profile: outcome %S (want ok)" (L.Profile.outcome_label p.L.Profile.p_outcome);
+        if p.L.Profile.p_total_s <= 0.0 then fail "last_profile: total_seconds = 0";
+        if p.L.Profile.p_phases = [] then fail "last_profile: no phase durations");
+    (match !slow_lines with
+    | [] -> fail "slow-log sink received no lines at threshold 0"
+    | ls ->
+        List.iter
+          (fun line ->
+            match Lh_obs.Json.parse line with
+            | j -> (
+                match Lh_obs.Json.member "outcome" j with
+                | Some (Lh_obs.Json.String "ok") -> ()
+                | _ -> fail "slow-log line outcome is not \"ok\": %s" line)
+            | exception Lh_obs.Json.Parse_error m ->
+                fail "slow-log line unparseable (%s): %s" m line)
+          ls);
+    !problems
+  in
   (* A single bad-coverage report on these sub-millisecond runs is a
      one-off OS/GC stall, not an instrumentation gap — a missing span
      would degrade every query report. Warn on one, fail on two. *)
   let coverage_failures = if List.length bad_coverage >= 2 then bad_coverage else [] in
   if missing = [] && zero = [] && coverage_failures = [] && bad_parallel = [] && bad_plancache = []
+     && bad_profile = []
   then begin
     List.iter
       (fun msg -> Printf.printf "smoke warn: %s (single stall tolerated)\n" msg)
@@ -243,6 +289,7 @@ let smoke params =
     List.iter (fun msg -> Printf.eprintf "smoke FAIL: %s\n" msg) coverage_failures;
     List.iter (fun msg -> Printf.eprintf "smoke FAIL: %s\n" msg) bad_parallel;
     List.iter (fun msg -> Printf.eprintf "smoke FAIL: %s\n" msg) bad_plancache;
+    List.iter (fun msg -> Printf.eprintf "smoke FAIL: %s\n" msg) bad_profile;
     1
   end
 
@@ -297,7 +344,51 @@ let smoke_arg =
   in
   Arg.(value & flag & info [ "smoke" ] ~doc)
 
-let main ids sf la_scale dense runs timeout mem_words seed domains json run_smoke =
+let compare_arg =
+  let doc =
+    "Compare against the baseline record list $(docv) (a previous --json file, e.g. the \
+     committed BENCH_6.json) and exit non-zero if any cell regressed beyond tolerance. \
+     Compares the records of this run (requires --json) unless --compare-with is given."
+  in
+  Arg.(value & opt (some string) None & info [ "compare" ] ~docv:"BASELINE" ~doc)
+
+let compare_with_arg =
+  let doc =
+    "With --compare: skip running experiments and compare the record list $(docv) against the \
+     baseline (pure file-vs-file comparison; deterministic, used by CI to self-check the gate)."
+  in
+  Arg.(value & opt (some string) None & info [ "compare-with" ] ~docv:"CURRENT" ~doc)
+
+let tolerance_arg =
+  let doc =
+    "Allowed relative slowdown before --compare flags a regression: a cell fails when \
+     current > baseline * (1 + $(docv)). Slowdowns under 2ms absolute never fail."
+  in
+  Arg.(value & opt float 0.5 & info [ "tolerance" ] ~docv:"T" ~doc)
+
+let slowdown_arg =
+  let doc =
+    "Multiply the current run's seconds by $(docv) before comparing — a testing aid that lets \
+     CI prove the --compare gate actually fires."
+  in
+  Arg.(value & opt float 1.0 & info [ "compare-slowdown" ] ~docv:"F" ~doc)
+
+let run_compare ~baseline_path ~tolerance ~slowdown current =
+  match Lh_obs.Baseline.load baseline_path with
+  | exception (Sys_error msg | Lh_obs.Json.Parse_error msg) ->
+      Printf.eprintf "cannot load baseline %s: %s\n" baseline_path msg;
+      2
+  | baseline ->
+      let v =
+        Lh_obs.Baseline.compare_runs ~tolerance ~baseline
+          ~current:(Lh_obs.Baseline.scale slowdown current)
+          ()
+      in
+      print_string (Lh_obs.Baseline.to_text v);
+      if Lh_obs.Baseline.ok v then 0 else 1
+
+let main ids sf la_scale dense runs timeout mem_words seed domains json run_smoke compare_base
+    compare_with tolerance slowdown =
   let parse_list conv s = String.split_on_char ',' s |> List.map String.trim |> List.map conv in
   let params =
     {
@@ -322,6 +413,21 @@ let main ids sf la_scale dense runs timeout mem_words seed domains json run_smok
   | None -> ());
   C.json_out := json;
   if run_smoke then exit (smoke params);
+  (* Pure file-vs-file comparison: no experiments run. *)
+  (match (compare_base, compare_with) with
+  | Some b, Some c -> (
+      match Lh_obs.Baseline.load c with
+      | exception (Sys_error msg | Lh_obs.Json.Parse_error msg) ->
+          Printf.eprintf "cannot load %s: %s\n" c msg;
+          exit 2
+      | current -> exit (run_compare ~baseline_path:b ~tolerance ~slowdown current))
+  | None, Some _ ->
+      Printf.eprintf "--compare-with requires --compare BASELINE\n";
+      exit 2
+  | Some _, None when json = None ->
+      Printf.eprintf "--compare needs --json FILE (to collect this run's records) or --compare-with CURRENT\n";
+      exit 2
+  | _ -> ());
   let ids = if ids = [] then all_ids else ids in
   List.iter
     (fun id ->
@@ -330,13 +436,20 @@ let main ids sf la_scale dense runs timeout mem_words seed domains json run_smok
         exit 2
       end)
     ids;
-  run_ids params ids
+  run_ids params ids;
+  match compare_base with
+  | Some b ->
+      exit
+        (run_compare ~baseline_path:b ~tolerance ~slowdown
+           (Lh_obs.Baseline.cells_of_json (C.records_json ())))
+  | None -> ()
 
 let cmd =
   let info = Cmd.info "lh-bench" ~doc:"Regenerate the LevelHeaded paper's tables and figures" in
   Cmd.v info
     Term.(
       const main $ ids_arg $ sf_arg $ la_scale_arg $ dense_arg $ runs_arg $ timeout_arg $ mem_arg
-      $ seed_arg $ domains_arg $ json_arg $ smoke_arg)
+      $ seed_arg $ domains_arg $ json_arg $ smoke_arg $ compare_arg $ compare_with_arg
+      $ tolerance_arg $ slowdown_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -113,11 +113,52 @@ let parse_param s =
               | exception _ -> Lh_storage.Dtype.VString s)))
 
 let query_run tables tpch_dir sql explain_only analyze trace_file metrics_file sep domains params
-    repeat prepare_flag =
+    repeat prepare_flag profile_flag slow_log slow_ms =
   let failed = ref false in
   (* Configure domains before loading: ingest parallelizes too. *)
   let config = { L.Config.default with L.Config.domains = max 1 domains } in
+  (* Slow-log threshold: --slow-ms wins, then LH_SLOW_MS (already folded
+     into the default config), and a bare --slow-log means "log every
+     query" rather than the log-nothing default. *)
+  let config =
+    match (slow_ms, slow_log) with
+    | Some ms, _ -> { config with L.Config.slow_log_ms = ms }
+    | None, Some _ when config.L.Config.slow_log_ms = infinity ->
+        { config with L.Config.slow_log_ms = 0.0 }
+    | _ -> config
+  in
   let eng = L.Engine.create ~config () in
+  (* Profiles are only assembled while telemetry is on; --analyze would
+     enable it per-run, but --profile / --slow-log want every query. *)
+  if profile_flag || slow_log <> None then Lh_obs.Obs.set_enabled true;
+  let slow_oc =
+    match slow_log with
+    | None -> None
+    | Some path -> (
+        try Some (open_out path)
+        with Sys_error msg ->
+          Printf.eprintf "cannot open --slow-log file: %s\n" msg;
+          exit 2)
+  in
+  Option.iter
+    (fun oc ->
+      L.Engine.set_profile_sink eng
+        (Some
+           (fun p ->
+             output_string oc (L.Profile.to_string p);
+             output_char oc '\n')))
+    slow_oc;
+  let finish () =
+    (if profile_flag then
+       match L.Engine.last_profile eng with
+       | Some p -> Printf.eprintf "%s\n" (L.Profile.to_string p)
+       | None -> ());
+    Option.iter
+      (fun oc ->
+        close_out oc;
+        Option.iter (Printf.eprintf "wrote slow-query log to %s\n") slow_log)
+      slow_oc
+  in
   let go () =
   (match tpch_dir with
   | None -> ()
@@ -208,12 +249,16 @@ let query_run tables tpch_dir sql explain_only analyze trace_file metrics_file s
      clean one-line error and exit 1 rather than cmdliner's uncaught-
      exception banner. *)
   match go () with
-  | code -> code
+  | code ->
+      finish ();
+      code
   | exception L.Engine.Error e ->
       Printf.eprintf "error: %s\n" (L.Engine.Error.to_string e);
+      finish ();
       1
   | exception (Lh_util.Budget.Timed_out | Lh_util.Budget.Out_of_memory_budget) ->
       Printf.eprintf "error: budget exceeded (time or memory limit hit mid-execution)\n";
+      finish ();
       1
 
 let query_cmd =
@@ -258,10 +303,26 @@ let query_cmd =
     Arg.(value & flag & info [ "prepare" ]
            ~doc:"Use Engine.prepare / Stmt.exec even without parameters or --repeat")
   in
+  let profile_flag =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Print the per-query profile record (normalized SQL, plan summary, cache \
+                 disposition, rows, per-phase seconds, counter deltas, outcome) as one JSON \
+                 line on stderr. Composes with --analyze and --metrics. On --repeat, the \
+                 last execution's profile is printed.")
+  in
+  let slow_log =
+    Arg.(value & opt (some string) None & info [ "slow-log" ] ~docv:"FILE"
+           ~doc:"Append the profile of every query at least --slow-ms milliseconds long to \
+                 $(docv) as JSON lines. Without --slow-ms (or \\$LH_SLOW_MS), logs every query.")
+  in
+  let slow_ms =
+    Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"Slow-query threshold in milliseconds for --slow-log (overrides \\$LH_SLOW_MS)")
+  in
   Cmd.v (Cmd.info "query" ~doc:"Load delimited files and run SQL")
     Term.(
       const query_run $ tables $ tpch $ sql $ explain $ analyze $ trace $ metrics $ sep $ domains
-      $ params $ repeat $ prepare_flag)
+      $ params $ repeat $ prepare_flag $ profile_flag $ slow_log $ slow_ms)
 
 let () =
   let info = Cmd.info "lhcli" ~doc:"LevelHeaded command-line interface" in

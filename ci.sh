@@ -30,3 +30,21 @@ LH_PLAN_CACHE=0 dune exec bin/lhfuzz.exe -- --seed 42 --count "${LH_FUZZ_COUNT:-
 # unreachable at domains=1 and excused there).
 dune exec bin/lhfuzz.exe -- --inject-fault --seed 42 --attempts "${LH_FAULT_COUNT:-40}" --quiet
 LH_DOMAINS=4 dune exec bin/lhfuzz.exe -- --inject-fault --seed 42 --attempts "${LH_FAULT_COUNT:-40}" --quiet
+# Bench-baseline regression gate (see BENCH_6.json / EXPERIMENTS.md).
+# Deterministic legs first: the baseline must compare clean against
+# itself, and the gate must actually fire on a synthetic 3x slowdown.
+dune exec bench/main.exe -- --compare BENCH_6.json --compare-with BENCH_6.json
+if dune exec bench/main.exe -- --compare BENCH_6.json --compare-with BENCH_6.json --compare-slowdown 3 > /dev/null; then
+  echo "ci FAIL: --compare accepted a 3x slowdown" >&2
+  exit 1
+fi
+# Live leg: re-run the baseline's experiment subset on this machine and
+# compare. Warn-only — shared CI runners are too noisy for a hard
+# wall-clock gate; the comparison text still lands in the CI log.
+if dune exec bench/main.exe -- fig5a fig5c fig6 table4 repeated --sf 0.01 --runs 3 \
+     --json /tmp/lh_bench_ci.json --compare BENCH_6.json > /tmp/lh_bench_ci.log 2>&1; then
+  tail -n 1 /tmp/lh_bench_ci.log
+else
+  echo "ci warn: bench regressed vs BENCH_6.json (soft gate):" >&2
+  grep -E '^(REGRESSION|baseline compare)' /tmp/lh_bench_ci.log >&2 || tail -n 20 /tmp/lh_bench_ci.log >&2
+fi

@@ -6,6 +6,7 @@ open Lh_sql
 let c_dispatch = Obs.counter "blas.dispatch"
 let g_domains = Obs.gauge "exec.domains_used"
 let fault_dispatch = Lh_fault.Fault.site "blas.dispatch"
+let h_kernel = Lh_obs.Hist.histogram "phase.blas_kernel"
 
 type dense_info = { dkey_cols : int list; dims : int array }
 
@@ -112,6 +113,13 @@ type kernel =
   | Kmv of { e1 : Logical.edge; i1 : dense_info; c1 : int; i_v : int; e2 : Logical.edge; c2 : int; k : int }
   | Kvm of { e1 : Logical.edge; c1 : int; e2 : Logical.edge; i2 : dense_info; c2 : int; j_v : int; k : int }
 
+let describe kernel =
+  let n (e : Logical.edge) = e.Logical.table.T.name in
+  match kernel with
+  | Kmm { e1; e2; _ } -> Printf.sprintf "gemm(%s, %s)" (n e1) (n e2)
+  | Kmv { e1; e2; _ } -> Printf.sprintf "gemv(%s, %s)" (n e1) (n e2)
+  | Kvm { e1; e2; _ } -> Printf.sprintf "gemv_t(%s, %s)" (n e1) (n e2)
+
 let vertex_extent (edge : Logical.edge) (info : dense_info) v =
   match List.assoc_opt v edge.Logical.vertex_cols with
   | None -> None
@@ -187,7 +195,9 @@ let execute ?(domains = 1) ?(budget = Lh_util.Budget.unlimited) kernel =
   Lh_fault.Fault.hit fault_dispatch;
   Obs.set_max g_domains domains;
   let kname = match kernel with Kmm _ -> "gemm" | Kmv _ -> "gemv" | Kvm _ -> "gemv_t" in
-  Obs.span "blas.kernel" ~args:[ ("kernel", kname) ] @@ fun () ->
+  Obs.span "blas.kernel" ~args:[ ("kernel", kname) ]
+    ~record:(Lh_obs.Hist.observe_always h_kernel)
+  @@ fun () ->
   match kernel with
   | Kmm { e1; i1; c1; i_v; e2; i2; c2; j_v; k; first_is_i } ->
       let a = to_dense e1 i1 ~value_col:c1 ~row_v:i_v ~col_v:k in

@@ -24,6 +24,10 @@ val match_kernel :
   Logical.t -> dense_of:(Lh_storage.Table.t -> dense_info option) -> kernel option
 (** Eligibility check only — no computation. *)
 
+val describe : kernel -> string
+(** One-line plan summary, e.g. ["gemm(m, m)"] — kernel name and the
+    operand tables. Used by per-query profile records. *)
+
 val execute : ?domains:int -> ?budget:Lh_util.Budget.t -> kernel -> Executor.row list
 (** [domains] (default 1) is forwarded to the BLAS kernels and recorded in
     the [exec.domains_used] gauge; [budget] (default unlimited) is

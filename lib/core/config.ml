@@ -10,6 +10,7 @@ type t = {
   domains : int;
   budget : Lh_util.Budget.t;
   plan_cache_capacity : int;
+  slow_log_ms : float;
 }
 
 let default_plan_cache_capacity () =
@@ -19,6 +20,14 @@ let default_plan_cache_capacity () =
       | Some n when n >= 0 -> n
       | _ -> 64)
   | None -> 64
+
+let default_slow_log_ms () =
+  match Sys.getenv_opt "LH_SLOW_MS" with
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some ms when ms >= 0.0 && not (Float.is_nan ms) -> ms
+      | _ -> infinity)
+  | None -> infinity
 
 let default =
   {
@@ -31,6 +40,7 @@ let default =
     domains = Lh_util.Parfor.default_domains ();
     budget = Lh_util.Budget.unlimited;
     plan_cache_capacity = default_plan_cache_capacity ();
+    slow_log_ms = default_slow_log_ms ();
   }
 
 let logicblox_like =

@@ -34,6 +34,14 @@ type t = {
       (** max entries in the engine's normalized-AST plan cache; [0]
           disables caching entirely. Default 64, overridable via the
           [LH_PLAN_CACHE] environment variable. *)
+  slow_log_ms : float;
+      (** slow-query threshold in milliseconds: when telemetry is enabled
+          and a profile sink is installed ([Engine.set_profile_sink]),
+          queries whose end-to-end latency meets the threshold are handed
+          to the sink. [0.0] logs every query; [infinity] — the default —
+          logs none. Overridable via the [LH_SLOW_MS] environment
+          variable. Not a plan-shaping knob (changing it keeps cached
+          plans). *)
 }
 
 val default : t

@@ -2,6 +2,7 @@ module T = Lh_storage.Table
 module Schema = Lh_storage.Schema
 module Dtype = Lh_storage.Dtype
 module Obs = Lh_obs.Obs
+module Hist = Lh_obs.Hist
 module Ast = Lh_sql.Ast
 module Normalize = Lh_sql.Normalize
 
@@ -11,6 +12,38 @@ let c_dense_miss = Obs.counter "dense_cache.miss"
 let c_plan_hit = Obs.counter "plan_cache.hit"
 let c_plan_miss = Obs.counter "plan_cache.miss"
 let c_plan_evict = Obs.counter "plan_cache.evict"
+let c_profile_records = Obs.counter "profile.records"
+let c_slowlog_lines = Obs.counter "slowlog.lines"
+
+(* Latency histograms (lib/obs): end-to-end plus one per pipeline phase,
+   fed by [~record] hooks on the existing spans — disabled runs still pay
+   only the span's single atomic load. The trie-build and BLAS-kernel
+   histograms are registered by Executor / Blas_bridge; re-registering by
+   name here returns the same cells. *)
+let h_query = Hist.histogram "query.latency"
+let h_parse = Hist.histogram "phase.parse"
+let h_plan = Hist.histogram "phase.plan"
+let h_bind = Hist.histogram "phase.bind"
+let h_scan = Hist.histogram "phase.scan"
+let h_wcoj = Hist.histogram "phase.wcoj"
+let h_blas = Hist.histogram "phase.blas"
+let h_finalize = Hist.histogram "phase.finalize"
+
+(* Per-query phase durations are recovered by diffing these histograms'
+   running sums around the query (the engine is single-caller per
+   instance, so the delta is exactly this query's work). *)
+let profile_phases =
+  [
+    ("parse", h_parse);
+    ("plan", h_plan);
+    ("bind", h_bind);
+    ("trie_build", Hist.histogram "phase.trie_build");
+    ("scan", h_scan);
+    ("wcoj", h_wcoj);
+    ("blas", h_blas);
+    ("blas_kernel", Hist.histogram "phase.blas_kernel");
+    ("finalize", h_finalize);
+  ]
 
 (* Fault sites covering the engine's own control points; the executor,
    storage and BLAS layers register their sites locally. *)
@@ -84,6 +117,18 @@ and plan = {
   mutable p_epoch : int;
 }
 
+(* Accumulator for the in-flight query's profile: pipeline stages fill it
+   in as facts become known (normalized text, cache disposition, chosen
+   path). Only allocated when telemetry is enabled. *)
+type prof_acc = {
+  mutable a_sql : string;
+  mutable a_plan : string;
+  mutable a_path : string;
+  mutable a_cache : string;
+  mutable a_rows_in : int;
+  mutable a_rows_out : int;
+}
+
 type t = {
   cat : Catalog.t;
   mutable cfg : Config.t;
@@ -92,6 +137,9 @@ type t = {
   plans : (string, centry) Hashtbl.t;  (** normalized-AST text -> plan *)
   mutable plan_tick : int;  (** logical clock for LRU eviction *)
   mutable epoch : int;  (** bumped on catalog / plan-relevant config change *)
+  mutable last_prof : Profile.t option;
+  mutable prof_sink : (Profile.t -> unit) option;
+  mutable prof : prof_acc option;  (** in-flight accumulator *)
 }
 
 type stmt = { s_eng : t; s_sql : string; s_plan : plan }
@@ -109,7 +157,13 @@ let create ?(config = Config.default) () =
     plans = Hashtbl.create 16;
     plan_tick = 0;
     epoch = 0;
+    last_prof = None;
+    prof_sink = None;
+    prof = None;
   }
+
+let last_profile t = t.last_prof
+let set_profile_sink t sink = t.prof_sink <- sink
 
 let config t = t.cfg
 let catalog t = t.cat
@@ -178,6 +232,101 @@ let dense_info t (table : T.t) =
       let i = Blas_bridge.dense_rect table in
       Hashtbl.replace t.dense_cache key i;
       i
+
+(* ------------------------------------------------------------------ *)
+(* Per-query profiles                                                   *)
+
+let note_cache t tag = match t.prof with Some a -> a.a_cache <- tag | None -> ()
+let note_sql t sql = match t.prof with Some a -> a.a_sql <- sql | None -> ()
+
+let outcome_of_exn exn =
+  match exn with
+  | Lh_util.Budget.Timed_out | Lh_util.Budget.Out_of_memory_budget -> Profile.Budget_overrun
+  | Lh_fault.Fault.Injected site | Error (Error.Fault_injected site) ->
+      Profile.Injected_fault site
+  | Error Error.Budget_exceeded -> Profile.Budget_overrun
+  | Error e -> Profile.Typed_error (Error.to_string e)
+  | exn -> (
+      match classify exn with
+      | Some (Error.Fault_injected site) -> Profile.Injected_fault site
+      | Some e -> Profile.Typed_error (Error.to_string e)
+      | None -> Profile.Typed_error (Printexc.to_string exn))
+
+let phase_sums () =
+  List.map (fun (n, h) -> (n, (Hist.snapshot h).Hist.ssum_ns)) profile_phases
+
+(* Wraps one query execution: when telemetry is enabled, assembles a
+   {!Profile.t} for every outcome (success, typed error, injected fault,
+   budget overrun), records the end-to-end latency histogram, and hands
+   the record to the slow-query sink when the query met the threshold.
+   When disabled the cost is the single [Obs.is_enabled] load. *)
+let profiled t ~sql f =
+  if not (Obs.is_enabled ()) then f ()
+  else begin
+    let acc =
+      {
+        a_sql = sql;
+        a_plan = "none";
+        a_path = "none";
+        a_cache = "none";
+        a_rows_in = 0;
+        a_rows_out = 0;
+      }
+    in
+    t.prof <- Some acc;
+    let cbefore = Obs.snapshot () in
+    let pbefore = phase_sums () in
+    let gc0 = (Gc.quick_stat ()).Gc.major_words in
+    let t0 = Lh_util.Timing.monotonic_now () in
+    let finish outcome =
+      let total = Lh_util.Timing.monotonic_now () -. t0 in
+      Hist.observe_always h_query total;
+      let phases =
+        List.filter_map
+          (fun ((n, after), (_, before)) ->
+            let d = after - before in
+            if d > 0 then Some (n, float_of_int d *. 1e-9) else None)
+          (List.combine (phase_sums ()) pbefore)
+      in
+      let counters =
+        List.filter
+          (fun (n, v) -> v <> 0 && not (Obs.is_gauge n))
+          (Obs.diff ~before:cbefore ~after:(Obs.snapshot ()))
+      in
+      let p =
+        {
+          Profile.p_sql = acc.a_sql;
+          p_plan = acc.a_plan;
+          p_path = acc.a_path;
+          p_cache = acc.a_cache;
+          p_epoch = t.epoch;
+          p_rows_in = acc.a_rows_in;
+          p_rows_out = acc.a_rows_out;
+          p_domains = max 1 t.cfg.Config.domains;
+          p_total_s = total;
+          p_phases = phases;
+          p_counters = counters;
+          p_gc_major_words = (Gc.quick_stat ()).Gc.major_words -. gc0;
+          p_outcome = outcome;
+        }
+      in
+      t.prof <- None;
+      t.last_prof <- Some p;
+      Obs.incr c_profile_records;
+      match t.prof_sink with
+      | Some sink when total *. 1000.0 >= t.cfg.Config.slow_log_ms ->
+          Obs.incr c_slowlog_lines;
+          sink p
+      | _ -> ()
+    in
+    match f () with
+    | v ->
+        finish Profile.Ok_result;
+        v
+    | exception exn ->
+        finish (outcome_of_exn exn);
+        raise exn
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Result assembly                                                      *)
@@ -272,12 +421,41 @@ let explain_of t lq decided =
   ignore t;
   { epath = path; efhw = fhw; etext = Buffer.contents buf }
 
+let wcoj_summary (lq : Logical.t) (ghd : Ghd.t) (pnode : Executor.pnode) =
+  let names =
+    List.map (fun i -> lq.Logical.vertices.(i).Logical.vname) pnode.Executor.porder
+  in
+  Printf.sprintf "wcoj fhw=%.2f order=%s" ghd.Ghd.fhw (String.concat "," names)
+
+let note_decided t (lq : Logical.t) decided =
+  match t.prof with
+  | None -> ()
+  | Some a ->
+      a.a_rows_in <-
+        List.fold_left (fun acc (_, tb) -> acc + tb.T.nrows) 0 lq.Logical.bindings;
+      (match decided with
+      | Use_scan ->
+          a.a_path <- "scan";
+          a.a_plan <- "columnar scan"
+      | Use_blas ->
+          a.a_path <- "blas";
+          a.a_plan <-
+            (match Blas_bridge.match_kernel lq ~dense_of:(dense_info t) with
+            | Some k -> Blas_bridge.describe k
+            | None -> "blas")
+      | Use_wcoj (ghd, pnode) ->
+          a.a_path <- "wcoj";
+          a.a_plan <- wcoj_summary lq ghd pnode)
+
 let run_decided t lq decided ~name =
+  note_decided t lq decided;
   let rows =
     match decided with
-    | Use_scan -> Obs.span "execute.scan" (fun () -> Executor.run_scan t.cfg lq)
+    | Use_scan ->
+        Obs.span "execute.scan" ~record:(Hist.observe_always h_scan) (fun () ->
+            Executor.run_scan t.cfg lq)
     | Use_blas ->
-        Obs.span "execute.blas" (fun () ->
+        Obs.span "execute.blas" ~record:(Hist.observe_always h_blas) (fun () ->
             match
               Blas_bridge.try_blas ~domains:(max 1 t.cfg.Config.domains)
                 ~budget:t.cfg.Config.budget lq ~dense_of:(dense_info t)
@@ -285,11 +463,13 @@ let run_decided t lq decided ~name =
             | Some rows -> rows
             | None -> failwith "Engine: BLAS path vanished between planning and execution")
     | Use_wcoj (_, pnode) ->
-        Obs.span "execute.wcoj" (fun () -> Executor.run t.cfg ~cache:t.trie_cache lq pnode)
+        Obs.span "execute.wcoj" ~record:(Hist.observe_always h_wcoj) (fun () ->
+            Executor.run t.cfg ~cache:t.trie_cache lq pnode)
   in
-  Obs.span "finalize" (fun () ->
+  Obs.span "finalize" ~record:(Hist.observe_always h_finalize) (fun () ->
       let result = finalize_rows lq rows ~dict:(Catalog.dict t.cat) ~name in
       Obs.add c_rows_emitted result.T.nrows;
+      (match t.prof with Some a -> a.a_rows_out <- result.T.nrows | None -> ());
       result)
 
 (* One shared pipeline so every entry point produces the same span tree:
@@ -302,7 +482,7 @@ let translate_spanned t ast =
 (* Direct (uncached, unprepared) pipeline; used when the plan cache is
    disabled and by [explain]. *)
 let run_pipeline t lq ~want_explain ~name =
-  let d = Obs.span "plan" (fun () -> decide t lq) in
+  let d = Obs.span "plan" ~record:(Hist.observe_always h_plan) (fun () -> decide t lq) in
   let ex =
     if want_explain then Some (Obs.span "explain" (fun () -> explain_of t lq d)) else None
   in
@@ -340,7 +520,9 @@ let make_plan t ast =
     n
   in
   let lq = translate_spanned t ast in
-  let ghd, pnode = Obs.span "plan" (fun () -> plan_structures t lq) in
+  let ghd, pnode =
+    Obs.span "plan" ~record:(Hist.observe_always h_plan) (fun () -> plan_structures t lq)
+  in
   { p_ast = ast; p_nparams = nparams; p_lq = lq; p_ghd = ghd; p_pnode = pnode; p_epoch = t.epoch }
 
 (* The catalog (or a plan-shaping config knob) changed under this plan:
@@ -348,7 +530,9 @@ let make_plan t ast =
 let revalidate t plan =
   if plan.p_epoch <> t.epoch then begin
     let lq = translate_spanned t plan.p_ast in
-    let ghd, pnode = Obs.span "plan" (fun () -> plan_structures t lq) in
+    let ghd, pnode =
+      Obs.span "plan" ~record:(Hist.observe_always h_plan) (fun () -> plan_structures t lq)
+    in
     plan.p_lq <- lq;
     plan.p_ghd <- ghd;
     plan.p_pnode <- pnode;
@@ -368,7 +552,10 @@ let exec_plan t plan params ~want_explain ~name =
     if i >= 1 && i <= Array.length values then Normalize.literal_of_value values.(i - 1)
     else semantic "no value bound for parameter $%d" i
   in
-  let lq = Obs.span "bind" (fun () -> Logical.bind_params plan.p_lq lookup) in
+  let lq =
+    Obs.span "bind" ~record:(Hist.observe_always h_bind) (fun () ->
+        Logical.bind_params plan.p_lq lookup)
+  in
   let d =
     if Array.length lq.Logical.vertices = 0 then Use_scan
     else if blas_eligible t lq ~span_name:"bind.blas_match" then Use_blas
@@ -403,15 +590,18 @@ let evict_if_full t =
 let cached_plan t ast =
   let norm, values = Obs.span "normalize" (fun () -> Normalize.lift_literals ast) in
   let key = Format.asprintf "%a" Ast.pp_query norm in
+  note_sql t key;
   t.plan_tick <- t.plan_tick + 1;
   let plan =
     match Hashtbl.find_opt t.plans key with
     | Some e ->
         Obs.incr c_plan_hit;
+        note_cache t "hit";
         e.c_used <- t.plan_tick;
         e.c_plan
     | None ->
         Obs.incr c_plan_miss;
+        note_cache t "miss";
         evict_if_full t;
         let plan = make_plan t norm in
         (* Between building the plan and publishing it: a fault here (or
@@ -429,6 +619,7 @@ let run_query_ast t ast ~want_explain ~name =
   if Ast.max_param ast > 0 then
     semantic "query contains parameters; use Engine.prepare / Stmt.exec to bind them";
   if t.cfg.Config.plan_cache_capacity = 0 then begin
+    note_cache t "bypass";
     let lq = translate_spanned t ast in
     run_pipeline t lq ~want_explain ~name
   end
@@ -442,12 +633,19 @@ let run_query_ast t ast ~want_explain ~name =
 
 let query_ast t ast =
   wrap (fun () ->
-      Obs.span "query" (fun () -> fst (run_query_ast t ast ~want_explain:false ~name:"result")))
+      let sql = if Obs.is_enabled () then Format.asprintf "%a" Ast.pp_query ast else "" in
+      profiled t ~sql (fun () ->
+          Obs.span "query" (fun () ->
+              fst (run_query_ast t ast ~want_explain:false ~name:"result"))))
 
 let run_sql t sql ~want_explain ~name =
-  Obs.span "query" (fun () ->
-      let ast = Obs.span "parse" (fun () -> Lh_sql.Parser.parse sql) in
-      run_query_ast t ast ~want_explain ~name)
+  profiled t ~sql (fun () ->
+      Obs.span "query" (fun () ->
+          let ast =
+            Obs.span "parse" ~record:(Hist.observe_always h_parse) (fun () ->
+                Lh_sql.Parser.parse sql)
+          in
+          run_query_ast t ast ~want_explain ~name))
 
 let query t sql = wrap (fun () -> fst (run_sql t sql ~want_explain:false ~name:"result"))
 
@@ -491,7 +689,10 @@ let prepare_ast t ast =
 let prepare t sql =
   wrap (fun () ->
       Obs.span "prepare" (fun () ->
-          let ast = Obs.span "parse" (fun () -> Lh_sql.Parser.parse sql) in
+          let ast =
+            Obs.span "parse" ~record:(Hist.observe_always h_parse) (fun () ->
+                Lh_sql.Parser.parse sql)
+          in
           { s_eng = t; s_sql = sql; s_plan = make_plan t ast }))
 
 module Stmt = struct
@@ -500,15 +701,19 @@ module Stmt = struct
 
   let exec ?(name = "result") s params =
     wrap (fun () ->
-        Obs.span "query" (fun () ->
-            fst (exec_plan s.s_eng s.s_plan params ~want_explain:false ~name)))
+        profiled s.s_eng ~sql:s.s_sql (fun () ->
+            Obs.span "query" (fun () ->
+                note_cache s.s_eng "prepared";
+                fst (exec_plan s.s_eng s.s_plan params ~want_explain:false ~name))))
 
   let exec_analyze ?(name = "result") s params =
     wrap (fun () ->
         let result, report =
           Lh_obs.Report.with_session (fun () ->
-              Obs.span "query" (fun () ->
-                  fst (exec_plan s.s_eng s.s_plan params ~want_explain:false ~name)))
+              profiled s.s_eng ~sql:s.s_sql (fun () ->
+                  Obs.span "query" (fun () ->
+                      note_cache s.s_eng "prepared";
+                      fst (exec_plan s.s_eng s.s_plan params ~want_explain:false ~name))))
         in
         (result, report))
 end

@@ -160,3 +160,27 @@ end
 val reset_plan_cache : t -> unit
 (** Drop every cached plan (counters are untouched). Prepared statements
     are unaffected. Meant for benchmarks that measure cold planning. *)
+
+(** {2 Per-query profiles}
+
+    When telemetry is enabled ({!Lh_obs.Obs.set_enabled}, or implicitly
+    inside {!query_analyze} / {!Stmt.exec_analyze}), every query entry
+    point assembles one {!Profile.t} — for successes and for every
+    failure mode — and records the end-to-end latency in the
+    ["query.latency"] histogram plus the per-phase histograms
+    (["phase.parse"], ["phase.plan"], ["phase.bind"],
+    ["phase.trie_build"], ["phase.wcoj"], ["phase.blas"], …). When
+    telemetry is disabled, the profile machinery costs one atomic load
+    per query. *)
+
+val last_profile : t -> Profile.t option
+(** The profile of the most recent query execution on this engine, if
+    any was recorded (i.e. telemetry was enabled during it). *)
+
+val set_profile_sink : t -> (Profile.t -> unit) option -> unit
+(** Install (or clear) the slow-query sink: profiles of queries whose
+    end-to-end latency is at least [Config.slow_log_ms] milliseconds are
+    passed to the sink — failures included. Serialize with
+    {!Profile.to_string} for a JSONL slow-query log. The sink runs on
+    the querying thread; keep it cheap and don't query the engine from
+    inside it. *)

@@ -20,6 +20,7 @@ let c_budget_ticks = Obs.counter "budget.ticks"
 let c_scan_rows = Obs.counter "scan.rows_scanned"
 let g_domains = Obs.gauge "exec.domains_used"
 let g_peak_words = Obs.gauge "gc.peak_live_words"
+let h_trie_build = Lh_obs.Hist.histogram "phase.trie_build"
 
 (* Probed unmasked (one atomic load when disarmed): fuzzer-scale queries
    produce far fewer than 1024 leaf ticks, so hanging the probe off the
@@ -211,7 +212,9 @@ let build_base_xrel ?cache ~domains (lq : Logical.t) ~order (edge : Logical.edge
   in
   let build () =
     Obs.incr c_trie_built;
-    Obs.span "trie.build" ~args:[ ("table", table.T.name) ] @@ fun () ->
+    Obs.span "trie.build" ~args:[ ("table", table.T.name) ]
+      ~record:(Lh_obs.Hist.observe_always h_trie_build)
+    @@ fun () ->
     let rows = filtered_rows edge in
     let keys =
       Array.of_list
@@ -689,7 +692,9 @@ let rec exec_child cfg ?cache (lq : Logical.t) (node : pnode) ~parent_order =
     if nkeys = 0 then invalid_arg "Executor: child node with empty interface"
     else begin
       Obs.incr c_trie_built;
-      Obs.span "trie.build" ~args:[ ("table", "<child-bag>") ] @@ fun () ->
+      Obs.span "trie.build" ~args:[ ("table", "<child-bag>") ]
+        ~record:(Lh_obs.Hist.observe_always h_trie_build)
+      @@ fun () ->
       Trie.build ~domains:(max 1 cfg.Config.domains) ~keys ~rows:(Array.init nrows Fun.id)
         ~group_cols ~aggs ~mults ()
     end

@@ -1,0 +1,63 @@
+(* Per-query profile records. Assembly lives in Engine (it owns the
+   pipeline state); this module is the passive record type plus its JSON
+   rendering so sinks (slow-query logs, lhcli --profile) and the engine
+   agree on one schema. *)
+
+module Json = Lh_obs.Json
+
+type outcome =
+  | Ok_result
+  | Typed_error of string
+  | Injected_fault of string
+  | Budget_overrun
+
+type t = {
+  p_sql : string;
+  p_plan : string;
+  p_path : string;
+  p_cache : string;
+  p_epoch : int;
+  p_rows_in : int;
+  p_rows_out : int;
+  p_domains : int;
+  p_total_s : float;
+  p_phases : (string * float) list;
+  p_counters : (string * int) list;
+  p_gc_major_words : float;
+  p_outcome : outcome;
+}
+
+let outcome_label = function
+  | Ok_result -> "ok"
+  | Typed_error _ -> "error"
+  | Injected_fault _ -> "fault"
+  | Budget_overrun -> "budget"
+
+let outcome_detail = function
+  | Ok_result | Budget_overrun -> None
+  | Typed_error m -> Some m
+  | Injected_fault site -> Some site
+
+let to_json p =
+  let base =
+    [
+      ("sql", Json.String p.p_sql);
+      ("plan", Json.String p.p_plan);
+      ("path", Json.String p.p_path);
+      ("plan_cache", Json.String p.p_cache);
+      ("epoch", Json.Int p.p_epoch);
+      ("rows_in", Json.Int p.p_rows_in);
+      ("rows_out", Json.Int p.p_rows_out);
+      ("domains", Json.Int p.p_domains);
+      ("total_seconds", Json.Float p.p_total_s);
+      ("phases", Json.Obj (List.map (fun (n, d) -> (n, Json.Float d)) p.p_phases));
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) p.p_counters));
+      ("gc_major_words", Json.Float p.p_gc_major_words);
+      ("outcome", Json.String (outcome_label p.p_outcome));
+    ]
+  in
+  match outcome_detail p.p_outcome with
+  | None -> Json.Obj base
+  | Some d -> Json.Obj (base @ [ ("detail", Json.String d) ])
+
+let to_string p = Json.to_string (to_json p)

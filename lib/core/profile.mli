@@ -1,0 +1,47 @@
+(** Per-query profile records.
+
+    One record is assembled per query entry ({!Engine.query},
+    {!Engine.Stmt.exec}, and friends) whenever telemetry is enabled —
+    every outcome produces one, including typed errors, injected faults
+    and budget overruns. Read the most recent one with
+    {!Engine.last_profile} or stream them with
+    {!Engine.set_profile_sink} (the slow-query log). *)
+
+type outcome =
+  | Ok_result
+  | Typed_error of string  (** {!Engine.Error.to_string} of the failure *)
+  | Injected_fault of string  (** the fault site that fired *)
+  | Budget_overrun  (** {!Lh_util.Budget} timeout or memory overrun *)
+
+type t = {
+  p_sql : string;  (** normalized query text (literals lifted); the raw
+                       text when normalization never ran *)
+  p_plan : string;  (** one-line plan summary: GHD fhw + attribute order,
+                        BLAS kernel name, or ["scan"] *)
+  p_path : string;  (** ["scan"] / ["wcoj"] / ["blas"]; ["none"] when the
+                        query failed before the path was decided *)
+  p_cache : string;  (** ["hit"] / ["miss"] / ["bypass"] (cache disabled)
+                         / ["prepared"] (statement execution) *)
+  p_epoch : int;  (** engine epoch the query ran under *)
+  p_rows_in : int;  (** total rows across the base tables bound *)
+  p_rows_out : int;  (** result rows; [0] on failure *)
+  p_domains : int;
+  p_total_s : float;  (** end-to-end seconds, failures included *)
+  p_phases : (string * float) list;  (** per-phase seconds, summed by name *)
+  p_counters : (string * int) list;  (** non-zero counter deltas *)
+  p_gc_major_words : float;  (** major-heap words allocated by the query *)
+  p_outcome : outcome;
+}
+
+val outcome_label : outcome -> string
+(** ["ok"] / ["error"] / ["fault"] / ["budget"] — the ["outcome"] member
+    of {!to_json}. *)
+
+val to_json : t -> Lh_obs.Json.t
+(** [{"sql", "plan", "path", "plan_cache", "epoch", "rows_in",
+    "rows_out", "domains", "total_seconds", "phases", "counters",
+    "gc_major_words", "outcome"}] plus ["detail"] for error/fault
+    outcomes. One such object per line is the slow-query log format. *)
+
+val to_string : t -> string
+(** [to_json] printed compactly — a single JSONL-ready line. *)

@@ -1,0 +1,115 @@
+(* Bench baseline comparison: load two `bench --json` record lists and
+   flag cells that regressed beyond noise tolerance. Used by
+   `bench --compare` (the CI regression gate in ci.sh). *)
+
+type cell = {
+  key : string;
+  outcome : string;
+  seconds : float option;
+}
+
+type verdict = {
+  regressions : string list;
+  warnings : string list;
+  notes : string list;
+}
+
+let str_member name json =
+  match Json.member name json with Some (Json.String s) -> Some s | _ -> None
+
+(* Cells are keyed on (experiment, system, domains, sql) plus an
+   occurrence index: the bench runs some experiments at several scale
+   factors with identical query text, and run order is deterministic, so
+   the n-th duplicate in the baseline lines up with the n-th in the
+   current run. *)
+let cells_of_json json =
+  let records = match json with Json.List l -> l | other -> [ other ] in
+  let seen : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.filter_map
+    (fun r ->
+      match (str_member "experiment" r, str_member "system" r, str_member "sql" r) with
+      | Some experiment, Some system, Some sql ->
+          let domains =
+            match Json.member "domains" r with
+            | Some j -> ( match Json.to_int j with Some d -> string_of_int d | None -> "-")
+            | None -> "-"
+          in
+          let base = Printf.sprintf "%s/%s@%s: %s" experiment system domains sql in
+          let n = Option.value (Hashtbl.find_opt seen base) ~default:0 in
+          Hashtbl.replace seen base (n + 1);
+          let key = if n = 0 then base else Printf.sprintf "%s #%d" base (n + 1) in
+          let outcome = Option.value (str_member "outcome" r) ~default:"?" in
+          let seconds = Option.bind (Json.member "seconds" r) Json.to_float in
+          Some { key; outcome; seconds }
+      | _ -> None)
+    records
+
+let load path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  cells_of_json (Json.parse text)
+
+let scale factor cells =
+  List.map (fun c -> { c with seconds = Option.map (fun s -> s *. factor) c.seconds }) cells
+
+(* "oom" / "t/o" / "-" are the literal failure outcomes written by the
+   bench; anything else is a formatted duration (a successful cell). *)
+let failed o = o = "oom" || o = "t/o"
+let unsupported o = o = "-"
+
+let compare_runs ?(tolerance = 0.5) ?(min_seconds = 0.002) ~baseline ~current () =
+  let regressions = ref [] and warnings = ref [] and notes = ref [] in
+  let cur_tbl = Hashtbl.create 64 in
+  List.iter (fun c -> Hashtbl.replace cur_tbl c.key c) current;
+  List.iter
+    (fun (b : cell) ->
+      match Hashtbl.find_opt cur_tbl b.key with
+      | None -> warnings := Printf.sprintf "missing from current run: %s" b.key :: !warnings
+      | Some c -> (
+          Hashtbl.remove cur_tbl b.key;
+          match (b.seconds, c.seconds) with
+          | Some bs, Some cs ->
+              if cs > bs *. (1.0 +. tolerance) && cs -. bs > min_seconds then
+                regressions :=
+                  Printf.sprintf "%s: %.4fs -> %.4fs (%.2fx, tolerance %.2fx)" b.key bs cs
+                    (cs /. bs) (1.0 +. tolerance)
+                  :: !regressions
+              else if bs > cs *. (1.0 +. tolerance) && bs -. cs > min_seconds then
+                notes := Printf.sprintf "%s: improved %.4fs -> %.4fs" b.key bs cs :: !notes
+          | _ ->
+              if (not (failed b.outcome)) && not (unsupported b.outcome) then begin
+                if failed c.outcome then
+                  regressions :=
+                    Printf.sprintf "%s: outcome %S -> %S" b.key b.outcome c.outcome
+                    :: !regressions
+              end
+              else if failed b.outcome && c.seconds <> None then
+                notes :=
+                  Printf.sprintf "%s: now succeeds (was %S)" b.key b.outcome :: !notes))
+    baseline;
+  Hashtbl.iter
+    (fun key _ -> warnings := Printf.sprintf "not in baseline: %s" key :: !warnings)
+    cur_tbl;
+  {
+    regressions = List.rev !regressions;
+    warnings = List.rev !warnings;
+    notes = List.rev !notes;
+  }
+
+let ok v = v.regressions = []
+
+let to_text v =
+  let buf = Buffer.create 256 in
+  List.iter (fun m -> Buffer.add_string buf ("REGRESSION: " ^ m ^ "\n")) v.regressions;
+  List.iter (fun m -> Buffer.add_string buf ("warning: " ^ m ^ "\n")) v.warnings;
+  List.iter (fun m -> Buffer.add_string buf ("note: " ^ m ^ "\n")) v.notes;
+  Buffer.add_string buf
+    (if v.regressions = [] then
+       Printf.sprintf "baseline compare ok (%d warnings, %d notes)\n" (List.length v.warnings)
+         (List.length v.notes)
+     else Printf.sprintf "baseline compare FAILED: %d regression(s)\n" (List.length v.regressions));
+  Buffer.contents buf

@@ -1,0 +1,52 @@
+(** Bench-baseline comparison: the CI regression gate behind
+    [bench --compare].
+
+    A baseline is the record list written by [bench --json] (e.g. the
+    committed [BENCH_6.json]). Comparison is cell-by-cell — a cell is one
+    (experiment, system, domains, sql) measurement, disambiguated by
+    occurrence order when an experiment runs the same text at several
+    scales — and a regression is a slowdown beyond both a relative
+    tolerance and an absolute floor (wall-clock noise on small cells), or
+    a cell flipping from success to oom / timeout. Missing or added
+    cells only warn: experiment subsets must stay comparable. *)
+
+type cell = {
+  key : string;  (** "experiment/system\@domains: sql" + occurrence suffix *)
+  outcome : string;  (** formatted duration, or ["oom"] / ["t/o"] / ["-"] *)
+  seconds : float option;  (** mean hot-run seconds, successful cells only *)
+}
+
+type verdict = {
+  regressions : string list;  (** non-empty fails the gate *)
+  warnings : string list;  (** cell-set differences *)
+  notes : string list;  (** improvements — informational *)
+}
+
+val cells_of_json : Json.t -> cell list
+(** Extract comparable cells from a parsed record list; records without
+    the identifying members are skipped. *)
+
+val load : string -> cell list
+(** Read and parse a [bench --json] file.
+    @raise Sys_error on IO failure, {!Json.Parse_error} on bad JSON. *)
+
+val scale : float -> cell list -> cell list
+(** Multiply every cell's seconds — the [--compare-slowdown] testing aid
+    that lets CI prove the gate actually fires. *)
+
+val compare_runs :
+  ?tolerance:float ->
+  ?min_seconds:float ->
+  baseline:cell list ->
+  current:cell list ->
+  unit ->
+  verdict
+(** [tolerance] (default [0.5]) is the allowed relative slowdown — a
+    cell regresses when [cur > base * (1 + tolerance)]; [min_seconds]
+    (default [0.002]) additionally requires the absolute slowdown to
+    exceed that many seconds, so microsecond-scale cells don't flap. *)
+
+val ok : verdict -> bool
+(** [true] iff there are no regressions. *)
+
+val to_text : verdict -> string

@@ -1,0 +1,195 @@
+(* Lock-free fixed-bucket latency histograms. See hist.mli for the
+   overhead contract (it mirrors the counters in Obs). *)
+
+let nbuckets = 48
+
+type t = {
+  hname : string;
+  buckets : int Atomic.t array;  (* bucket i counts values in [2^i, 2^(i+1)) ns *)
+  hsum_ns : int Atomic.t;
+  hmax_ns : int Atomic.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Registry (same discipline as the counter registry in Obs)            *)
+
+let registry_lock = Mutex.create ()
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+let order : t list ref = ref []  (* reverse registration order *)
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let histogram name =
+  locked registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              hname = name;
+              buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+              hsum_ns = Atomic.make 0;
+              hmax_ns = Atomic.make 0;
+            }
+          in
+          Hashtbl.replace registry name h;
+          order := h :: !order;
+          h)
+
+let make () =
+  {
+    hname = "";
+    buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+    hsum_ns = Atomic.make 0;
+    hmax_ns = Atomic.make 0;
+  }
+
+let name h = h.hname
+let registered () = locked registry_lock (fun () -> List.rev !order)
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                            *)
+
+(* floor log2, clamped into [0, nbuckets): 0 and 1 land in bucket 0. *)
+let bucket_of_ns ns =
+  if ns <= 1 then 0
+  else begin
+    let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+    let b = go 0 ns in
+    if b >= nbuckets then nbuckets - 1 else b
+  end
+
+let bucket_bounds_ns i =
+  let lo = if i = 0 then 0 else 1 lsl i in
+  let hi = if i >= nbuckets - 1 then max_int else 1 lsl (i + 1) in
+  (lo, hi)
+
+let record_ns h ns =
+  let ns = if ns < 0 then 0 else ns in
+  ignore (Atomic.fetch_and_add h.buckets.(bucket_of_ns ns) 1);
+  ignore (Atomic.fetch_and_add h.hsum_ns ns);
+  let rec raise_max () =
+    let cur = Atomic.get h.hmax_ns in
+    if ns > cur && not (Atomic.compare_and_set h.hmax_ns cur ns) then raise_max ()
+  in
+  raise_max ()
+
+let ns_of_seconds s =
+  if Float.is_nan s || s <= 0.0 then 0
+  else if s >= 9.0e9 then max_int  (* ~285 years; clamp instead of overflowing *)
+  else int_of_float (s *. 1e9)
+
+let observe h seconds = if Obs.is_enabled () then record_ns h (ns_of_seconds seconds)
+let observe_always h seconds = record_ns h (ns_of_seconds seconds)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: plain values, safe to diff/merge/serialize off the hot
+   path. A snapshot taken while writers are active is per-bucket exact
+   but not globally instantaneous — fine for reporting.                 *)
+
+type snapshot = { sbuckets : int array; ssum_ns : int; smax_ns : int }
+
+let empty = { sbuckets = Array.make nbuckets 0; ssum_ns = 0; smax_ns = 0 }
+
+let snapshot h =
+  {
+    sbuckets = Array.map Atomic.get h.buckets;
+    ssum_ns = Atomic.get h.hsum_ns;
+    smax_ns = Atomic.get h.hmax_ns;
+  }
+
+let snapshot_all () = List.map (fun h -> (h.hname, snapshot h)) (registered ())
+
+let count s = Array.fold_left ( + ) 0 s.sbuckets
+
+let top_bucket s =
+  let top = ref (-1) in
+  Array.iteri (fun i c -> if c > 0 then top := i) s.sbuckets;
+  !top
+
+let diff ~before ~after =
+  let sbuckets = Array.mapi (fun i c -> max 0 (c - before.sbuckets.(i))) after.sbuckets in
+  let d = { sbuckets; ssum_ns = max 0 (after.ssum_ns - before.ssum_ns); smax_ns = 0 } in
+  (* The per-interval maximum is not recoverable exactly; bound it by the
+     lifetime maximum and the top bucket the interval actually touched. *)
+  let smax_ns =
+    match top_bucket d with
+    | -1 -> 0
+    | top ->
+        let _, hi = bucket_bounds_ns top in
+        if after.smax_ns > 0 then min after.smax_ns hi else hi
+  in
+  { d with smax_ns }
+
+let merge a b =
+  {
+    sbuckets = Array.mapi (fun i c -> c + b.sbuckets.(i)) a.sbuckets;
+    ssum_ns = a.ssum_ns + b.ssum_ns;
+    smax_ns = max a.smax_ns b.smax_ns;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Percentiles                                                          *)
+
+let seconds_of_ns ns = float_of_int ns *. 1e-9
+
+(* Rank-based with linear interpolation inside the bucket. The true value
+   is somewhere in [2^i, 2^(i+1)); assuming a uniform spread inside the
+   bucket bounds the error by 2x, which log2 buckets accept by design. *)
+let percentile s q =
+  let n = count s in
+  if n = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = Float.max 1.0 (Float.round (q *. float_of_int n)) in
+    let rec walk i cum =
+      if i >= nbuckets then seconds_of_ns s.smax_ns
+      else begin
+        let c = s.sbuckets.(i) in
+        if c > 0 && float_of_int (cum + c) >= rank then begin
+          let lo, hi = bucket_bounds_ns i in
+          let hi = if hi = max_int || (s.smax_ns >= lo && s.smax_ns < hi) then max s.smax_ns (lo + 1) else hi in
+          let frac = (rank -. float_of_int cum) /. float_of_int c in
+          let est = float_of_int lo +. ((float_of_int hi -. float_of_int lo) *. frac) in
+          let est = if s.smax_ns > 0 then Float.min est (float_of_int s.smax_ns) else est in
+          est *. 1e-9
+        end
+        else walk (i + 1) (cum + c)
+      end
+    in
+    walk 0 0
+  end
+
+type stats = {
+  st_count : int;
+  st_mean_s : float;
+  st_p50 : float;
+  st_p90 : float;
+  st_p99 : float;
+  st_max_s : float;
+}
+
+let stats s =
+  let n = count s in
+  {
+    st_count = n;
+    st_mean_s = (if n = 0 then 0.0 else seconds_of_ns s.ssum_ns /. float_of_int n);
+    st_p50 = percentile s 0.50;
+    st_p90 = percentile s 0.90;
+    st_p99 = percentile s 0.99;
+    st_max_s = (if n = 0 then 0.0 else seconds_of_ns s.smax_ns);
+  }
+
+let stats_json s =
+  let st = stats s in
+  Json.Obj
+    [
+      ("count", Json.Int st.st_count);
+      ("mean_s", Json.Float st.st_mean_s);
+      ("p50_s", Json.Float st.st_p50);
+      ("p90_s", Json.Float st.st_p90);
+      ("p99_s", Json.Float st.st_p99);
+      ("max_s", Json.Float st.st_max_s);
+    ]

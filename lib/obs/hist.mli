@@ -1,0 +1,91 @@
+(** Lock-free fixed-bucket (log2) latency histograms.
+
+    Same overhead contract as the counters in {!Obs}:
+
+    - When telemetry is disabled, {!observe} is a single load of the
+      shared [enabled] atomic and a branch — no clock read, no
+      allocation, no lock. Probes may therefore sit on the per-query
+      path unconditionally.
+    - When enabled, an observation is three [Atomic] operations (bucket
+      fetch-and-add, sum fetch-and-add, CAS-loop max), safe under the
+      parallel executor's domains with no lock and no per-domain state.
+
+    Values are durations in seconds, bucketed by [floor (log2 ns)]:
+    bucket [i] counts observations in [[2^i, 2^(i+1))] nanoseconds
+    (bucket 0 absorbs 0 and 1 ns), 48 buckets — about 3 days at the top.
+    Percentiles interpolate linearly inside the winning bucket, so the
+    estimate's relative error is bounded by the bucket width (2x). *)
+
+type t
+
+val histogram : string -> t
+(** Registers (or retrieves) the process-global histogram [name].
+    Registration is module-initialization-time work, like
+    {!Obs.counter}. *)
+
+val make : unit -> t
+(** A fresh unregistered histogram, for offline aggregation (e.g. the
+    bench harness folding per-run samples). *)
+
+val name : t -> string
+
+val observe : t -> float -> unit
+(** [observe h seconds] — no-op unless {!Obs.is_enabled}. Negative and
+    NaN values count as 0. *)
+
+val observe_always : t -> float -> unit
+(** Ungated {!observe}, for aggregation outside instrumented hot paths
+    (never use this in engine code — it bypasses the disabled-cost
+    contract). *)
+
+val nbuckets : int
+
+val bucket_of_ns : int -> int
+(** The bucket index a duration in nanoseconds lands in (exposed for
+    tests). *)
+
+val bucket_bounds_ns : int -> int * int
+(** [(lo, hi)] with the bucket covering [[lo, hi)]; the last bucket's
+    [hi] is [max_int]. *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  sbuckets : int array;  (** length {!nbuckets} *)
+  ssum_ns : int;
+  smax_ns : int;
+}
+
+val empty : snapshot
+val snapshot : t -> snapshot
+val snapshot_all : unit -> (string * snapshot) list
+(** Every registered histogram, in registration order. *)
+
+val count : snapshot -> int
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-bucket [after - before]: the distribution of observations made
+    between the two snapshots. The interval maximum is an estimate —
+    bounded above by the lifetime maximum and by the highest bucket the
+    interval touched. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Bucket-wise sum; max of maxima. Merging per-domain (or per-shard)
+    snapshots is exact for counts and sums. *)
+
+val percentile : snapshot -> float -> float
+(** [percentile s q] for [q] in [[0, 1]], in seconds; [0.0] when empty.
+    Monotone in [q]; clamped to the snapshot maximum. *)
+
+type stats = {
+  st_count : int;
+  st_mean_s : float;
+  st_p50 : float;
+  st_p90 : float;
+  st_p99 : float;
+  st_max_s : float;
+}
+
+val stats : snapshot -> stats
+val stats_json : snapshot -> Json.t
+(** [{"count", "mean_s", "p50_s", "p90_s", "p99_s", "max_s"}]. *)

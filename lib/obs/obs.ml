@@ -104,7 +104,13 @@ let spans () =
       match compare a.stid b.stid with 0 -> Float.compare a.sstart b.sstart | c -> c)
     l
 
-let span ?(args = []) name f =
+(* Keep the error tag short: Chrome's trace viewer renders args inline
+   and a full backtrace-sized payload would drown the lane. *)
+let exn_label e =
+  let s = Printexc.to_string e in
+  if String.length s > 120 then String.sub s 0 117 ^ "..." else s
+
+let span ?(args = []) ?record name f =
   if not (Atomic.get enabled) then f ()
   else begin
     let tid = (Domain.self () :> int) in
@@ -115,13 +121,21 @@ let span ?(args = []) name f =
           d)
     in
     let t0 = Lh_util.Timing.monotonic_now () in
-    Fun.protect
-      ~finally:(fun () ->
-        let dt = Lh_util.Timing.monotonic_now () -. t0 in
-        locked span_lock (fun () ->
-            span_buf :=
-              { sname = name; sargs = args; sstart = t0; sdur = dt; sdepth = depth; stid = tid }
-              :: !span_buf;
-            Hashtbl.replace depths tid depth))
-      f
+    let finish ?error () =
+      let dt = Lh_util.Timing.monotonic_now () -. t0 in
+      (match record with Some r -> r dt | None -> ());
+      let args = match error with None -> args | Some e -> args @ [ ("error", e) ] in
+      locked span_lock (fun () ->
+          span_buf :=
+            { sname = name; sargs = args; sstart = t0; sdur = dt; sdepth = depth; stid = tid }
+            :: !span_buf;
+          Hashtbl.replace depths tid depth)
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ~error:(exn_label e) ();
+        raise e
   end

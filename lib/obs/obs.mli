@@ -76,10 +76,15 @@ type span = {
   stid : int;  (** domain id, for the Chrome trace's tid lane *)
 }
 
-val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+val span : ?args:(string * string) list -> ?record:(float -> unit) -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f]; when enabled, records a completed span
     around it. Nesting is tracked per domain. Exception-safe: the span
-    is recorded (and the depth restored) even if [f] raises. *)
+    is recorded (and the depth restored) even if [f] raises, and a span
+    that ends via an exception carries an extra [("error", msg)] arg so
+    failed phases are distinguishable in traces. [record], when given,
+    receives the measured duration (seconds) on completion — enabled
+    runs only; the disabled path stays a single atomic load. Histogram
+    probes ({!Hist}) attach here. *)
 
 val spans : unit -> span list
 (** Completed spans since the last {!clear_spans}, ordered by

@@ -2,6 +2,7 @@ type t = {
   total_s : float;
   spans : Obs.span list;
   counters : Obs.snapshot;
+  hists : (string * Hist.snapshot) list;
 }
 
 let g_peak_words = Obs.gauge "gc.peak_live_words"
@@ -21,19 +22,38 @@ let sync_pool_counters () =
   Obs.set g_pool_workers s.Lh_util.Pool.st_workers;
   Obs.set c_fault_injected (Lh_fault.Fault.total_fired ())
 
+(* Per-session histogram deltas: histograms registered mid-session keep
+   their full contents (like counters in [Obs.diff]); empty deltas are
+   dropped so reports only carry histograms the session touched. *)
+let hist_deltas ~before ~after =
+  List.filter_map
+    (fun (n, a) ->
+      let d =
+        match List.assoc_opt n before with Some b -> Hist.diff ~before:b ~after:a | None -> a
+      in
+      if Hist.count d > 0 then Some (n, d) else None)
+    after
+
 let with_session f =
   Obs.with_enabled true (fun () ->
       Obs.clear_spans ();
       sync_pool_counters ();
       let before = Obs.snapshot () in
+      let hbefore = Hist.snapshot_all () in
       let t0 = Lh_util.Timing.monotonic_now () in
       let result = f () in
       let total = Lh_util.Timing.monotonic_now () -. t0 in
       Obs.set_max g_peak_words (Gc.quick_stat ()).Gc.heap_words;
       sync_pool_counters ();
       let after = Obs.snapshot () in
+      let hafter = Hist.snapshot_all () in
       ( result,
-        { total_s = total; spans = Obs.spans (); counters = Obs.diff ~before ~after } ))
+        {
+          total_s = total;
+          spans = Obs.spans ();
+          counters = Obs.diff ~before ~after;
+          hists = hist_deltas ~before:hbefore ~after:hafter;
+        } ))
 
 (* ------------------------------------------------------------------ *)
 
@@ -116,6 +136,17 @@ let to_text t =
       (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "  %-30s%10d\n" n v))
       gz
   end;
+  if t.hists <> [] then begin
+    Buffer.add_string buf "latency histograms:\n";
+    List.iter
+      (fun (n, s) ->
+        let st = Hist.stats s in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-30s%6d  p50 %s  p90 %s  p99 %s  max %s\n" n st.Hist.st_count
+             (dur st.Hist.st_p50) (dur st.Hist.st_p90) (dur st.Hist.st_p99)
+             (dur st.Hist.st_max_s)))
+      t.hists
+  end;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -128,6 +159,7 @@ let metrics_json t =
       ("phases", Json.Obj (List.map (fun (n, d) -> (n, Json.Float d)) (phases t)));
       ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) counters));
       ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) gauges));
+      ("histograms", Json.Obj (List.map (fun (n, s) -> (n, Hist.stats_json s)) t.hists));
       ( "spans",
         Json.List
           (List.map

@@ -6,6 +6,9 @@ type t = {
   total_s : float;  (** end-to-end seconds of the session *)
   spans : Obs.span list;  (** completed spans, (domain, start)-ordered *)
   counters : Obs.snapshot;  (** counter deltas / gauge values over the session *)
+  hists : (string * Hist.snapshot) list;
+      (** per-session histogram deltas, registration-ordered; histograms
+          the session never touched are dropped *)
 }
 
 val with_session : (unit -> 'a) -> 'a * t
@@ -28,7 +31,8 @@ val to_text : t -> string
     and coverage, counters and gauges. *)
 
 val metrics_json : t -> Json.t
-(** [{"total_seconds", "phases", "counters", "gauges", "spans"}]. *)
+(** [{"total_seconds", "phases", "counters", "gauges", "histograms",
+    "spans"}] — histograms as {!Hist.stats_json} objects. *)
 
 val chrome_trace : t -> Json.t
 (** [{"traceEvents": [...]}] with ["ph":"X"] complete events in

@@ -56,26 +56,63 @@ let check_fault_result ~site kind (res : (Table.t, L.Engine.Error.t) result) =
   | _, Error e ->
       Error (Printf.sprintf "expected typed fault error, got: %s" (L.Engine.Error.to_string e))
 
+(* The faulted run executes with telemetry on and a threshold-0 slow-query
+   sink installed: even a query that dies to an injected fault or budget
+   overrun must emit a profile record whose JSONL line parses back through
+   lib/obs/json.ml with the matching outcome tag. *)
+let check_slow_log ~kind lines =
+  match lines with
+  | [] -> Error "no slow-log line produced for the faulted query"
+  | lines -> (
+      let expect =
+        match kind with Fault.Generic -> "fault" | Fault.Timeout | Fault.Oom -> "budget"
+      in
+      let bad =
+        List.filter_map
+          (fun line ->
+            match Lh_obs.Json.parse line with
+            | exception Lh_obs.Json.Parse_error m ->
+                Some (Printf.sprintf "unparseable slow-log line (%s): %s" m line)
+            | j -> (
+                match Lh_obs.Json.member "outcome" j with
+                | Some (Lh_obs.Json.String o) when o = expect -> None
+                | Some (Lh_obs.Json.String o) ->
+                    Some (Printf.sprintf "slow-log outcome %S (want %S)" o expect)
+                | _ -> Some "slow-log line missing \"outcome\""))
+          lines
+      in
+      match bad with [] -> Ok () | m :: _ -> Error m)
+
 (* One (site, kind) trial on one query: fresh engine, arm, run, check the
    typed error, then re-run the same query on the same engine and demand
    the clean answer. *)
 let run_kind ~site ~kind ~sql ~clean_rows =
   let eng = Dataset.build () in
+  L.Engine.set_config eng { (L.Engine.config eng) with L.Config.slow_log_ms = 0.0 };
+  let slow_lines = ref [] in
+  L.Engine.set_profile_sink eng
+    (Some (fun p -> slow_lines := L.Profile.to_string p :: !slow_lines));
   Fault.disarm_all ();
   Fault.arm ~kind ~trigger:(Fault.Nth 1) site;
   let res =
-    try L.Engine.query_result eng sql
+    try Obs.with_enabled true (fun () -> L.Engine.query_result eng sql)
     with e ->
       Fault.disarm_all ();
       failwith
         (Printf.sprintf "%s: unhandled exception escaped query_result: %s" (kind_str kind)
            (Printexc.to_string e))
   in
+  Obs.clear_spans ();
+  L.Engine.set_profile_sink eng None;
   let nfired = Fault.fired site in
   Fault.disarm_all ();
   if nfired = 0 then match res with Ok _ -> `Unreached | Error _ -> `Skip
   else
-    match check_fault_result ~site kind res with
+    match
+      match check_fault_result ~site kind res with
+      | Ok () -> check_slow_log ~kind !slow_lines
+      | Error _ as e -> e
+    with
     | Error msg -> `Outcome (Failed (Printf.sprintf "%s: %s" (kind_str kind) msg))
     | Ok () -> (
         match L.Engine.query_result eng sql with

@@ -372,6 +372,74 @@ let qcheck_chain_differential =
       List.length seq = List.length par
       && List.for_all2 (fun x y -> List.for_all2 Helpers.value_close x y) seq par)
 
+(* ---- histograms under concurrency ---- *)
+
+module Hist = Lh_obs.Hist
+module Obs = Lh_obs.Obs
+
+(* Counts and sums are lock-free fetch-and-adds, so concurrent recording
+   must be exact, not approximately merged: four domains hammering one
+   histogram yield bit-identical buckets/sum/max to the sequential twin. *)
+let test_hist_concurrent_exact () =
+  let per_domain = 5_000 in
+  let value d i = float_of_int ((d * per_domain) + i + 1) *. 1e-9 in
+  let h = Hist.make () in
+  let doms =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              Hist.observe_always h (value d i)
+            done))
+  in
+  List.iter Domain.join doms;
+  let par = Hist.snapshot h in
+  let seq_h = Hist.make () in
+  for d = 0 to 3 do
+    for i = 0 to per_domain - 1 do
+      Hist.observe_always seq_h (value d i)
+    done
+  done;
+  let seq = Hist.snapshot seq_h in
+  Alcotest.(check int) "count exact" (4 * per_domain) (Hist.count par);
+  Alcotest.(check int) "sum matches sequential" seq.Hist.ssum_ns par.Hist.ssum_ns;
+  Alcotest.(check int) "max matches sequential" seq.Hist.smax_ns par.Hist.smax_ns;
+  Array.iteri
+    (fun i c -> Alcotest.(check int) (Printf.sprintf "bucket %d" i) c par.Hist.sbuckets.(i))
+    seq.Hist.sbuckets
+
+(* The query.latency histogram records exactly one observation per query
+   whatever the domain count — the parallel executor must not double-count
+   from worker domains. *)
+let test_query_latency_count_per_domains () =
+  let e = L.Engine.create () in
+  L.Engine.register e
+    (Table.create ~name:"m" ~schema:Lh_datagen.Matrices.matrix_schema ~dict:(L.Engine.dict e)
+       [|
+         Table.Icol [| 0; 1; 2; 0 |];
+         Table.Icol [| 1; 2; 0; 2 |];
+         Table.Fcol [| 2.0; 3.0; 4.0; 1.0 |];
+       |]);
+  let sql =
+    "select m1.row, m2.col, sum(m1.v * m2.v) v from m m1, m m2 where m1.col = m2.row group by \
+     m1.row, m2.col"
+  in
+  let queries_at domains n =
+    let saved = L.Engine.config e in
+    L.Engine.set_config e { saved with L.Config.domains };
+    Fun.protect
+      ~finally:(fun () -> L.Engine.set_config e saved)
+      (fun () ->
+        Obs.with_enabled true (fun () ->
+            let h = Hist.histogram "query.latency" in
+            let before = Hist.snapshot h in
+            for _ = 1 to n do
+              ignore (L.Engine.query e sql)
+            done;
+            Hist.count (Hist.diff ~before ~after:(Hist.snapshot h))))
+  in
+  Alcotest.(check int) "one observation per query at domains=1" 5 (queries_at 1 5);
+  Alcotest.(check int) "one observation per query at domains=4" 5 (queries_at 4 5)
+
 let () =
   Alcotest.run "levelheaded-parallel"
     [
@@ -410,5 +478,11 @@ let () =
             test_bench_queries_differential;
           Alcotest.test_case "oracle agreement at 4 domains" `Quick test_oracle_at_domains_4;
           qcheck_chain_differential;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "concurrent recording is exact" `Quick test_hist_concurrent_exact;
+          Alcotest.test_case "query.latency: one observation per query" `Quick
+            test_query_latency_count_per_domains;
         ] );
     ]
