@@ -14,6 +14,7 @@ type params = {
   mem_words : int;  (* per-measurement live-word budget *)
   seed : int;
   domains : int;  (* worker domains for the LevelHeaded configurations *)
+  concurrency : int list;  (* client counts for the serve experiment *)
 }
 
 let default_params =
@@ -26,6 +27,7 @@ let default_params =
     mem_words = 250_000_000;
     seed = 42;
     domains = 1;
+    concurrency = [ 1; 2; 4; 8 ];
   }
 
 type outcome = Time of float | Oom | Timeout | Unsupported
@@ -109,7 +111,7 @@ let json_out : string option ref = ref None
 let current_experiment = ref ""
 let json_records : Json.t list ref = ref []
 
-let record_cell ?domains ?seq_report ?(samples = []) ~system ~sql ~outcome report =
+let record_cell ?domains ?seq_report ?(samples = []) ?(extra = []) ~system ~sql ~outcome report =
   if !json_out <> None then begin
     let open Lh_obs in
     let base =
@@ -172,7 +174,7 @@ let record_cell ?domains ?seq_report ?(samples = []) ~system ~sql ~outcome repor
       | _ -> []
     in
     json_records :=
-      Json.Obj (base @ domains_field @ timing @ latency @ telemetry @ speedups)
+      Json.Obj (base @ domains_field @ timing @ latency @ telemetry @ speedups @ extra)
       :: !json_records
   end
 

@@ -29,7 +29,7 @@ let fig1 bi la =
       C.print_row (C.system_name s) [ cell bi; cell la ])
     [ C.Lh; C.Hyper_like; C.Monet_like; C.Lh_logicblox; C.Mkl_like ]
 
-let all_ids = [ "table2-bi"; "table2-la"; "table3"; "table4"; "fig1"; "fig5a"; "fig5b"; "fig5c"; "fig6"; "ablations"; "repeated" ]
+let all_ids = [ "table2-bi"; "table2-la"; "table3"; "table4"; "fig1"; "fig5a"; "fig5b"; "fig5c"; "fig6"; "ablations"; "repeated"; "concurrency" ]
 
 let run_ids params ids =
   let wants id = List.mem id ids in
@@ -59,6 +59,7 @@ let run_ids params ids =
   if wants "fig6" then tagged "fig6" (fun () -> ignore (Exp_fig6.run params));
   if wants "ablations" then tagged "ablations" (fun () -> Exp_ablations.run params);
   if wants "repeated" then tagged "repeated" (fun () -> ignore (Exp_repeated.run params));
+  if wants "concurrency" then tagged "concurrency" (fun () -> ignore (Exp_serve.run params));
   C.write_json ()
 
 (* ---------------- smoke: one query per experiment family, telemetry on,
@@ -129,6 +130,55 @@ let smoke params =
         Lh_baseline.Pairwise.query ~lookup ~mode:Lh_baseline.Pairwise.Pipelined ast)
   in
   reports := ("baseline/pairwise", rep) :: !reports;
+  (* serving: a tiny service over its own engine (the service owns the
+     engine it wraps). Open/reject sessions, query sync and async, and
+     publish two epochs so admission, queue-wait, publish and retire all
+     tick their serve.* / epoch.* telemetry. *)
+  let bad_serve = ref [] in
+  (let module Serve = Lh_serve.Serve in
+   let serve_eng = L.Engine.create () in
+   let serve_schema =
+     Lh_storage.Schema.create
+       [ ("k", Lh_storage.Dtype.Int, Lh_storage.Schema.Key);
+         ("v", Lh_storage.Dtype.Float, Lh_storage.Schema.Annotation) ]
+   in
+   let serve_rows g =
+     List.init 8 (fun i ->
+         [ Lh_storage.Dtype.VInt i; Lh_storage.Dtype.VFloat (float_of_int (i * g)) ])
+   in
+   ignore (L.Engine.register_rows serve_eng ~name:"serve_t" ~schema:serve_schema (serve_rows 1));
+   let fail fmt = Printf.ksprintf (fun m -> bad_serve := m :: !bad_serve) fmt in
+   let (), srep =
+     Report.with_session (fun () ->
+         let svc = Serve.create ~max_sessions:1 serve_eng in
+         let s = Serve.open_session svc in
+         (match Serve.open_session svc with
+         | exception Serve.Error (Serve.Overloaded _) -> ()
+         | _ -> fail "serve: second session admitted at max_sessions=1");
+         let sql = "select sum(v) as s from serve_t" in
+         (match Serve.query s sql with
+         | Ok _ -> ()
+         | Error e -> fail "serve: sync query failed: %s" (Serve.error_to_string e));
+         (match Serve.await (Serve.submit s sql) with
+         | Ok _ -> ()
+         | Error e -> fail "serve: async query failed: %s" (Serve.error_to_string e));
+         List.iter
+           (fun g ->
+             match Serve.ingest_rows svc ~name:"serve_t" ~schema:serve_schema (serve_rows g) with
+             | Ok _ -> ()
+             | Error e -> fail "serve: ingest %d failed: %s" g (Serve.error_to_string e))
+           [ 2; 3 ];
+         (match Serve.query s sql with
+         | Ok t when t.Lh_storage.Table.nrows = 1 -> ()
+         | Ok _ -> fail "serve: post-ingest query shape wrong"
+         | Error e -> fail "serve: post-ingest query failed: %s" (Serve.error_to_string e));
+         Serve.close svc)
+   in
+   Printf.printf "smoke %-24s %6d rows  %s\n%!" "serve/service" 1
+     (Lh_util.Timing.duration_to_string srep.Report.total_s);
+   if not (List.mem_assoc "serve.queue_wait" srep.Report.hists) then
+     fail "serve: serve.queue_wait histogram absent from report";
+   reports := ("serve/service", srep) :: !reports);
   let par_reports = ref [] in
   let saved = L.Engine.config eng in
   L.Engine.set_config eng { saved with L.Config.domains = 2 };
@@ -161,7 +211,9 @@ let smoke params =
       "budget.ticks"; "dense_cache.hit"; "dense_cache.miss"; "baseline.hash_builds";
       "baseline.rows_joined"; "exec.domains_used"; "gc.peak_live_words";
       "pool.tasks"; "pool.chunks"; "pool.workers"; "plan_cache.hit"; "plan_cache.miss";
-      "profile.records"; "slowlog.lines";
+      "profile.records"; "slowlog.lines"; "serve.sessions"; "serve.queries";
+      "serve.admitted"; "serve.rejected"; "serve.ingests"; "epoch.published";
+      "epoch.retired";
     ]
   in
   let missing = List.filter (fun nm -> not (present nm)) required in
@@ -171,7 +223,9 @@ let smoke params =
       "trie_cache.hit"; "trie_cache.miss"; "trie.built"; "wcoj.intersections";
       "scan.rows_scanned"; "rows.emitted"; "blas.dispatch"; "baseline.hash_builds";
       "baseline.rows_joined"; "gc.peak_live_words"; "plan_cache.hit"; "plan_cache.miss";
-      "profile.records"; "slowlog.lines";
+      "profile.records"; "slowlog.lines"; "serve.sessions"; "serve.queries";
+      "serve.admitted"; "serve.rejected"; "serve.ingests"; "epoch.published";
+      "epoch.retired";
     ]
   in
   let zero = List.filter (fun nm -> present nm && sum nm = 0) must_be_nonzero in
@@ -185,7 +239,13 @@ let smoke params =
     List.filter_map
       (fun ((label, r) : string * Report.t) ->
         let accounted = List.fold_left (fun a (_, d) -> a +. d) 0.0 (Report.phases r) in
-        if (not (String.length label >= 9 && String.sub label 0 9 = "parallel/"))
+        let skipped prefix =
+          String.length label >= String.length prefix
+          && String.sub label 0 (String.length prefix) = prefix
+        in
+        (* serve/ cells spend real time in service bookkeeping (admission,
+           epoch bookkeeping) outside engine spans, by design *)
+        if (not (skipped "parallel/" || skipped "serve/"))
            && r.Report.total_s > 1e-4
            && accounted < 0.9 *. r.Report.total_s
         then
@@ -274,7 +334,7 @@ let smoke params =
      would degrade every query report. Warn on one, fail on two. *)
   let coverage_failures = if List.length bad_coverage >= 2 then bad_coverage else [] in
   if missing = [] && zero = [] && coverage_failures = [] && bad_parallel = [] && bad_plancache = []
-     && bad_profile = []
+     && bad_profile = [] && !bad_serve = []
   then begin
     List.iter
       (fun msg -> Printf.printf "smoke warn: %s (single stall tolerated)\n" msg)
@@ -290,13 +350,14 @@ let smoke params =
     List.iter (fun msg -> Printf.eprintf "smoke FAIL: %s\n" msg) bad_parallel;
     List.iter (fun msg -> Printf.eprintf "smoke FAIL: %s\n" msg) bad_plancache;
     List.iter (fun msg -> Printf.eprintf "smoke FAIL: %s\n" msg) bad_profile;
+    List.iter (fun msg -> Printf.eprintf "smoke FAIL: %s\n" msg) !bad_serve;
     1
   end
 
 open Cmdliner
 
 let ids_arg =
-  let doc = "Experiments to run: table2-bi table2-la table3 table4 fig1 fig5a fig5b fig5c fig6 ablations. Default: all." in
+  let doc = "Experiments to run: table2-bi table2-la table3 table4 fig1 fig5a fig5b fig5c fig6 ablations repeated concurrency. Default: all." in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let sf_arg =
@@ -332,6 +393,13 @@ let domains_arg =
      record gains end-to-end and per-phase speedup columns."
   in
   Arg.(value & opt int (Lh_util.Parfor.default_domains ()) & info [ "domains" ] ~docv:"N" ~doc)
+
+let concurrency_arg =
+  let doc =
+    "Comma-separated client counts for the $(b,concurrency) experiment (sessions \
+     querying the epoch-pinned service in parallel)."
+  in
+  Arg.(value & opt string "1,2,4,8" & info [ "concurrency" ] ~docv:"N,N,..." ~doc)
 
 let json_arg =
   let doc = "Also write per-query telemetry (phase breakdown + counter deltas) as JSON to $(docv)." in
@@ -387,8 +455,8 @@ let run_compare ~baseline_path ~tolerance ~slowdown current =
       print_string (Lh_obs.Baseline.to_text v);
       if Lh_obs.Baseline.ok v then 0 else 1
 
-let main ids sf la_scale dense runs timeout mem_words seed domains json run_smoke compare_base
-    compare_with tolerance slowdown =
+let main ids sf la_scale dense runs timeout mem_words seed domains concurrency json run_smoke
+    compare_base compare_with tolerance slowdown =
   let parse_list conv s = String.split_on_char ',' s |> List.map String.trim |> List.map conv in
   let params =
     {
@@ -400,6 +468,7 @@ let main ids sf la_scale dense runs timeout mem_words seed domains json run_smok
       mem_words;
       seed;
       domains = max 1 domains;
+      concurrency = parse_list int_of_string concurrency;
     }
   in
   (* validate the sink up front: losing the JSON after a full bench run
@@ -449,7 +518,7 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ ids_arg $ sf_arg $ la_scale_arg $ dense_arg $ runs_arg $ timeout_arg $ mem_arg
-      $ seed_arg $ domains_arg $ json_arg $ smoke_arg $ compare_arg $ compare_with_arg
-      $ tolerance_arg $ slowdown_arg)
+      $ seed_arg $ domains_arg $ concurrency_arg $ json_arg $ smoke_arg $ compare_arg
+      $ compare_with_arg $ tolerance_arg $ slowdown_arg)
 
 let () = exit (Cmd.eval cmd)

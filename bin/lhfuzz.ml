@@ -23,7 +23,24 @@
 module Diff = Lh_qgen.Diff
 module Gen = Lh_qgen.Gen
 module Crashtest = Lh_qgen.Crashtest
+module Concurrent = Lh_qgen.Concurrent
 open Cmdliner
+
+let run_concurrent seed count domains ingests quiet =
+  let progress line = if not quiet then Printf.eprintf "... %s\n%!" line in
+  let summary =
+    Lh_obs.Obs.with_enabled true (fun () ->
+        Concurrent.run ~progress ~seed ~domains ~per_domain:count ~ingests ())
+  in
+  print_string (Concurrent.to_text summary);
+  if Concurrent.ok summary then begin
+    print_endline "OK: every query bit-identical to its epoch's sequential replay";
+    0
+  end
+  else begin
+    print_endline "FAIL: snapshot-consistency violations";
+    1
+  end
 
 let run_crashtest seed attempts quiet =
   let progress line = if not quiet then Printf.eprintf "... %s\n%!" line in
@@ -38,8 +55,10 @@ let run_crashtest seed attempts quiet =
     1
   end
 
-let run seed count first_index shapes max_relations inject_bug inject_fault attempts quiet =
+let run seed count first_index shapes max_relations inject_bug inject_fault attempts
+    concurrent domains ingests quiet =
   if inject_fault then run_crashtest seed attempts quiet
+  else if concurrent then run_concurrent seed count domains ingests quiet
   else
   let shapes =
     match shapes with
@@ -115,11 +134,27 @@ let cmd =
            ~doc:"With --inject-fault: per-site bound on the search for a generated query \
                  that reaches the site")
   in
+  let concurrent =
+    Arg.(value & flag & info [ "concurrent" ]
+           ~doc:"Run the concurrent-sessions evaluator instead of differential fuzzing: \
+                 N reader domains issue generated ad-hoc and prepared queries through the \
+                 query service while a writer publishes new epochs; every query must be \
+                 bit-identical to a sequential replay against the epoch it pinned \
+                 (--count is queries per domain)")
+  in
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N"
+           ~doc:"With --concurrent: number of reader domains (sessions)")
+  in
+  let ingests =
+    Arg.(value & opt int 4 & info [ "ingests" ] ~docv:"N"
+           ~doc:"With --concurrent: number of epochs the writer publishes")
+  in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress output") in
   Cmd.v
     (Cmd.info "lhfuzz" ~doc:"Differential query fuzzer for the LevelHeaded engine")
     Term.(
       const run $ seed $ count $ index $ shape $ max_relations $ inject_bug $ inject_fault
-      $ attempts $ quiet)
+      $ attempts $ concurrent $ domains $ ingests $ quiet)
 
 let () = exit (Cmd.eval' cmd)

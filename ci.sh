@@ -12,6 +12,40 @@ dune runtest
 # declares (deps (env_var LH_DOMAINS)) so this is never a cache hit.
 LH_DOMAINS=4 dune runtest
 dune exec bench/main.exe -- --smoke
+# lhserve pipe smoke: drive the line-protocol server end to end and diff
+# the exact transcript — a pinned session keeps answering 4 from the
+# retired epoch while the post-ingest epoch answers 10 (snapshot
+# isolation), prepared exec binds $1, and a bad command yields a typed
+# protocol error instead of killing the server.
+lhserve_out=$(printf 'open\ningest t k:int:key,v:float\n0,1.5\n1,2.5\n.\nquery 0 select sum(v) as s from t\npin 0\ningest t k:int:key,v:float\n0,10\n.\nquery 0 select sum(v) as s from t\nepochs\nunpin 0\nquery 0 select sum(v) as s from t\nprepare 0 select sum(v) as s from t where k >= $1\nexec 1 0\nbogus\nclose 0\nstats\nquit\n' \
+  | dune exec bin/lhserve.exe 2>/dev/null)
+lhserve_want='ok session 0
+ok epoch 1
+ok epoch 1 rows 1
+4
+ok epoch 1
+ok epoch 2
+ok epoch 1 rows 1
+4
+ok epochs 2
+2 0 live
+1 1 retired
+ok
+ok epoch 2 rows 1
+10
+ok stmt 1
+ok epoch 2 rows 1
+10
+error protocol: unknown command "bogus"
+ok
+ok sessions=0 inflight=0 epochs=1 current=2
+ok bye'
+if [ "$lhserve_out" != "$lhserve_want" ]; then
+  echo "ci FAIL: lhserve transcript mismatch" >&2
+  printf 'got:\n%s\n\nwant:\n%s\n' "$lhserve_out" "$lhserve_want" >&2
+  exit 1
+fi
+echo "lhserve pipe smoke ok"
 # Differential fuzzing leg: a pinned seed so CI is deterministic; raise
 # LH_FUZZ_COUNT locally for a longer hunt. Exits non-zero on any
 # discrepancy between the engine configurations, the pairwise baselines
@@ -21,6 +55,14 @@ dune exec bin/lhfuzz.exe -- --seed 42 --count "${LH_FUZZ_COUNT:-1000}" --quiet
 # scratch, so a cache-keying or invalidation bug that the cached leg
 # masks (stale plan reused across configs) shows up as a discrepancy.
 LH_PLAN_CACHE=0 dune exec bin/lhfuzz.exe -- --seed 42 --count "${LH_FUZZ_COUNT:-1000}" --quiet
+# Concurrent-sessions leg: reader domains issue generated ad-hoc and
+# prepared queries through the epoch-pinned query service while a writer
+# publishes new epochs mid-run; every query must be bit-identical to a
+# sequential replay against the epoch it pinned (snapshot-consistency
+# oracle; see lib/serve and lib/qgen/concurrent.ml). Run under both
+# domain settings so view queries race parallel ingest-side builds too.
+dune exec bin/lhfuzz.exe -- --concurrent --seed 42 --count 30 --domains 4 --ingests 4 --quiet
+LH_DOMAINS=4 dune exec bin/lhfuzz.exe -- --concurrent --seed 42 --count 30 --domains 4 --ingests 4 --quiet
 # Fault-injection legs: for every registered fault site, arm it (generic,
 # timeout and OOM kinds), drive a workload into it, and require a typed
 # error plus a bit-identical re-query on the same engine (crash-only
@@ -30,21 +72,22 @@ LH_PLAN_CACHE=0 dune exec bin/lhfuzz.exe -- --seed 42 --count "${LH_FUZZ_COUNT:-
 # unreachable at domains=1 and excused there).
 dune exec bin/lhfuzz.exe -- --inject-fault --seed 42 --attempts "${LH_FAULT_COUNT:-40}" --quiet
 LH_DOMAINS=4 dune exec bin/lhfuzz.exe -- --inject-fault --seed 42 --attempts "${LH_FAULT_COUNT:-40}" --quiet
-# Bench-baseline regression gate (see BENCH_6.json / EXPERIMENTS.md).
+# Bench-baseline regression gate (see BENCH_7.json / EXPERIMENTS.md).
 # Deterministic legs first: the baseline must compare clean against
 # itself, and the gate must actually fire on a synthetic 3x slowdown.
-dune exec bench/main.exe -- --compare BENCH_6.json --compare-with BENCH_6.json
-if dune exec bench/main.exe -- --compare BENCH_6.json --compare-with BENCH_6.json --compare-slowdown 3 > /dev/null; then
+dune exec bench/main.exe -- --compare BENCH_7.json --compare-with BENCH_7.json
+if dune exec bench/main.exe -- --compare BENCH_7.json --compare-with BENCH_7.json --compare-slowdown 3 > /dev/null; then
   echo "ci FAIL: --compare accepted a 3x slowdown" >&2
   exit 1
 fi
-# Live leg: re-run the baseline's experiment subset on this machine and
-# compare. Warn-only — shared CI runners are too noisy for a hard
-# wall-clock gate; the comparison text still lands in the CI log.
-if dune exec bench/main.exe -- fig5a fig5c fig6 table4 repeated --sf 0.01 --runs 3 \
-     --json /tmp/lh_bench_ci.json --compare BENCH_6.json > /tmp/lh_bench_ci.log 2>&1; then
+# Live leg: re-run the baseline's experiment subset (now including the
+# service-concurrency cells) on this machine and compare. Warn-only —
+# shared CI runners are too noisy for a hard wall-clock gate; the
+# comparison text still lands in the CI log.
+if dune exec bench/main.exe -- fig5a fig5c fig6 table4 repeated concurrency --sf 0.01 --runs 3 \
+     --json /tmp/lh_bench_ci.json --compare BENCH_7.json > /tmp/lh_bench_ci.log 2>&1; then
   tail -n 1 /tmp/lh_bench_ci.log
 else
-  echo "ci warn: bench regressed vs BENCH_6.json (soft gate):" >&2
+  echo "ci warn: bench regressed vs BENCH_7.json (soft gate):" >&2
   grep -E '^(REGRESSION|baseline compare)' /tmp/lh_bench_ci.log >&2 || tail -n 20 /tmp/lh_bench_ci.log >&2
 fi

@@ -1,6 +1,7 @@
 type t = { dict : Lh_storage.Dict.t; tables : (string, Lh_storage.Table.t) Hashtbl.t }
 
 let create () = { dict = Lh_storage.Dict.create (); tables = Hashtbl.create 16 }
+let of_dict dict = { dict; tables = Hashtbl.create 16 }
 let dict t = t.dict
 
 let register t table =

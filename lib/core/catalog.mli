@@ -4,6 +4,12 @@
 type t
 
 val create : unit -> t
+
+val of_dict : Lh_storage.Dict.t -> t
+(** Empty catalog around an existing dictionary — the snapshot constructor:
+    tables repointed to [dict] (see {!Lh_storage.Table.with_dict}) pass
+    {!register}'s identity check. *)
+
 val dict : t -> Lh_storage.Dict.t
 
 val register : t -> Lh_storage.Table.t -> unit

@@ -221,6 +221,54 @@ let load_csv t ~name ~schema ?sep path =
       invalidate_caches t;
       Catalog.load_csv t.cat ~name ~schema ~domains:(max 1 t.cfg.Config.domains) ?sep path)
 
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+type snapshot = { snap_epoch : int; snap_cat : Catalog.t; snap_cfg : Config.t }
+
+let epoch t = t.epoch
+
+(* Freeze the current catalog: one deep dictionary copy, every table
+   repointed at it. Table columns are immutable after construction, so the
+   snapshot shares them; only the dictionary — the one structure ingest
+   keeps mutating — is copied. Must be called with no ingest in flight
+   (the serving layer serializes writers). *)
+let snapshot t =
+  let dict = Lh_storage.Dict.copy (Catalog.dict t.cat) in
+  let cat = Catalog.of_dict dict in
+  List.iter
+    (fun name -> Catalog.register cat (T.with_dict (Catalog.find_exn t.cat name) ~dict))
+    (Catalog.names t.cat);
+  { snap_epoch = t.epoch; snap_cat = cat; snap_cfg = t.cfg }
+
+let snapshot_epoch s = s.snap_epoch
+
+(* A read-only view engine over a snapshot: private caches and a private
+   catalog (so a [query_into] on one view cannot race another), sharing the
+   snapshot's frozen dictionary and table buffers. The budget is cloned —
+   its per-run cells are mutable and views execute concurrently. The view's
+   epoch is pinned to the snapshot's, so prepared statements created on a
+   view never spuriously revalidate. *)
+let of_snapshot ?config snap =
+  let cat = Catalog.of_dict (Catalog.dict snap.snap_cat) in
+  List.iter
+    (fun name -> Catalog.register cat (Catalog.find_exn snap.snap_cat name))
+    (Catalog.names snap.snap_cat);
+  let cfg = Option.value config ~default:snap.snap_cfg in
+  let cfg = { cfg with Config.budget = Lh_util.Budget.clone cfg.Config.budget } in
+  {
+    cat;
+    cfg;
+    dense_cache = Hashtbl.create 8;
+    trie_cache = Hashtbl.create 32;
+    plans = Hashtbl.create 16;
+    plan_tick = 0;
+    epoch = snap.snap_epoch;
+    last_prof = None;
+    prof_sink = None;
+    prof = None;
+  }
+
 let dense_info t (table : T.t) =
   let key = Printf.sprintf "%s/%d" table.T.name table.T.nrows in
   match Hashtbl.find_opt t.dense_cache key with

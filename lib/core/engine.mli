@@ -89,6 +89,36 @@ val register_rows : t -> name:string -> schema:Lh_storage.Schema.t -> Lh_storage
 val load_csv : t -> name:string -> schema:Lh_storage.Schema.t -> ?sep:char -> string -> Lh_storage.Table.t
 val dict : t -> Lh_storage.Dict.t
 
+(** {2 Snapshots}
+
+    A snapshot freezes the engine's catalog at one epoch: a deep copy of
+    the shared string dictionary plus the (immutable) table buffers
+    repointed at it. {!of_snapshot} turns a snapshot into a read-only view
+    engine with private caches, safe to query from another domain while
+    the original engine keeps ingesting. This is the storage half of the
+    serving layer's epoch-pinned reads (see [Lh_serve]). *)
+
+type snapshot
+
+val epoch : t -> int
+(** Monotone generation counter: bumped by {!register} / {!register_rows}
+    / {!load_csv} and by {!set_config} when a plan-shaping knob changes. *)
+
+val snapshot : t -> snapshot
+(** Freeze the current catalog. O(dictionary size); table buffers are
+    shared, not copied. The caller must ensure no ingest runs during the
+    freeze. *)
+
+val snapshot_epoch : snapshot -> int
+(** The {!epoch} the snapshot was taken at. *)
+
+val of_snapshot : ?config:Config.t -> snapshot -> t
+(** A view engine over a frozen snapshot: private plan/trie/dense caches,
+    a private catalog, a cloned budget ({!Lh_util.Budget.clone}), and
+    [epoch] pinned to {!snapshot_epoch}. Many views of the same snapshot
+    may execute queries concurrently; do not ingest into a view. [config]
+    defaults to the source engine's configuration at freeze time. *)
+
 val query : t -> string -> Lh_storage.Table.t
 (** Parse and execute; the result table is named ["result"] (not
     registered). Raises {!Error} for everything wrong with the statement

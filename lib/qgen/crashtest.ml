@@ -14,8 +14,10 @@ type summary = { s_seed : int; s_sites : site_report list }
 (* How to reach each site. [Query shapes] searches fuzzer-generated
    queries of those shapes on the pinned dataset; [Kernel] calls the CSR
    kernels directly (no generated query is guaranteed to route through
-   them); [Ingest] loads a temporary CSV into a fresh engine. *)
-type scenario = Query of Gen.shape list | Kernel | Ingest
+   them); [Ingest] loads a temporary CSV into a fresh engine; [Serving]
+   drives a two-session Lh_serve service through the admission / epoch
+   lifecycle. *)
+type scenario = Query of Gen.shape list | Kernel | Ingest | Serving
 
 let scenarios =
   [
@@ -34,6 +36,9 @@ let scenarios =
     ("csr.spgemm", Kernel);
     ("csv.line", Ingest);
     ("ingest.row", Ingest);
+    ("serve.admit", Serving);
+    ("epoch.publish", Serving);
+    ("epoch.retire", Serving);
   ]
 
 let kinds = [ Fault.Generic; Fault.Timeout; Fault.Oom ]
@@ -350,6 +355,130 @@ let ingest_site site =
       go kinds)
 
 (* ------------------------------------------------------------------ *)
+(* Serving scenarios: each site must uphold the crash-only contract at
+   the service level — a typed error to the one affected caller, every
+   other session unaffected, and full recovery (bit-identical answers)
+   once the fault clears.                                               *)
+
+module Serve = Lh_serve.Serve
+
+let serve_site site =
+  let schema =
+    Schema.create [ ("k", Dtype.Int, Schema.Key); ("v", Dtype.Float, Schema.Annotation) ]
+  in
+  let rows g =
+    List.init (4 + g) (fun i -> [ Dtype.VInt i; Dtype.VFloat (float_of_int ((i + 1) * (g + 1))) ])
+  in
+  let sql = "select sum(v) as s from t" in
+  (* Clean per-generation answers from a plain sequential engine — the
+     oracle the service must match before, around, and after the fault. *)
+  let clean_rows g =
+    let eng = L.Engine.create () in
+    ignore (L.Engine.register_rows eng ~name:"t" ~schema (rows g));
+    match L.Engine.query_result eng sql with
+    | Ok t -> Table.to_rows t
+    | Error e -> failwith ("serve clean query failed: " ^ L.Engine.Error.to_string e)
+  in
+  Fault.disarm_all ();
+  let clean = [| clean_rows 0; clean_rows 1; clean_rows 2 |] in
+  let expected_error kind (e : Serve.error) =
+    match (kind, e) with
+    | Fault.Generic, Serve.Engine_error (L.Engine.Error.Fault_injected s) -> s = site
+    | (Fault.Timeout | Fault.Oom), Serve.Engine_error L.Engine.Error.Budget_exceeded -> true
+    | _ -> false
+  in
+  let rec go = function
+    | [] -> Passed
+    | kind :: rest -> (
+        Fault.disarm_all ();
+        let eng = L.Engine.create ~config:{ L.Config.default with L.Config.domains = 1 } () in
+        ignore (L.Engine.register_rows eng ~name:"t" ~schema (rows 0));
+        let svc = Serve.create eng in
+        let victim = Serve.open_session svc in
+        let survivor = Serve.open_session svc in
+        let check_q name sess g =
+          match Serve.query sess sql with
+          | Ok t when rows_identical (Table.to_rows t) clean.(g) -> Ok ()
+          | Ok _ -> Error (name ^ ": rows differ from the clean answer")
+          | Error e -> Error (Printf.sprintf "%s: %s" name (Serve.error_to_string e))
+        in
+        let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
+        let outcome =
+          match site with
+          | "serve.admit" -> (
+              Fault.arm ~kind ~trigger:(Fault.Nth 1) site;
+              let r = Serve.query victim sql in
+              if Fault.fired site = 0 then Error "site not reached"
+              else
+                match r with
+                | Ok _ -> Error "query succeeded despite the armed admit fault"
+                | Error e when expected_error kind e ->
+                    (* Nth 1 is consumed: the very next admission — the
+                       surviving session's — must sail through. *)
+                    check_q "survivor" survivor 0 >>= fun () ->
+                    Fault.disarm_all ();
+                    check_q "victim re-query" victim 0
+                | Error e -> Error ("unexpected error: " ^ Serve.error_to_string e))
+          | "epoch.publish" -> (
+              let e0 = Serve.current_epoch svc in
+              Fault.arm ~kind ~trigger:(Fault.Nth 1) site;
+              match Serve.ingest_rows svc ~name:"t" ~schema (rows 1) with
+              | Ok _ -> Error "ingest succeeded despite the armed publish fault"
+              | Error e ->
+                  if Fault.fired site = 0 then Error "site not reached"
+                  else if not (expected_error kind e) then
+                    Error ("unexpected error: " ^ Serve.error_to_string e)
+                  else if Serve.current_epoch svc <> e0 then
+                    Error "epoch advanced despite the failed publish"
+                  else
+                    check_q "survivor on the old epoch" survivor 0 >>= fun () ->
+                    Fault.disarm_all ();
+                    (* install-on-success at the service level: retrying
+                       the ingest publishes cleanly *)
+                    (match Serve.ingest_rows svc ~name:"t" ~schema (rows 1) with
+                    | Ok _ -> Ok ()
+                    | Error e -> Error ("re-ingest failed: " ^ Serve.error_to_string e))
+                    >>= fun () -> check_q "post-recovery" survivor 1)
+          | _ (* epoch.retire *) -> (
+              ignore (Serve.pin victim);
+              match Serve.ingest_rows svc ~name:"t" ~schema (rows 1) with
+              | Error e -> Error ("setup ingest failed: " ^ Serve.error_to_string e)
+              | Ok _ -> (
+                  (* victim's pin is the only thing keeping epoch 0 alive;
+                     the armed retire fault fires when unpin reclaims it *)
+                  Fault.arm ~kind ~trigger:(Fault.Nth 1) site;
+                  match Serve.unpin victim with
+                  | () ->
+                      Fault.disarm_all ();
+                      Error "unpin reclaimed despite the armed retire fault"
+                  | exception Serve.Error e ->
+                      if Fault.fired site = 0 then Error "site not reached"
+                      else if not (expected_error kind e) then
+                        Error ("unexpected error: " ^ Serve.error_to_string e)
+                      else begin
+                        Fault.disarm_all ();
+                        (* the epoch merely leaked; both sessions keep
+                           answering on the current epoch … *)
+                        check_q "victim after retire fault" victim 1 >>= fun () ->
+                        check_q "survivor after retire fault" survivor 1 >>= fun () ->
+                        (* … and the next publish sweeps the leak *)
+                        match Serve.ingest_rows svc ~name:"t" ~schema (rows 2) with
+                        | Error e -> Error ("sweep ingest failed: " ^ Serve.error_to_string e)
+                        | Ok _ ->
+                            if List.length (Serve.epochs svc) <> 1 then
+                              Error "leaked epoch not reclaimed by the next sweep"
+                            else check_q "post-sweep" victim 2
+                      end))
+        in
+        Serve.close svc;
+        Fault.disarm_all ();
+        match outcome with
+        | Ok () -> go rest
+        | Error m -> Failed (Printf.sprintf "%s: %s" (kind_str kind) m))
+  in
+  go kinds
+
+(* ------------------------------------------------------------------ *)
 
 let run ?(progress = fun _ -> ()) ?(attempts = 40) ~seed () =
   Fault.disarm_all ();
@@ -368,6 +497,7 @@ let run ?(progress = fun _ -> ()) ?(attempts = 40) ~seed () =
               | Query shapes -> query_site ~attempts ~seed site shapes
               | Kernel -> kernel_site site
               | Ingest -> ingest_site site
+              | Serving -> serve_site site
             with e -> Failed ("harness exception: " ^ Printexc.to_string e)
         in
         { sr_site = site; sr_outcome = outcome })

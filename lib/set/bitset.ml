@@ -147,12 +147,7 @@ let union a b =
     { offset = lo_w * word_bits; nbits = n * word_bits; words; card; rank_cache = [||] }
   end
 
-let rank t v =
-  let idx = v - t.offset in
-  if idx < 0 || idx >= t.nbits then raise Not_found;
-  let w = idx / word_bits and b = idx mod word_bits in
-  let word = t.words.(w) in
-  if word land (1 lsl b) = 0 then raise Not_found;
+let ensure_rank_cache t =
   if Array.length t.rank_cache = 0 then begin
     let cache = Array.make (Array.length t.words) 0 in
     let acc = ref 0 in
@@ -163,4 +158,43 @@ let rank t v =
       t.words;
     t.rank_cache <- cache
   end;
-  t.rank_cache.(w) + popcount (word land ((1 lsl b) - 1))
+  t.rank_cache
+
+let rank t v =
+  let idx = v - t.offset in
+  if idx < 0 || idx >= t.nbits then raise Not_found;
+  let w = idx / word_bits and b = idx mod word_bits in
+  let word = t.words.(w) in
+  if word land (1 lsl b) = 0 then raise Not_found;
+  let cache = ensure_rank_cache t in
+  cache.(w) + popcount (word land ((1 lsl b) - 1))
+
+(* Inverse of [rank]: the i-th member in sorted order. Binary search over
+   the per-word prefix popcounts for the containing word, then peel the
+   word byte-by-byte — never the one-bit-per-step scan [iter] does. *)
+let select t i =
+  if i < 0 || i >= t.card then invalid_arg "Bitset.select: out of bounds";
+  let cache = ensure_rank_cache t in
+  (* Largest word index whose prefix count is <= i. *)
+  let lo = ref 0 and hi = ref (Array.length cache - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if cache.(mid) <= i then lo := mid else hi := mid - 1
+  done;
+  let w = !lo in
+  let remaining = ref (i - cache.(w)) in
+  let word = ref t.words.(w) and b = ref 0 in
+  (* Skip whole bytes by popcount, then single bits within the byte. *)
+  while popcount (!word land 0xFF) <= !remaining do
+    remaining := !remaining - popcount (!word land 0xFF);
+    word := !word lsr 8;
+    b := !b + 8
+  done;
+  while
+    (!word land 1 = 0) || !remaining > 0
+  do
+    if !word land 1 = 1 then decr remaining;
+    word := !word lsr 1;
+    incr b
+  done;
+  t.offset + (w * word_bits) + !b

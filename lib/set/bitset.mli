@@ -59,3 +59,10 @@ val rank : t -> int -> int
 (** [rank t v] is the number of members strictly below [v], i.e. the sorted
     position of [v] when present. Constant time after a lazily-built
     per-word prefix index. Raises [Not_found] when [v] is absent. *)
+
+val select : t -> int -> int
+(** [select t i] is the [i]-th member in sorted order (0-based) — the
+    inverse of {!rank}. Binary search over the same lazily-built per-word
+    prefix index as {!rank}, then a byte-skipping scan inside the one
+    containing word: O(log words), never a full iteration. Raises
+    [Invalid_argument] unless [0 <= i < cardinality t]. *)

@@ -92,20 +92,8 @@ let nth t i =
   match t with
   | Uint a -> a.(i)
   | Bs b ->
-      let r = ref (-1) and k = ref 0 in
-      let exception Found in
-      (try
-         Bitset.iter
-           (fun x ->
-             if !k = i then begin
-               r := x;
-               raise Found
-             end;
-             incr k)
-           b
-       with Found -> ());
-      if !r < 0 then invalid_arg "Set.nth: out of bounds";
-      !r
+      if i < 0 || i >= Bitset.cardinality b then invalid_arg "Set.nth: out of bounds";
+      Bitset.select b i
 
 let min_elt = function
   | Uint a -> if Array.length a = 0 then raise Not_found else a.(0)

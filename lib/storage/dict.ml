@@ -30,6 +30,12 @@ let merge_into ~into local =
   done;
   remap
 
+(* Deep copy for snapshot freezing: the copy shares no mutable cell with
+   the original, so readers of the copy never race a concurrent [encode]
+   on the live dictionary. Strings themselves are immutable and shared. *)
+let copy t =
+  { table = Hashtbl.copy t.table; strings = Array.copy t.strings; len = t.len }
+
 let decode t code =
   if code < 0 || code >= t.len then invalid_arg (Printf.sprintf "Dict.decode: unknown code %d" code);
   t.strings.(code)

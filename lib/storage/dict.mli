@@ -23,6 +23,10 @@ val merge_into : into:t -> t -> int array
     exactly the codes a sequential scan of the concatenated chunks would
     have — the keystone of the parallel ingest's determinism. *)
 
+val copy : t -> t
+(** Deep copy sharing no mutable state with the original: safe to read
+    concurrently while the original keeps encoding. Codes are preserved. *)
+
 val decode : t -> int -> string
 (** Raises [Invalid_argument] for an unknown code. *)
 

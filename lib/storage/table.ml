@@ -30,6 +30,11 @@ let create ~name ~schema ~dict cols =
     cols;
   { name; schema; nrows; cols; dict }
 
+(* Columns are immutable after [create]; repointing the dictionary is all a
+   snapshot needs — the int codes stay valid because [Dict.copy] preserves
+   code assignment. *)
+let with_dict t ~dict = { t with dict }
+
 let encode_cell dict dtype raw =
   match dtype with
   | Dtype.Int -> int_of_string (String.trim raw)

@@ -23,6 +23,11 @@ val create : name:string -> schema:Schema.t -> dict:Dict.t -> column array -> t
 val of_rows : name:string -> schema:Schema.t -> dict:Dict.t -> Dtype.value list list -> t
 (** Convenience constructor for tests and small inputs. *)
 
+val with_dict : t -> dict:Dict.t -> t
+(** Same columns, different dictionary. Only meaningful when [dict]
+    preserves this table's code assignment (e.g. a {!Dict.copy} of the
+    original); used to freeze tables into immutable snapshots. *)
+
 val load_csv :
   name:string -> schema:Schema.t -> dict:Dict.t -> ?domains:int -> ?sep:char -> string -> t
 (** Ingest a delimited file; one field per schema column, in order.

@@ -20,6 +20,10 @@ let unlimited =
 let create ?(max_live_words = max_int) ?(max_seconds = infinity) () =
   { max_live_words; max_seconds; started = 0.0; base_words = 0; ticks = 0 }
 
+(* Same limits, private run state: budgets carry mutable [started]/[ticks]
+   cells, so concurrent queries must each check against their own clone. *)
+let clone t = { t with started = 0.0; base_words = 0; ticks = 0 }
+
 let live_words () =
   let s = Gc.quick_stat () in
   s.Gc.heap_words

@@ -15,6 +15,10 @@ val create : ?max_live_words:int -> ?max_seconds:float -> unit -> t
 (** [max_live_words] bounds the major-heap live words observed at
     checkpoints; [max_seconds] bounds elapsed wall-clock time. *)
 
+val clone : t -> t
+(** Same limits, fresh per-run state. A budget's [start]/[check] cells are
+    mutable, so concurrent queries must run against private clones. *)
+
 val start : t -> unit
 (** Records the start time and baseline heap size. *)
 

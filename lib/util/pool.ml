@@ -31,6 +31,13 @@ type t = {
   mutable failure : exn option;  (* first chunk exception of the current task *)
   mutable tasks_run : int;
   mutable chunks_run : int;
+  (* Asynchronous job lane (see [submit]): one FIFO per group, groups
+     serviced round-robin so no session starves another. Invariant:
+     [job_rota] holds a group exactly once iff its queue is non-empty. *)
+  job_queues : (int, (unit -> unit) Queue.t) Hashtbl.t;
+  job_rota : int Queue.t;
+  mutable jobs_pending : int;
+  mutable jobs_run : int;
 }
 
 let max_workers = 120
@@ -78,23 +85,55 @@ let drain_chunks t (task : task) =
     if t.unfinished = 0 then Condition.broadcast t.finished
   done
 
+(* Next job in group-round-robin order. Called with the lock held. *)
+let take_job t =
+  if t.jobs_pending = 0 then None
+  else begin
+    let g = Queue.pop t.job_rota in
+    let q = Hashtbl.find t.job_queues g in
+    let job = Queue.pop q in
+    if Queue.is_empty q then Hashtbl.remove t.job_queues g else Queue.push g t.job_rota;
+    t.jobs_pending <- t.jobs_pending - 1;
+    Some job
+  end
+
+(* Run one job on this domain. The [executing] marker is set so a nested
+   [run] on the same pool from inside the job raises [Busy] (callers like
+   Parfor then degrade to sequential instead of deadlocking). Jobs own
+   their exceptions: whatever escapes is dropped here, so submitters that
+   care must catch inside the closure. *)
+let run_job t job =
+  let marker = Domain.DLS.get executing in
+  marker := t :: !marker;
+  (try job () with _ -> ());
+  marker := List.tl !marker;
+  locked t (fun () -> t.jobs_run <- t.jobs_run + 1)
+
 let rec worker_loop t last_gen =
-  let continue_ =
+  let action =
     locked t (fun () ->
         while
           (not t.stopped)
           && (match t.task with None -> true | Some task -> task.gen <= last_gen)
+          && t.jobs_pending = 0
         do
           Condition.wait t.work t.lock
         done;
-        if t.stopped then None
-        else begin
-          let task = Option.get t.task in
-          drain_chunks t task;
-          Some task.gen
-        end)
+        if t.stopped then `Stop
+        else
+          (* Chunk tasks first: they block a waiting submitter, jobs don't. *)
+          match t.task with
+          | Some task when task.gen > last_gen ->
+              drain_chunks t task;
+              `Ran task.gen
+          | _ -> ( match take_job t with Some job -> `Job job | None -> `Ran last_gen))
   in
-  match continue_ with None -> () | Some gen -> worker_loop t gen
+  match action with
+  | `Stop -> ()
+  | `Ran gen -> worker_loop t gen
+  | `Job job ->
+      run_job t job;
+      worker_loop t last_gen
 
 let spawn_worker t =
   let d = Domain.spawn (fun () -> worker_loop t 0) in
@@ -117,6 +156,10 @@ let create ~workers =
       failure = None;
       tasks_run = 0;
       chunks_run = 0;
+      job_queues = Hashtbl.create 8;
+      job_rota = Queue.create ();
+      jobs_pending = 0;
+      jobs_run = 0;
     }
   in
   locked t (fun () ->
@@ -165,6 +208,32 @@ let run t ~chunks body =
     match failure with Some e -> raise e | None -> ()
   end
 
+(* Enqueue an asynchronous job under [group] and wake a worker. With no
+   workers (or after [shutdown]) the job runs synchronously on the calling
+   domain — same degenerate mode as [run] with zero workers — so a
+   submitted job always eventually executes. *)
+let submit t ~group job =
+  let sync =
+    locked t (fun () ->
+        if t.stopped || t.nworkers = 0 then true
+        else begin
+          let q =
+            match Hashtbl.find_opt t.job_queues group with
+            | Some q -> q
+            | None ->
+                let q = Queue.create () in
+                Hashtbl.replace t.job_queues group q;
+                Queue.push group t.job_rota;
+                q
+          in
+          Queue.push job q;
+          t.jobs_pending <- t.jobs_pending + 1;
+          Condition.signal t.work;
+          false
+        end)
+  in
+  if sync then run_job t job
+
 let shutdown t =
   let doms =
     locked t (fun () ->
@@ -177,7 +246,17 @@ let shutdown t =
         t.nworkers <- 0;
         doms)
   in
-  List.iter Domain.join doms
+  List.iter Domain.join doms;
+  (* Jobs still queued when the workers stopped would otherwise never run
+     (and their submitters never hear back); drain them here. *)
+  let rec drain () =
+    match locked t (fun () -> take_job t) with
+    | Some job ->
+        run_job t job;
+        drain ()
+    | None -> ()
+  in
+  drain ()
 
 (* ------------------------------------------------------------------ *)
 (* Global pool                                                          *)
@@ -197,7 +276,7 @@ let global () =
           global_pool := Some t;
           t)
 
-type stats = { st_workers : int; st_tasks : int; st_chunks : int }
+type stats = { st_workers : int; st_tasks : int; st_chunks : int; st_jobs : int }
 
 let stats () =
   let pool =
@@ -205,7 +284,12 @@ let stats () =
     Fun.protect ~finally:(fun () -> Mutex.unlock global_lock) (fun () -> !global_pool)
   in
   match pool with
-  | None -> { st_workers = 0; st_tasks = 0; st_chunks = 0 }
+  | None -> { st_workers = 0; st_tasks = 0; st_chunks = 0; st_jobs = 0 }
   | Some t ->
       locked t (fun () ->
-          { st_workers = t.nworkers; st_tasks = t.tasks_run; st_chunks = t.chunks_run })
+          {
+            st_workers = t.nworkers;
+            st_tasks = t.tasks_run;
+            st_chunks = t.chunks_run;
+            st_jobs = t.jobs_run;
+          })

@@ -58,11 +58,28 @@ val run : t -> chunks:int -> (int -> unit) -> unit
     chunk body and follows the same capture/re-raise path as a real
     failure. *)
 
+val submit : t -> group:int -> (unit -> unit) -> unit
+(** [submit t ~group job] enqueues an asynchronous job and returns
+    immediately; a worker runs it when free. Jobs are a second lane next
+    to {!run}'s chunk tasks: workers prefer chunk work (a {!run} caller is
+    blocked on it; job submitters are not), and service job queues fairly
+    — one FIFO per [group], groups round-robin — so a group (e.g. a
+    serving session) flooding jobs cannot starve the others.
+
+    A job's exceptions are dropped by the pool: completion signalling and
+    error capture belong inside the closure. While a job runs, nested
+    {!run} on the same pool from that domain raises {!Busy} (degrade
+    sequentially, as {!Parfor} does). With zero workers, or after
+    {!shutdown}, the job runs synchronously on the calling domain — a
+    submitted job always eventually executes. *)
+
 val shutdown : t -> unit
-(** Parks no more: wakes every worker, joins them, and drops them. The
-    pool remains usable — subsequent {!run}s execute all chunks on the
-    calling domain — but {!ensure_workers} will not respawn. Idempotent.
-    Calling it from inside a task of the same pool is not allowed. *)
+(** Parks no more: wakes every worker, joins them, and drops them; jobs
+    still queued are then drained on the calling domain (a submitted job
+    is never lost). The pool remains usable — subsequent {!run}s execute
+    all chunks on the calling domain and {!submit}s run synchronously —
+    but {!ensure_workers} will not respawn. Idempotent. Calling it from
+    inside a task of the same pool is not allowed. *)
 
 (* ------------------------------------------------------------------ *)
 
@@ -80,6 +97,7 @@ type stats = {
   st_workers : int;  (** workers currently parked in the global pool *)
   st_tasks : int;  (** parallel regions executed, process lifetime *)
   st_chunks : int;  (** chunks executed, process lifetime *)
+  st_jobs : int;  (** submitted jobs executed, process lifetime *)
 }
 
 val stats : unit -> stats

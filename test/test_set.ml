@@ -68,6 +68,23 @@ let qcheck_bitset_rank_all =
       let b = Bitset.of_sorted_array a in
       Array.to_list a |> List.mapi (fun i v -> Bitset.rank b v = i) |> List.for_all Fun.id)
 
+let test_bitset_select () =
+  let vals = [| 5; 9; 63; 64; 127; 128; 1000 |] in
+  let b = Bitset.of_sorted_array vals in
+  Array.iteri
+    (fun i v -> Alcotest.(check int) (Printf.sprintf "select %d" i) v (Bitset.select b i))
+    vals;
+  Alcotest.check_raises "select -1" (Invalid_argument "Bitset.select: out of bounds")
+    (fun () -> ignore (Bitset.select b (-1)));
+  Alcotest.check_raises "select card" (Invalid_argument "Bitset.select: out of bounds")
+    (fun () -> ignore (Bitset.select b (Array.length vals)))
+
+let qcheck_bitset_select_inverse =
+  Helpers.qtest "bitset select inverts rank" sorted_gen (fun a ->
+      QCheck2.assume (Array.length a > 0);
+      let b = Bitset.of_sorted_array a in
+      Array.to_list a |> List.mapi (fun i v -> Bitset.select b i = v) |> List.for_all Fun.id)
+
 (* ---- set layouts ---- *)
 
 let test_layout_choice () =
@@ -188,6 +205,23 @@ let qcheck_count =
     QCheck2.Gen.(pair gen_set gen_set)
     (fun (a, b) -> Intersect.count a b = Set_.cardinality (Intersect.inter a b))
 
+(* Regression for Set.nth on the dense layout: it used to iterate the whole
+   bitset per call; now it must agree with the sparse layout (array index)
+   everywhere, including the out-of-bounds contract. *)
+let qcheck_nth_layouts_agree =
+  Helpers.qtest ~count:400 "nth agrees across layouts" sorted_gen (fun a ->
+      QCheck2.assume (Array.length a > 0);
+      let sp = Set_.of_sorted_array ~layout:Set_.Sparse a in
+      let ds = Set_.of_sorted_array ~layout:Set_.Dense a in
+      let n = Array.length a in
+      let agree = List.init n (fun i -> Set_.nth ds i = Set_.nth sp i && Set_.nth ds i = a.(i)) in
+      let oob =
+        match Set_.nth ds n with
+        | _ -> false
+        | exception Invalid_argument _ -> true
+      in
+      List.for_all Fun.id agree && oob)
+
 let qcheck_mem_consistent =
   Helpers.qtest "mem agrees with to_array" gen_set (fun s ->
       let arr = Set_.to_array s in
@@ -202,10 +236,12 @@ let () =
           Alcotest.test_case "iter sorted" `Quick test_bitset_iter_sorted;
           Alcotest.test_case "min/max" `Quick test_bitset_min_max;
           Alcotest.test_case "rank" `Quick test_bitset_rank;
+          Alcotest.test_case "select" `Quick test_bitset_select;
           Alcotest.test_case "popcount" `Quick test_bitset_popcount;
           qcheck_bitset_inter;
           qcheck_bitset_union;
           qcheck_bitset_rank_all;
+          qcheck_bitset_select_inverse;
         ] );
       ( "layout",
         [
@@ -229,6 +265,7 @@ let () =
           qcheck_inter_comm;
           qcheck_inter_many_fold;
           qcheck_count;
+          qcheck_nth_layouts_agree;
           qcheck_mem_consistent;
         ] );
     ]
