@@ -55,8 +55,8 @@ let run_crashtest seed attempts quiet =
     1
   end
 
-let run seed count first_index shapes max_relations inject_bug inject_fault attempts
-    concurrent domains ingests quiet =
+let run seed count first_index shapes max_relations inject_bug layout_stress inject_fault
+    attempts concurrent domains ingests quiet =
   if inject_fault then run_crashtest seed attempts quiet
   else if concurrent then run_concurrent seed count domains ingests quiet
   else
@@ -80,7 +80,7 @@ let run seed count first_index shapes max_relations inject_bug inject_fault atte
   in
   let summary =
     Lh_obs.Obs.with_enabled true (fun () ->
-        Diff.run ~progress ~inject_bug ~first_index ~seed ~count spec)
+        Diff.run ~progress ~inject_bug ~layout_stress ~first_index ~seed ~count spec)
   in
   print_endline (Diff.summary_to_string summary);
   Printf.printf "evaluators: %s\n"
@@ -122,6 +122,13 @@ let cmd =
            ~doc:"Add a deliberately wrong evaluator (sign-flips floats) to demonstrate \
                  mismatch detection and shrinking")
   in
+  let layout_stress =
+    Arg.(value & flag & info [ "layout-stress" ]
+           ~doc:"Register the sparse/dense layout-crossover relations (ls_d, ls_s, ls_m) \
+                 in the fuzzing dataset: distinct-key matrices whose trie sets straddle \
+                 the bitset/uint layout boundary, driving generated joins through every \
+                 layout-pair intersection kernel and the count-only WCOJ leaves")
+  in
   let inject_fault =
     Arg.(value & flag & info [ "inject-fault" ]
            ~doc:"Run the fault-injection crash-recovery harness instead of differential \
@@ -154,7 +161,7 @@ let cmd =
   Cmd.v
     (Cmd.info "lhfuzz" ~doc:"Differential query fuzzer for the LevelHeaded engine")
     Term.(
-      const run $ seed $ count $ index $ shape $ max_relations $ inject_bug $ inject_fault
-      $ attempts $ concurrent $ domains $ ingests $ quiet)
+      const run $ seed $ count $ index $ shape $ max_relations $ inject_bug $ layout_stress
+      $ inject_fault $ attempts $ concurrent $ domains $ ingests $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -190,3 +190,48 @@ let code_dtype tbl ~resolve = function
   | Ast.Col c -> col_dtype tbl (resolve c)
   | Ast.Extract_year _ -> Dtype.Int
   | _ -> unsupported "GROUP BY expression must be a column or EXTRACT(YEAR FROM column)"
+
+(* ---------------- WCOJ leaf disposition ----------------
+
+   The prepare-time half of kernel specialization (the rest lives in
+   Executor, which caches the resolved disposition on the plan node and
+   re-validates it against the bound tries' statistics each execution).
+   This is a pure decision over plan/trie facts so it can be unit-tested
+   without an engine. *)
+
+module Leaf = struct
+  type mode =
+    | Count
+        (** the innermost position only contributes a factor n (the
+            intersection cardinality): never materialize nor iterate it *)
+    | Stream
+        (** stream innermost matches through [Intersect.foreach_inter]
+            straight into leaf aggregation *)
+    | Generic  (** specialization disabled: materialize then iterate *)
+
+  let mode_to_string = function
+    | Count -> "count"
+    | Stream -> "stream"
+    | Generic -> "generic"
+
+  (* Count-only leaves are sound exactly when
+     - every relation whose trie ends at the innermost position has unit
+       leaf groups (no owned aggregate slots, no annotation codes, no
+       duplicate-key multiplicity), so each of the n matches contributes
+       the same combo vector and sum-style slots scale by n while min/max
+       slots are unaffected;
+     - the emitted group key never reads the innermost position: with a
+       sorted-prefix boundary that means the boundary wraps strictly above
+       it, and on the hash path no GROUP BY source may be the innermost
+       position (relations with unit groups carry no annotation codes, so
+       code sources cannot reach it);
+     - the relaxed-tail sparse accumulator is off (it indexes output by the
+       innermost value). *)
+  let mode ~leaf_unit ~relaxed_tail ~boundary ~group_uses_last ~npos =
+    if npos < 1 then Generic
+    else if
+      leaf_unit && (not relaxed_tail) && (not group_uses_last)
+      && (match boundary with Some m -> m <= npos - 1 | None -> true)
+    then Count
+    else Stream
+end

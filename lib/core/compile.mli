@@ -31,3 +31,38 @@ val pred :
 
 val const_value : Lh_sql.Ast.expr -> Lh_storage.Dtype.value option
 (** Evaluates a column-free expression to a constant, if it is one. *)
+
+(** Prepare-time WCOJ leaf disposition: decides, from plan shape and
+    trie-node statistics, how the executor's innermost loop treats the last
+    attribute position. Pure, so the property tests can drive it directly;
+    the executor caches the result per plan node and re-validates it
+    against the bound tries each execution (plan-cache epochs rebuild the
+    node, so stale dispositions cannot survive an ingest). *)
+module Leaf : sig
+  type mode =
+    | Count
+        (** the innermost position only contributes a factor n (the
+            intersection cardinality): never materialize nor iterate it *)
+    | Stream
+        (** stream innermost matches through [Intersect.foreach_inter]
+            straight into leaf aggregation *)
+    | Generic  (** specialization disabled: materialize then iterate *)
+
+  val mode_to_string : mode -> string
+
+  val mode :
+    leaf_unit:bool ->
+    relaxed_tail:bool ->
+    boundary:int option ->
+    group_uses_last:bool ->
+    npos:int ->
+    mode
+  (** [leaf_unit]: every relation whose trie ends at the innermost position
+      has unit leaf groups ({!Lh_storage.Trie.t.leaf_unit});
+      [relaxed_tail]: the §V-A2 sparse-accumulator tail is active;
+      [boundary]: the sorted-emit group-prefix length, when that path runs;
+      [group_uses_last]: some GROUP BY source reads attribute position
+      [npos - 1]. Returns [Count] when a count-only leaf is sound, else
+      [Stream]; never returns [Generic] (that is the caller's
+      configuration-off fallback). *)
+end

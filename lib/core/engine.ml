@@ -473,7 +473,14 @@ let wcoj_summary (lq : Logical.t) (ghd : Ghd.t) (pnode : Executor.pnode) =
   let names =
     List.map (fun i -> lq.Logical.vertices.(i).Logical.vname) pnode.Executor.porder
   in
-  Printf.sprintf "wcoj fhw=%.2f order=%s" ghd.Ghd.fhw (String.concat "," names)
+  (* The leaf kernel disposition is resolved (and cached on the pnode) at
+     execution time; before the first execution there is nothing to show. *)
+  let kernel =
+    match pnode.Executor.pkernel with
+    | Some k -> Printf.sprintf " leaf=%s" (Compile.Leaf.mode_to_string k.Executor.k_mode)
+    | None -> ""
+  in
+  Printf.sprintf "wcoj fhw=%.2f order=%s%s" ghd.Ghd.fhw (String.concat "," names) kernel
 
 let note_decided t (lq : Logical.t) decided =
   match t.prof with
@@ -514,6 +521,11 @@ let run_decided t lq decided ~name =
         Obs.span "execute.wcoj" ~record:(Hist.observe_always h_wcoj) (fun () ->
             Executor.run t.cfg ~cache:t.trie_cache lq pnode)
   in
+  (* Refresh the profile's plan line now that execution resolved the leaf
+     kernel disposition onto the pnode. *)
+  (match (t.prof, decided) with
+  | Some a, Use_wcoj (ghd, pnode) -> a.a_plan <- wcoj_summary lq ghd pnode
+  | _ -> ());
   Obs.span "finalize" ~record:(Hist.observe_always h_finalize) (fun () ->
       let result = finalize_rows lq rows ~dict:(Catalog.dict t.cat) ~name in
       Obs.add c_rows_emitted result.T.nrows;

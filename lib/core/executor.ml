@@ -18,6 +18,8 @@ let c_isect = Obs.counter "wcoj.intersections"
 let c_ticks = Obs.counter "wcoj.leaf_ticks"
 let c_budget_ticks = Obs.counter "budget.ticks"
 let c_scan_rows = Obs.counter "scan.rows_scanned"
+let c_count_only = Obs.counter "set.count_only"
+let c_buffer_reuse = Obs.counter "set.buffer_reuse"
 let g_domains = Obs.gauge "exec.domains_used"
 let g_peak_words = Obs.gauge "gc.peak_live_words"
 let h_trie_build = Lh_obs.Hist.histogram "phase.trie_build"
@@ -29,8 +31,19 @@ let h_trie_build = Lh_obs.Hist.histogram "phase.trie_build"
 let fault_leaf = Lh_fault.Fault.site "exec.wcoj.leaf"
 let fault_scan = Lh_fault.Fault.site "exec.scan.row"
 
+(* Fired once per count-only leaf invocation, before the count kernel
+   runs — the crashtest drives a pinned count-mode query into it. *)
+let fault_count = Lh_fault.Fault.site "exec.wcoj.count"
+
 (* ------------------------------------------------------------------ *)
 (* Physical planning                                                    *)
+
+(* The kernel disposition resolved for one plan node: cached on the pnode
+   (and therefore in the engine's plan cache, invalidated by its epoch
+   machinery, which rebuilds pnodes on revalidation) and re-validated per
+   execution against a cheap signature of the bound tries — bind-time
+   filters can change trie statistics under the same plan. *)
+type kernel_cache = { k_sig : string; k_mode : Compile.Leaf.mode }
 
 type pnode = {
   pbag : Ghd.bag;
@@ -39,6 +52,7 @@ type pnode = {
   pmaterialized : int list;
   pchildren : pnode list;
   pcost : float;
+  mutable pkernel : kernel_cache option;
 }
 
 let rec min_card (lq : Logical.t) (bag : Ghd.bag) =
@@ -112,6 +126,7 @@ let physical (cfg : Config.t) (lq : Logical.t) ~dense_of (ghd : Ghd.t) =
       pmaterialized = materialized;
       pchildren = children;
       pcost = res.Attr_order.ocost;
+      pkernel = None;
     }
   in
   assign ghd.Ghd.root ~materialized:group_keys
@@ -275,7 +290,62 @@ type bag_input = {
   boundary : int option;  (* Some m: sorted-emit path with group prefix of length m *)
   spa_bound : int;  (* >=0 only for the relaxed sorted path *)
   relaxed_tail : bool;
+  kmode : Compile.Leaf.mode;  (* innermost-position kernel disposition *)
 }
+
+(* The groups array every unit-leaf relation holds at every leaf value: the
+   count-only path installs this shared instance instead of ranking into
+   the trie per match. *)
+let unit_groups = [| { Trie.codes = [||]; vec = [||]; mult = 1.0 } |]
+
+(* Per-execution signature of everything the leaf disposition reads from
+   the bound tries: the sorted-emit shape and, for each relation ending at
+   the innermost position, whether its leaves are unit groups. Bind-time
+   filters rebuild tries, so the pnode's cached disposition is checked
+   against this string each execution. *)
+let kernel_signature (rels : xrel array) ~npos ~boundary ~relaxed_tail =
+  let b = Buffer.create (Array.length rels + 8) in
+  Buffer.add_string b (match boundary with None -> "h" | Some m -> string_of_int m);
+  Buffer.add_char b (if relaxed_tail then 'r' else '.');
+  Array.iter
+    (fun (r : xrel) ->
+      let ends_last =
+        match List.rev r.xlevels with last :: _ -> last = npos - 1 | [] -> false
+      in
+      Buffer.add_char b
+        (if not ends_last then '-' else if r.xtrie.Trie.leaf_unit then 'u' else 'x'))
+    rels;
+  Buffer.contents b
+
+(* Resolve the innermost-position kernel disposition for one plan node,
+   going through the pnode's cache (same signature -> pinned closure set).
+   Generic (specialization off) bypasses the cache: the toggle is
+   execution-time and must not leak into cached plans. *)
+let resolve_kmode (cfg : Config.t) (node : pnode) (rels : xrel array) ~npos ~gb ~boundary
+    ~relaxed_tail =
+  if (not cfg.Config.leaf_specialization) || npos = 0 then Compile.Leaf.Generic
+  else begin
+    let sig_ = kernel_signature rels ~npos ~boundary ~relaxed_tail in
+    match node.pkernel with
+    | Some k when String.equal k.k_sig sig_ -> k.k_mode
+    | _ ->
+        let leaf_unit =
+          Array.for_all
+            (fun (r : xrel) ->
+              match List.rev r.xlevels with
+              | last :: _ when last = npos - 1 -> r.xtrie.Trie.leaf_unit
+              | _ -> true)
+            rels
+        in
+        let group_uses_last =
+          Array.exists (function From_pos p -> p = npos - 1 | From_rel _ -> false) gb
+        in
+        let mode =
+          Compile.Leaf.mode ~leaf_unit ~relaxed_tail ~boundary ~group_uses_last ~npos
+        in
+        node.pkernel <- Some { k_sig = sig_; k_mode = mode };
+        mode
+  end
 
 let identity_of = function Trie.Sum -> 0.0 | Trie.Min -> infinity | Trie.Max -> neg_infinity
 
@@ -291,6 +361,14 @@ type ctx = {
   scratch : float array;
   mutable ticks : int;
   mutable isects : int;  (* set intersections performed (2+ participants) *)
+  (* specialized-kernel state *)
+  ibufs : Vec.Int.t array;  (* per-position reusable intersection buffer *)
+  itmps : Vec.Int.t array;  (* ping-pong partner for n-ary intersections *)
+  ibuf_used : bool array;
+  mutable count_leaves : int;  (* count-only leaf invocations *)
+  mutable breuse : int;  (* buffered intersections that reused a warm buffer *)
+  mutable count_n : float;  (* factor the count-only fold scales sum slots by *)
+  mutable next_tick_check : int;  (* next ticks value that triggers a budget check *)
   (* hash path *)
   hash : (int array, float array) Hashtbl.t;
   (* sorted path *)
@@ -318,6 +396,17 @@ let make_ctx (input : bag_input) =
     scratch = Array.make (max input.nslots_x 1) 0.0;
     ticks = 0;
     isects = 0;
+    ibufs =
+      (if input.kmode = Compile.Leaf.Generic then [||]
+       else Array.init (max input.npos 1) (fun _ -> Vec.Int.create ()));
+    itmps =
+      (if input.kmode = Compile.Leaf.Generic then [||]
+       else Array.init (max input.npos 1) (fun _ -> Vec.Int.create ()));
+    ibuf_used = Array.make (max input.npos 1) false;
+    count_leaves = 0;
+    breuse = 0;
+    count_n = 0.0;
+    next_tick_check = 1024;
     hash = Hashtbl.create 256;
     out = ref [];
     accum = Array.make (max input.nslots_x 1) 0.0;
@@ -478,6 +567,64 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
     | Some _, true -> fold_spa
   in
 
+  (* Count-only fold: the n innermost matches all contribute the same
+     combo vector (unit leaf groups), so sum-style slots scale by n and
+     min/max slots combine once. *)
+  let fold_counted ctx =
+    let nf = ctx.count_n in
+    for j = 0 to nslots - 1 do
+      if input.sum_like_x.(j) then ctx.scratch.(j) <- ctx.scratch.(j) *. nf
+    done;
+    fold_for_leaf ctx
+  in
+  (* The count-only leaf: n matches folded in one leaf invocation. Ticks
+     advance by n so the budget cadence matches the generic path. *)
+  let leaf_counted ctx n =
+    Lh_fault.Fault.hit fault_count;
+    ctx.count_leaves <- ctx.count_leaves + 1;
+    if n > 0 then begin
+      ctx.ticks <- ctx.ticks + n;
+      if ctx.ticks >= ctx.next_tick_check then begin
+        ctx.next_tick_check <- ctx.ticks + 1024;
+        Obs.incr c_budget_ticks;
+        Lh_util.Budget.check budget
+      end;
+      ctx.count_n <- float_of_int n;
+      let rs = parts.(npos - 1) in
+      for k = 0 to Array.length rs - 1 do
+        ctx.cur_groups.(rs.(k)) <- unit_groups
+      done;
+      let rec all_single ri =
+        if ri = nrels then true
+        else
+          let gs = ctx.cur_groups.(ri) in
+          if Array.length gs = 1 then begin
+            ctx.picked.(ri) <- Array.unsafe_get gs 0;
+            all_single (ri + 1)
+          end
+          else false
+      in
+      if all_single 0 then emit_combo ctx fold_counted else combos ctx 0 fold_counted
+    end
+  in
+  (* Buffered intersection at [pos] into the position's pinned buffer:
+     never allocates after warm-up (Vec clear keeps capacity). *)
+  let inter_to_buf ctx pos =
+    let buf = ctx.ibufs.(pos) in
+    if ctx.ibuf_used.(pos) then ctx.breuse <- ctx.breuse + 1 else ctx.ibuf_used.(pos) <- true;
+    ctx.isects <- ctx.isects + 1;
+    let rs = parts.(pos) and ls = plevel.(pos) in
+    (match Array.length rs with
+    | 2 ->
+        let a = ctx.stacks.(rs.(0)).(ls.(0)).Trie.set in
+        let b = ctx.stacks.(rs.(1)).(ls.(1)).Trie.set in
+        Intersect.inter_into buf a b
+    | n ->
+        let sets = List.init n (fun k -> ctx.stacks.(rs.(k)).(ls.(k)).Trie.set) in
+        Intersect.inter_many_into buf ctx.itmps.(pos) sets);
+    buf
+  in
+
   let rec walk ctx pos ~wrapped =
     (* The boundary test comes first: when the GROUP BY covers every
        position, the flush must wrap the (empty) suffix at pos = npos. *)
@@ -512,6 +659,24 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
             touched)
     end
     else if pos = npos then leaf ctx fold_for_leaf
+    else if pos = npos - 1 && input.kmode = Compile.Leaf.Count then begin
+      (* Count-only innermost position: the intersection cardinality is the
+         only thing the leaf needs — never materialize nor iterate it. *)
+      let rs = parts.(pos) and ls = plevel.(pos) in
+      let n =
+        match Array.length rs with
+        | 1 -> Set_.cardinality ctx.stacks.(rs.(0)).(ls.(0)).Trie.set
+        | 2 ->
+            ctx.isects <- ctx.isects + 1;
+            let a = ctx.stacks.(rs.(0)).(ls.(0)).Trie.set in
+            let b = ctx.stacks.(rs.(1)).(ls.(1)).Trie.set in
+            Intersect.count a b
+        | _ ->
+            let buf = inter_to_buf ctx pos in
+            Vec.Int.length buf
+      in
+      leaf_counted ctx n
+    end
     else if Array.length parts.(pos) = 1 then begin
       (* Single participant: its own set is the intersection; iterate with
          the rank in hand instead of searching it back. *)
@@ -525,6 +690,35 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
           else ctx.stacks.(ri).(l + 1) <- Array.unsafe_get node.Trie.children rank;
           walk ctx (pos + 1) ~wrapped:false)
         node.Trie.set
+    end
+    else if input.kmode <> Compile.Leaf.Generic then begin
+      if pos = npos - 1 && Array.length parts.(pos) = 2 then begin
+        (* Innermost two-way intersection: stream matches straight into
+           leaf aggregation without touching a buffer. *)
+        ctx.isects <- ctx.isects + 1;
+        let rs = parts.(pos) and ls = plevel.(pos) in
+        let a = ctx.stacks.(rs.(0)).(ls.(0)).Trie.set in
+        let b = ctx.stacks.(rs.(1)).(ls.(1)).Trie.set in
+        Intersect.foreach_inter
+          (fun v ->
+            ctx.vals.(pos) <- v;
+            advance ctx pos v;
+            walk ctx (pos + 1) ~wrapped:false)
+          a b
+      end
+      else begin
+        (* Interior (or n-ary innermost) position: intersect into the
+           position's pinned buffer and iterate the live prefix. *)
+        let buf = inter_to_buf ctx pos in
+        let arr = Vec.Int.unsafe_inner buf in
+        let len = Vec.Int.length buf in
+        for i = 0 to len - 1 do
+          let v = Array.unsafe_get arr i in
+          ctx.vals.(pos) <- v;
+          advance ctx pos v;
+          walk ctx (pos + 1) ~wrapped:false
+        done
+      end
     end
     else begin
       let s = isect ctx pos in
@@ -563,12 +757,16 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
     if Obs.is_enabled () then begin
       Obs.add c_ticks ctx.ticks;
       Obs.add c_isect ctx.isects;
+      Obs.add c_count_only ctx.count_leaves;
+      Obs.add c_buffer_reuse ctx.breuse;
       Obs.set_max g_peak_words (Gc.quick_stat ()).Gc.heap_words
     end
   in
   let merge_stats a b =
     a.ticks <- a.ticks + b.ticks;
-    a.isects <- a.isects + b.isects
+    a.isects <- a.isects + b.isects;
+    a.count_leaves <- a.count_leaves + b.count_leaves;
+    a.breuse <- a.breuse + b.breuse
   in
   Obs.set_max g_domains domains;
   if npos = 0 then begin
@@ -821,6 +1019,7 @@ and run_bag cfg ?cache (lq : Logical.t) (node : pnode) ~gb_prefix ~with_pseudo =
       boundary;
       spa_bound;
       relaxed_tail;
+      kmode = resolve_kmode cfg node rels ~npos ~gb ~boundary ~relaxed_tail;
     }
   in
   let rows =
@@ -908,7 +1107,19 @@ and run_bag_root (cfg : Config.t) ?cache lq (node : pnode) gb_prefix =
       else (None, false, -1)
   in
   let input =
-    { rels; npos; nslots_x; kinds_x; coeffs_x; sum_like_x; gb; boundary; spa_bound; relaxed_tail }
+    {
+      rels;
+      npos;
+      nslots_x;
+      kinds_x;
+      coeffs_x;
+      sum_like_x;
+      gb;
+      boundary;
+      spa_bound;
+      relaxed_tail;
+      kmode = resolve_kmode cfg node rels ~npos ~gb ~boundary ~relaxed_tail;
+    }
   in
   let rows =
     Obs.span "wcoj.bag"

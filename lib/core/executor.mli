@@ -18,6 +18,15 @@
     attribute order — the path that lets sparse matrix multiplication run
     without materializing a hash of the output. *)
 
+type kernel_cache = { k_sig : string; k_mode : Compile.Leaf.mode }
+(** The kernel disposition resolved for one plan node: which specialized
+    innermost-loop shape ({!Compile.Leaf.mode}) the executor pinned, plus
+    the signature of the bound tries it was resolved from (leaf-unit flags
+    and the sorted-emit shape). Cached on the {!pnode} — and therefore in
+    the engine's plan cache, whose epoch machinery rebuilds pnodes on
+    revalidation — and re-checked per execution because bind-time filters
+    rebuild tries under the same plan. *)
+
 type pnode = {
   pbag : Ghd.bag;
   porder : int list;  (** vertex ids, execution order *)
@@ -25,6 +34,7 @@ type pnode = {
   pmaterialized : int list;
   pchildren : pnode list;
   pcost : float;
+  mutable pkernel : kernel_cache option;
 }
 
 val physical :

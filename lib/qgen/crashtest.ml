@@ -12,12 +12,22 @@ type site_report = { sr_site : string; sr_outcome : outcome }
 type summary = { s_seed : int; s_sites : site_report list }
 
 (* How to reach each site. [Query shapes] searches fuzzer-generated
-   queries of those shapes on the pinned dataset; [Kernel] calls the CSR
-   kernels directly (no generated query is guaranteed to route through
-   them); [Ingest] loads a temporary CSV into a fresh engine; [Serving]
-   drives a two-session Lh_serve service through the admission / epoch
-   lifecycle. *)
-type scenario = Query of Gen.shape list | Kernel | Ingest | Serving
+   queries of those shapes on the pinned dataset; [Pinned sql] runs one
+   fixed query on the layout-stress dataset (for sites only specific
+   trie/kernel dispositions reach); [Kernel] calls the CSR kernels
+   directly (no generated query is guaranteed to route through them);
+   [Ingest] loads a temporary CSV into a fresh engine; [Serving] drives a
+   two-session Lh_serve service through the admission / epoch lifecycle. *)
+type scenario = Query of Gen.shape list | Pinned of string | Kernel | Ingest | Serving
+
+(* Triangle count over the distinct-key dense stress matrix: position 0 has
+   two participants (r0.row ∩ r2.col → a buffered inter_into) and the
+   leaf-unit tries make the innermost level a count-only leaf — the only
+   query shape that deterministically reaches both specialized-kernel
+   sites. *)
+let triangle_count_sql =
+  "select count(*) as a0 from ls_d r0, ls_d r1, ls_d r2 \
+   where r0.col = r1.row and r1.col = r2.row and r2.col = r0.row"
 
 let scenarios =
   [
@@ -27,6 +37,8 @@ let scenarios =
     ("plan_cache.fill", Query [ Gen.Scan; Gen.Chain ]);
     ("exec.scan.row", Query [ Gen.Scan ]);
     ("exec.wcoj.leaf", Query [ Gen.Chain; Gen.Star; Gen.Cycle ]);
+    ("exec.wcoj.count", Pinned triangle_count_sql);
+    ("set.inter_into", Pinned triangle_count_sql);
     ("trie.build.node", Query [ Gen.Chain; Gen.Star ]);
     ("blas.dispatch", Query [ Gen.La ]);
     ("dense.gemv", Query [ Gen.La ]);
@@ -91,8 +103,8 @@ let check_slow_log ~kind lines =
 (* One (site, kind) trial on one query: fresh engine, arm, run, check the
    typed error, then re-run the same query on the same engine and demand
    the clean answer. *)
-let run_kind ~site ~kind ~sql ~clean_rows =
-  let eng = Dataset.build () in
+let run_kind ?(layout_stress = false) ~site ~kind ~sql ~clean_rows () =
+  let eng = Dataset.build ~layout_stress () in
   L.Engine.set_config eng { (L.Engine.config eng) with L.Config.slow_log_ms = 0.0 };
   let slow_lines = ref [] in
   L.Engine.set_profile_sink eng
@@ -153,14 +165,14 @@ let try_one ~seed ~index ~spec ~site ~profile =
   | Error _ -> `Skip
   | Ok t -> (
       let clean_rows = Table.to_rows t in
-      match run_kind ~site ~kind:Fault.Generic ~sql ~clean_rows with
+      match run_kind ~site ~kind:Fault.Generic ~sql ~clean_rows () with
       | (`Unreached | `Skip) as r -> r
       | `Outcome o -> `Outcome o
       | `Recovered ->
           let rec go = function
             | [] -> `Outcome Passed
             | k :: rest -> (
-                match run_kind ~site ~kind:k ~sql ~clean_rows with
+                match run_kind ~site ~kind:k ~sql ~clean_rows () with
                 | `Recovered -> go rest
                 | `Outcome o -> `Outcome o
                 | `Unreached ->
@@ -194,6 +206,31 @@ let query_site ~attempts ~seed site shapes =
       Failed (Printf.sprintf "no generated query reached the site in %d attempts" attempts)
     with Done o -> o
   end
+
+(* A pinned query on the layout-stress dataset must reach its site
+   deterministically — "unreached" is a failure here, not a retry. *)
+let pinned_site ~site sql =
+  Fault.disarm_all ();
+  let clean = Dataset.build ~layout_stress:true () in
+  match L.Engine.query_result clean sql with
+  | Error e -> Failed ("pinned query failed on a clean engine: " ^ L.Engine.Error.to_string e)
+  | Ok t -> (
+      let clean_rows = Table.to_rows t in
+      let rec go = function
+        | [] -> Passed
+        | kind :: rest -> (
+            match run_kind ~layout_stress:true ~site ~kind ~sql ~clean_rows () with
+            | `Recovered -> go rest
+            | `Outcome Passed | `Outcome (Excused _) -> go rest
+            | `Outcome o -> o
+            | `Unreached ->
+                Failed (Printf.sprintf "%s: pinned query did not reach the site" (kind_str kind))
+            | `Skip ->
+                Failed
+                  (Printf.sprintf "%s: pinned query failed without the fault firing"
+                     (kind_str kind)))
+      in
+      go kinds)
 
 (* ------------------------------------------------------------------ *)
 (* Kernel scenarios: the CSR kernels are not reachable through the SQL
@@ -495,6 +532,7 @@ let run ?(progress = fun _ -> ()) ?(attempts = 40) ~seed () =
             try
               match scen with
               | Query shapes -> query_site ~attempts ~seed site shapes
+              | Pinned sql -> pinned_site ~site sql
               | Kernel -> kernel_site site
               | Ingest -> ingest_site site
               | Serving -> serve_site site

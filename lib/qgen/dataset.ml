@@ -37,7 +37,72 @@ let matrix_rows rng n =
         Dtype.VFloat (float_of_int (Prng.int_in rng (-4) 4));
       ])
 
-let build () =
+(* Distinct-key matrix relations whose sets straddle the Sparse/Dense
+   layout crossover ([Lh_set.Set.choose_layout]: dense iff card >= 16 and
+   span <= 16 * card). Registered only under [~layout_stress:true] so the
+   pinned base catalog — and every replay seed against it — is unchanged.
+
+   - [ls_d]: pairs over a 0..17 domain at ~85% fill. The first level is one
+     dense bitset; per-row column sets hover around cardinality 15-16, so a
+     single level mixes bitset and uint sets (bs∩bs, bs∩uint, uint∩uint all
+     arise inside one query).
+   - [ls_s]: ~48 pairs spread over 0..999 — every set stays uint.
+   - [ls_m]: a full dense first level (0..17) over sparse wide-domain
+     column sets, so joins against [ls_d] hit bs∩bs at the root and joins
+     against [ls_s] hit uint∩uint below it.
+
+   All three have strictly distinct key tuples and a float annotation: with
+   only keys referenced their tries are leaf-unit, which is what arms the
+   executor's count-only kernels on cycle-shaped counts. *)
+let layout_stress_tables reg =
+  let rng = Prng.create 0xB17F1E1D in
+  let mat = [ ("row", Dtype.Int, Schema.Key); ("col", Dtype.Int, Schema.Key);
+              ("v", Dtype.Float, Schema.Annotation) ] in
+  let pair r c = [ Dtype.VInt r; Dtype.VInt c; Dtype.VFloat (quarter rng) ] in
+  let dense_rows =
+    List.concat_map
+      (fun r ->
+        List.filter_map
+          (fun c -> if Prng.int rng 20 < 17 then Some (pair r c) else None)
+          (List.init 18 Fun.id))
+      (List.init 18 Fun.id)
+  in
+  reg "ls_d" mat dense_rows;
+  let seen = Hashtbl.create 64 in
+  let sparse_rows =
+    List.init 48 (fun _ ->
+        let rec fresh () =
+          let r = Prng.int rng 1000 and c = Prng.int rng 1000 in
+          if Hashtbl.mem seen (r, c) then fresh ()
+          else begin
+            Hashtbl.add seen (r, c) ();
+            pair r c
+          end
+        in
+        fresh ())
+  in
+  reg "ls_s" mat sparse_rows;
+  let mixed_rows =
+    List.concat_map
+      (fun r ->
+        (* three distinct wide-domain columns per dense row key *)
+        let cols = Hashtbl.create 4 in
+        let rec draw k acc =
+          if k = 0 then acc
+          else
+            let c = Prng.int rng 1000 in
+            if Hashtbl.mem cols c then draw k acc
+            else begin
+              Hashtbl.add cols c ();
+              draw (k - 1) (pair r c :: acc)
+            end
+        in
+        draw 3 [])
+      (List.init 18 Fun.id)
+  in
+  reg "ls_m" mat mixed_rows
+
+let build ?(layout_stress = false) () =
   let eng = L.Engine.create () in
   let dict = L.Engine.dict eng in
   let rng = Prng.create 0xA11CE in
@@ -113,6 +178,9 @@ let build () =
            Dtype.VFloat (quarter rng);
            Dtype.VInt (Prng.int rng 6);
          ]));
+  (* Appended last, from an independent rng: the base tables above are
+     bit-identical with and without the stress tables. *)
+  if layout_stress then layout_stress_tables reg;
   eng
 
 let profile eng =

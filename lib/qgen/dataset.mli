@@ -26,8 +26,16 @@ type table_info = { ti_name : string; ti_cols : col_info array; ti_rows : int }
 
 type profile = table_info array
 
-val build : unit -> Levelheaded.Engine.t
-(** A fresh engine with the full dataset registered. *)
+val build : ?layout_stress:bool -> unit -> Levelheaded.Engine.t
+(** A fresh engine with the full dataset registered. [~layout_stress:true]
+    (default false) additionally registers three distinct-key matrix
+    relations whose trie sets straddle the sparse/dense layout crossover —
+    [ls_d] (dense bitset levels at ~85% fill of an 18x18 domain), [ls_s]
+    (uint sets spread over a 0..999 domain) and [ls_m] (a dense first level
+    over sparse column sets) — so generated joins exercise every
+    layout-pair kernel (bs-bs, bs-uint, uint-uint) and, having no duplicate
+    key tuples, the executor's count-only leaves. The base tables are
+    bit-identical in both modes. *)
 
 val profile : Levelheaded.Engine.t -> profile
 (** Scans every registered table once: the schema plus per-column value

@@ -84,6 +84,9 @@ let evaluators ~inject_bug eng =
     engine_with "engine-logicblox" L.Config.logicblox_like;
     engine_with "engine-unsorted-emit"
       { d with L.Config.sorted_emit = false; blas_targeting = false };
+    (* Same plans, generic WCOJ leaves: any disagreement with "engine" is a
+       bug in the layout-specialized count/stream kernels. *)
+    engine_with "engine-generic-leaf" { d with L.Config.leaf_specialization = false };
     pairwise "pairwise-pipelined" Lh_baseline.Pairwise.Pipelined;
     pairwise "pairwise-materializing" Lh_baseline.Pairwise.Materializing;
   ]
@@ -117,8 +120,9 @@ let mismatch ~exn_failure ~oracle ev ast =
       | Raised msg -> if exn_failure then Some ("raised " ^ msg) else None
       | Ok_rows got -> Rows.diff ~expect ~got)
 
-let run ?(progress = fun _ -> ()) ?(inject_bug = false) ?(first_index = 0) ~seed ~count spec =
-  let eng = Dataset.build () in
+let run ?(progress = fun _ -> ()) ?(inject_bug = false) ?(layout_stress = false)
+    ?(first_index = 0) ~seed ~count spec =
+  let eng = Dataset.build ~layout_stress () in
   let profile = Dataset.profile eng in
   let lookup name = L.Catalog.find_exn (L.Engine.catalog eng) name in
   let oracle ast = Lh_baseline.Oracle.query ~lookup ast in

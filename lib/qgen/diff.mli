@@ -2,7 +2,8 @@
 
     Runs each generated query through every evaluator — the LevelHeaded
     engine under several configurations (serial and 4-domain, cost-based /
-    naive / worst attribute orders, LogicBlox-like, unsorted emit), the
+    naive / worst attribute orders, LogicBlox-like, unsorted emit, generic
+    non-specialized WCOJ leaves), the
     pairwise hash-join baselines (pipelined and materializing) — and
     checks each row set against the brute-force {!Lh_baseline.Oracle}
     reference with {!Rows.diff} (float-tolerant, canonicalized order).
@@ -43,6 +44,7 @@ val evaluator_names : inject_bug:bool -> string list
 val run :
   ?progress:(int -> unit) ->
   ?inject_bug:bool ->
+  ?layout_stress:bool ->
   ?first_index:int ->
   seed:int ->
   count:int ->
@@ -52,7 +54,10 @@ val run :
     [first_index .. first_index + count - 1] (default 0) and runs the
     differential check on each. [inject_bug] adds a deliberately wrong
     evaluator (sign-flips every float) to demonstrate detection and
-    shrinking. [progress] is called with each finished index. *)
+    shrinking. [layout_stress] builds the dataset with the sparse/dense
+    crossover relations ([ls_d]/[ls_s]/[ls_m]) so generated joins cover
+    every set-layout pair and the count-only leaves. [progress] is called
+    with each finished index. *)
 
 val discrepancy_to_string : discrepancy -> string
 val summary_to_string : summary -> string

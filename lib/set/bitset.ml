@@ -127,6 +127,57 @@ let inter_uint t arr =
   Array.iter (fun v -> if mem t v then Lh_util.Vec.Int.push out v) arr;
   Lh_util.Vec.Int.to_array out
 
+(* Cardinality of the word-wise AND without allocating the result words:
+   the count kernel of the bs∩bs pair. *)
+let inter_count a b =
+  let lo_w = max (word_offset a) (word_offset b) in
+  let hi_w = min (word_offset a + Array.length a.words) (word_offset b + Array.length b.words) in
+  if hi_w <= lo_w then 0
+  else begin
+    let aw = a.words and bw = b.words in
+    let ao = lo_w - word_offset a and bo = lo_w - word_offset b in
+    let card = ref 0 in
+    for i = 0 to hi_w - lo_w - 1 do
+      let w = aw.(ao + i) land bw.(bo + i) in
+      if w <> 0 then card := !card + popcount w
+    done;
+    !card
+  end
+
+let inter_uint_count t arr =
+  let c = ref 0 in
+  Array.iter (fun v -> if mem t v then incr c) arr;
+  !c
+
+(* Streams the members of the AND to [f] in increasing order without
+   materializing anything: AND one word pair at a time, then the same
+   byte-skipping bit peel as [iter]. *)
+let iter_inter f a b =
+  let lo_w = max (word_offset a) (word_offset b) in
+  let hi_w = min (word_offset a + Array.length a.words) (word_offset b + Array.length b.words) in
+  if hi_w > lo_w then begin
+    let aw = a.words and bw = b.words in
+    let ao = lo_w - word_offset a and bo = lo_w - word_offset b in
+    for i = 0 to hi_w - lo_w - 1 do
+      let w = aw.(ao + i) land bw.(bo + i) in
+      if w <> 0 then begin
+        let v0 = (lo_w + i) * word_bits in
+        let w = ref w and b = ref 0 in
+        while !w <> 0 do
+          if !w land 0xFF = 0 then begin
+            w := !w lsr 8;
+            b := !b + 8
+          end
+          else begin
+            if !w land 1 = 1 then f (v0 + !b);
+            w := !w lsr 1;
+            incr b
+          end
+        done
+      end
+    done
+  end
+
 let union a b =
   if a.card = 0 then b
   else if b.card = 0 then a

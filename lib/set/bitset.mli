@@ -50,6 +50,18 @@ val inter_uint : t -> int array -> int array
 (** Intersection with a sorted uint set via membership probes (the bs∩uint
     kernel); returns a sorted uint result. *)
 
+val inter_count : t -> t -> int
+(** Cardinality of the word-wise AND, popcounted word by word without
+    allocating the result (the bs∩bs count kernel). *)
+
+val inter_uint_count : t -> int array -> int
+(** Number of elements of a sorted uint set present in the bitset, by
+    membership probes without materializing (the bs∩uint count kernel). *)
+
+val iter_inter : (int -> unit) -> t -> t -> unit
+(** Streams the members of the word-wise AND to the closure in increasing
+    order without materializing the result set. *)
+
 val union : t -> t -> t
 
 val popcount : int -> int

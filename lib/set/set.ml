@@ -30,7 +30,7 @@ let of_sorted_array ?layout arr =
 
 let sort_dedup arr =
   let arr = Array.copy arr in
-  Array.sort compare arr;
+  Array.sort Int.compare arr;
   let n = Array.length arr in
   if n <= 1 then arr
   else begin

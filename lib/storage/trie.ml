@@ -8,7 +8,15 @@ type node = {
   groups : group array array;
 }
 
-type t = { nlevels : int; root : node; total_tuples : int; level_max : int array }
+type t = {
+  nlevels : int;
+  root : node;
+  total_tuples : int;
+  level_max : int array;
+  leaf_unit : bool;
+  level_dense : int array;
+  level_nodes : int array;
+}
 
 let combine kind a b =
   match kind with Sum -> a +. b | Min -> Float.min a b | Max -> Float.max a b
@@ -71,7 +79,17 @@ let fault_node = Lh_fault.Fault.site "trie.build.node"
 
 (* Per-task build statistics: subtree builds run on worker domains with a
    private copy, merged in chunk order afterwards. *)
-type bstats = { mutable tuples : int; maxes : int array }
+type bstats = {
+  mutable tuples : int;
+  maxes : int array;
+  (* Layout-disposition statistics the executor's kernel specialization
+     reads: per-level dense/total set tallies, and whether every leaf
+     groups array is the single unit group {codes=[||]; vec=[||]; mult=1}
+     — the precondition for count-only WCOJ leaves. *)
+  mutable unit_leaves : bool;
+  ndense : int array;
+  nsets : int array;
+}
 
 let build ?(domains = 1) ~keys ~rows ?(group_cols = [||]) ?(aggs = [||]) ?(mults = fun _ -> 1.0) () =
   let nlevels = Array.length keys in
@@ -81,7 +99,7 @@ let build ?(domains = 1) ~keys ~rows ?(group_cols = [||]) ?(aggs = [||]) ?(mults
     let rec go l =
       if l >= nlevels then 0
       else
-        let c = compare keys.(l).(r1) keys.(l).(r2) in
+        let c = Int.compare keys.(l).(r1) keys.(l).(r2) in
         if c <> 0 then c else go (l + 1)
     in
     go 0
@@ -90,6 +108,18 @@ let build ?(domains = 1) ~keys ~rows ?(group_cols = [||]) ?(aggs = [||]) ?(mults
   let nrows = Array.length rows in
   (* rows.(lo..hi) share the key prefix above [level]; produce the node for
      this subtree.  Segments of equal value at [level] become set entries. *)
+  let unit_groups g =
+    Array.length g = 1
+    && Array.length g.(0).codes = 0
+    && Array.length g.(0).vec = 0
+    && g.(0).mult = 1.0
+  in
+  let tally_set stats level set =
+    stats.nsets.(level) <- stats.nsets.(level) + 1;
+    match Lh_set.Set.layout set with
+    | Lh_set.Set.Dense -> stats.ndense.(level) <- stats.ndense.(level) + 1
+    | Lh_set.Set.Sparse -> ()
+  in
   let rec build_node stats level lo hi =
     Lh_fault.Fault.hit fault_node;
     let col = keys.(level) in
@@ -119,20 +149,50 @@ let build ?(domains = 1) ~keys ~rows ?(group_cols = [||]) ?(aggs = [||]) ?(mults
       if v > stats.maxes.(level) then stats.maxes.(level) <- v;
       if last then begin
         groups.(!k) <- make_groups ~rows ~group_cols ~aggs ~mults seg_lo !i;
+        if stats.unit_leaves && not (unit_groups groups.(!k)) then stats.unit_leaves <- false;
         stats.tuples <- stats.tuples + 1
       end
       else children.(!k) <- build_node stats (level + 1) seg_lo !i;
       incr k
     done;
-    { set = Lh_set.Set.of_sorted_array values; children; groups }
+    let set = Lh_set.Set.of_sorted_array values in
+    tally_set stats level set;
+    { set; children; groups }
   in
-  let fresh_stats () = { tuples = 0; maxes = Array.make nlevels (-1) } in
+  let fresh_stats () =
+    {
+      tuples = 0;
+      maxes = Array.make nlevels (-1);
+      unit_leaves = true;
+      ndense = Array.make nlevels 0;
+      nsets = Array.make nlevels 0;
+    }
+  in
+  let finish stats root =
+    {
+      nlevels;
+      root;
+      total_tuples = stats.tuples;
+      level_max = stats.maxes;
+      leaf_unit = stats.unit_leaves;
+      level_dense = stats.ndense;
+      level_nodes = stats.nsets;
+    }
+  in
   if nrows = 0 then
-    { nlevels; root = empty_node; total_tuples = 0; level_max = Array.make nlevels (-1) }
+    {
+      nlevels;
+      root = empty_node;
+      total_tuples = 0;
+      level_max = Array.make nlevels (-1);
+      leaf_unit = true;
+      level_dense = Array.make nlevels 0;
+      level_nodes = Array.make nlevels 0;
+    }
   else if domains <= 1 then begin
     let stats = fresh_stats () in
     let root = build_node stats 0 0 nrows in
-    { nlevels; root; total_tuples = stats.tuples; level_max = stats.maxes }
+    finish stats root
   end
   else begin
     (* Parallel build, partitioned by first-level key: the sorted rows are
@@ -165,18 +225,24 @@ let build ?(domains = 1) ~keys ~rows ?(group_cols = [||]) ?(aggs = [||]) ?(mults
           if last then begin
             Lh_fault.Fault.hit fault_node;
             groups.(k) <- make_groups ~rows ~group_cols ~aggs ~mults seg_lo seg_hi;
+            if stats.unit_leaves && not (unit_groups groups.(k)) then stats.unit_leaves <- false;
             stats.tuples <- stats.tuples + 1
           end
           else children.(k) <- build_node stats 1 seg_lo seg_hi)
         ~merge:(fun a b ->
           a.tuples <- a.tuples + b.tuples;
           Array.iteri (fun l m -> if m > a.maxes.(l) then a.maxes.(l) <- m) b.maxes;
+          a.unit_leaves <- a.unit_leaves && b.unit_leaves;
+          Array.iteri (fun l n -> a.ndense.(l) <- a.ndense.(l) + n) b.ndense;
+          Array.iteri (fun l n -> a.nsets.(l) <- a.nsets.(l) + n) b.nsets;
           a)
     in
     (* Level-0 values ascend with the sort, so the last segment holds the max. *)
     stats.maxes.(0) <- values.(nsegs - 1);
-    let root = { set = Lh_set.Set.of_sorted_array values; children; groups } in
-    { nlevels; root; total_tuples = stats.tuples; level_max = stats.maxes }
+    let set = Lh_set.Set.of_sorted_array values in
+    tally_set stats 0 set;
+    let root = { set; children; groups } in
+    finish stats root
   end
 
 let first_level t = t.root.set

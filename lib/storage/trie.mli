@@ -34,6 +34,15 @@ type t = {
   root : node;
   total_tuples : int;
   level_max : int array;  (** max key value per level; -1 when the trie is empty *)
+  leaf_unit : bool;
+      (** Every leaf groups array is the single unit group
+          [{codes = \[||\]; vec = \[||\]; mult = 1.0}] — i.e. the relation
+          carries no owned aggregates, no GROUP BY annotation codes, and no
+          duplicate key tuples. This is the precondition for the executor's
+          count-only WCOJ leaves: n intersection matches contribute exactly
+          the factor n. Vacuously true for an empty trie. *)
+  level_dense : int array;  (** number of dense ("bs") sets per level *)
+  level_nodes : int array;  (** total number of sets per level *)
 }
 
 val build :
