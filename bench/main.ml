@@ -29,7 +29,7 @@ let fig1 bi la =
       C.print_row (C.system_name s) [ cell bi; cell la ])
     [ C.Lh; C.Hyper_like; C.Monet_like; C.Lh_logicblox; C.Mkl_like ]
 
-let all_ids = [ "table2-bi"; "table2-la"; "table3"; "table4"; "fig1"; "fig5a"; "fig5b"; "fig5c"; "fig6"; "ablations"; "repeated"; "concurrency"; "layouts" ]
+let all_ids = [ "table2-bi"; "table2-la"; "table3"; "table4"; "fig1"; "fig5a"; "fig5b"; "fig5c"; "fig6"; "ablations"; "repeated"; "concurrency"; "layouts"; "graph" ]
 
 let run_ids params ids =
   let wants id = List.mem id ids in
@@ -61,6 +61,7 @@ let run_ids params ids =
   if wants "repeated" then tagged "repeated" (fun () -> ignore (Exp_repeated.run params));
   if wants "concurrency" then tagged "concurrency" (fun () -> ignore (Exp_serve.run params));
   if wants "layouts" then tagged "layouts" (fun () -> ignore (Exp_layouts.run params));
+  if wants "graph" then tagged "graph" (fun () -> ignore (Exp_graph.run params));
   C.write_json ()
 
 (* ---------------- smoke: one query per experiment family, telemetry on,
@@ -380,7 +381,7 @@ let smoke params =
 open Cmdliner
 
 let ids_arg =
-  let doc = "Experiments to run: table2-bi table2-la table3 table4 fig1 fig5a fig5b fig5c fig6 ablations repeated concurrency layouts. Default: all." in
+  let doc = "Experiments to run: table2-bi table2-la table3 table4 fig1 fig5a fig5b fig5c fig6 ablations repeated concurrency layouts graph. Default: all." in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let sf_arg =

@@ -55,8 +55,8 @@ let run_crashtest seed attempts quiet =
     1
   end
 
-let run seed count first_index shapes max_relations inject_bug layout_stress inject_fault
-    attempts concurrent domains ingests quiet =
+let run seed count first_index shapes max_relations semiring inject_bug layout_stress
+    inject_fault attempts concurrent domains ingests quiet =
   if inject_fault then run_crashtest seed attempts quiet
   else if concurrent then run_concurrent seed count domains ingests quiet
   else
@@ -74,7 +74,7 @@ let run seed count first_index shapes max_relations inject_bug layout_stress inj
                 exit 2)
           names
   in
-  let spec = { Gen.shapes; max_relations } in
+  let spec = { Gen.shapes; max_relations; semiring } in
   let progress i =
     if (not quiet) && (i + 1) mod 100 = 0 then Printf.eprintf "... %d queries\n%!" (i + 1)
   in
@@ -116,6 +116,12 @@ let cmd =
   let max_relations =
     Arg.(value & opt int Gen.default_spec.Gen.max_relations
          & info [ "max-relations" ] ~docv:"N" ~doc:"Largest FROM-list to generate")
+  in
+  let semiring =
+    Arg.(value & flag & info [ "semiring" ]
+           ~doc:"Also generate semiring aggregates — MIN_PLUS(...), REACHES(...) and \
+                 agg('name', ...) over the builtin registry — exercising the generalized \
+                 fold kernels against the brute-force oracle's hardcoded semantics")
   in
   let inject_bug =
     Arg.(value & flag & info [ "inject-bug" ]
@@ -161,7 +167,7 @@ let cmd =
   Cmd.v
     (Cmd.info "lhfuzz" ~doc:"Differential query fuzzer for the LevelHeaded engine")
     Term.(
-      const run $ seed $ count $ index $ shape $ max_relations $ inject_bug $ layout_stress
-      $ inject_fault $ attempts $ concurrent $ domains $ ingests $ quiet)
+      const run $ seed $ count $ index $ shape $ max_relations $ semiring $ inject_bug
+      $ layout_stress $ inject_fault $ attempts $ concurrent $ domains $ ingests $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -51,6 +51,12 @@ echo "lhserve pipe smoke ok"
 # discrepancy between the engine configurations, the pairwise baselines
 # and the brute-force oracle (see bin/lhfuzz.ml and DESIGN.md).
 dune exec bin/lhfuzz.exe -- --seed 42 --count "${LH_FUZZ_COUNT:-1000}" --quiet
+# Semiring leg: the generator also draws MIN_PLUS / REACHES / agg('name')
+# aggregates (argument shapes matched to each semiring's decomposition
+# class), so the generalized fold kernels, the count-only-soundness
+# gating and the streaming ⊕-repetition path are all differentially
+# checked against the oracle's hardcoded (min,+)/(∨,∧) semantics.
+dune exec bin/lhfuzz.exe -- --semiring --seed 42 --count "${LH_FUZZ_COUNT:-1000}" --quiet
 # Layout-stress leg: the dataset gains three relations engineered to pin
 # the set-kernel layout regimes (dense bitset roots, all-uint over a wide
 # domain, dense-over-sparse) with leaf-unit tries, so generated joins
@@ -78,23 +84,23 @@ LH_DOMAINS=4 dune exec bin/lhfuzz.exe -- --concurrent --seed 42 --count 30 --dom
 # unreachable at domains=1 and excused there).
 dune exec bin/lhfuzz.exe -- --inject-fault --seed 42 --attempts "${LH_FAULT_COUNT:-40}" --quiet
 LH_DOMAINS=4 dune exec bin/lhfuzz.exe -- --inject-fault --seed 42 --attempts "${LH_FAULT_COUNT:-40}" --quiet
-# Bench-baseline regression gate (see BENCH_8.json / EXPERIMENTS.md).
+# Bench-baseline regression gate (see BENCH_9.json / EXPERIMENTS.md).
 # Deterministic legs first: the baseline must compare clean against
 # itself, and the gate must actually fire on a synthetic 3x slowdown.
-dune exec bench/main.exe -- --compare BENCH_8.json --compare-with BENCH_8.json
-if dune exec bench/main.exe -- --compare BENCH_8.json --compare-with BENCH_8.json --compare-slowdown 3 > /dev/null; then
+dune exec bench/main.exe -- --compare BENCH_9.json --compare-with BENCH_9.json
+if dune exec bench/main.exe -- --compare BENCH_9.json --compare-with BENCH_9.json --compare-slowdown 3 > /dev/null; then
   echo "ci FAIL: --compare accepted a 3x slowdown" >&2
   exit 1
 fi
 # Live leg: re-run the baseline's experiment subset (now including the
-# service-concurrency and set-layout kernel cells) on this machine and
-# compare. Warn-only —
+# service-concurrency, set-layout kernel and semiring graph-iteration
+# cells) on this machine and compare. Warn-only —
 # shared CI runners are too noisy for a hard wall-clock gate; the
 # comparison text still lands in the CI log.
-if dune exec bench/main.exe -- fig5a fig5c fig6 table4 repeated concurrency layouts --sf 0.01 --runs 3 \
-     --json /tmp/lh_bench_ci.json --compare BENCH_8.json > /tmp/lh_bench_ci.log 2>&1; then
+if dune exec bench/main.exe -- fig5a fig5c fig6 table4 repeated concurrency layouts graph --sf 0.01 --runs 3 \
+     --json /tmp/lh_bench_ci.json --compare BENCH_9.json > /tmp/lh_bench_ci.log 2>&1; then
   tail -n 1 /tmp/lh_bench_ci.log
 else
-  echo "ci warn: bench regressed vs BENCH_8.json (soft gate):" >&2
+  echo "ci warn: bench regressed vs BENCH_9.json (soft gate):" >&2
   grep -E '^(REGRESSION|baseline compare)' /tmp/lh_bench_ci.log >&2 || tail -n 20 /tmp/lh_bench_ci.log >&2
 fi

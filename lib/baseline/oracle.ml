@@ -9,6 +9,7 @@ type group_acc = {
   sums : float array;  (* one per aggregate select item *)
   mins : float array;
   maxs : float array;
+  reach : bool array;  (* some match had a non-zero argument (REACHES) *)
   counts : int array;  (* per-item COUNT *)
 }
 
@@ -61,6 +62,7 @@ let query ~lookup (q : Ast.query) =
               sums = Array.make nitems 0.0;
               mins = Array.make nitems infinity;
               maxs = Array.make nitems neg_infinity;
+              reach = Array.make nitems false;
               counts = Array.make nitems 0;
             }
           in
@@ -77,6 +79,7 @@ let query ~lookup (q : Ast.query) =
             acc.sums.(i) <- acc.sums.(i) +. v;
             acc.mins.(i) <- Float.min acc.mins.(i) v;
             acc.maxs.(i) <- Float.max acc.maxs.(i) v;
+            if v <> 0.0 then acc.reach.(i) <- true;
             acc.counts.(i) <- acc.counts.(i) + 1)
       item_fns
   in
@@ -105,6 +108,7 @@ let query ~lookup (q : Ast.query) =
         sums = Array.make nitems 0.0;
         mins = Array.make nitems infinity;
         maxs = Array.make nitems neg_infinity;
+        reach = Array.make nitems false;
         counts = Array.make nitems 0;
       }
     in
@@ -153,7 +157,33 @@ let query ~lookup (q : Ast.query) =
                | Ast.Aggregate (Ast.Avg, _, _) ->
                    Dtype.VFloat (if acc.counts.(i) = 0 then 0.0 else acc.sums.(i) /. float_of_int acc.counts.(i))
                | Ast.Aggregate (Ast.Min, _, _) -> Dtype.VFloat acc.mins.(i)
-               | Ast.Aggregate (Ast.Max, _, _) -> Dtype.VFloat acc.maxs.(i))
+               | Ast.Aggregate (Ast.Max, _, _) -> Dtype.VFloat acc.maxs.(i)
+               (* Semiring aggregates, semantics hardcoded (this library
+                  deliberately has no dependency on the engine's registry):
+                  MIN_PLUS = min over matches (∞ when empty; the [*] form is
+                  0 exactly when the group is non-empty), REACHES = 1 iff
+                  some match has a non-zero argument. *)
+               | Ast.Aggregate (Ast.Min_plus, Some _, _) -> Dtype.VFloat acc.mins.(i)
+               | Ast.Aggregate (Ast.Min_plus, None, _) ->
+                   Dtype.VFloat (if acc.count > 0 then 0.0 else infinity)
+               | Ast.Aggregate (Ast.Reaches, Some _, _) ->
+                   Dtype.VInt (if acc.reach.(i) then 1 else 0)
+               | Ast.Aggregate (Ast.Reaches, None, _) ->
+                   Dtype.VInt (if acc.count > 0 then 1 else 0)
+               | Ast.Aggregate (Ast.Fold "sum_product", Some _, _) -> Dtype.VFloat acc.sums.(i)
+               | Ast.Aggregate (Ast.Fold "sum_product", None, _) ->
+                   Dtype.VFloat (float_of_int acc.count)
+               | Ast.Aggregate (Ast.Fold ("min" | "min_plus"), Some _, _) ->
+                   Dtype.VFloat acc.mins.(i)
+               | Ast.Aggregate (Ast.Fold "min_plus", None, _) ->
+                   Dtype.VFloat (if acc.count > 0 then 0.0 else infinity)
+               | Ast.Aggregate (Ast.Fold "max", Some _, _) -> Dtype.VFloat acc.maxs.(i)
+               | Ast.Aggregate (Ast.Fold "bool_or_and", Some _, _) ->
+                   Dtype.VInt (if acc.reach.(i) then 1 else 0)
+               | Ast.Aggregate (Ast.Fold "bool_or_and", None, _) ->
+                   Dtype.VInt (if acc.count > 0 then 1 else 0)
+               | Ast.Aggregate (Ast.Fold name, _, _) ->
+                   failwith (Printf.sprintf "Oracle: unknown semiring %S" name))
              (Array.to_list items))
   in
   rows

@@ -159,7 +159,8 @@ type agg = {
   items : Ast.select_item array;
   item_fns : (int array -> float) option array;
   groups : (int list, float array * int array * int ref) Hashtbl.t;
-      (* sums/mins/maxs packed: [|sum0..; min0..; max0..|], counts, total *)
+      (* sums/mins/maxs/reach packed: [|sum0..; min0..; max0..; reach0..|],
+         counts, total — reach is 1.0 once a non-zero argument was seen *)
   mutable visits : int;  (* joined tuples seen; flushed to a counter at the end *)
 }
 
@@ -187,7 +188,7 @@ let agg_visit agg env =
     match Hashtbl.find_opt agg.groups key with
     | Some g -> g
     | None ->
-        let packed = Array.make (3 * nitems) 0.0 in
+        let packed = Array.make (4 * nitems) 0.0 in
         for i = 0 to nitems - 1 do
           packed.(nitems + i) <- infinity;
           packed.((2 * nitems) + i) <- neg_infinity
@@ -207,6 +208,7 @@ let agg_visit agg env =
           sums.(Array.length agg.items + i) <- Float.min sums.(Array.length agg.items + i) v;
           sums.((2 * Array.length agg.items) + i) <-
             Float.max sums.((2 * Array.length agg.items) + i) v;
+          if v <> 0.0 then sums.((3 * Array.length agg.items) + i) <- 1.0;
           counts.(i) <- counts.(i) + 1)
     agg.item_fns
 
@@ -215,7 +217,7 @@ let agg_rows spec (q : Ast.query) agg =
   Obs.span "baseline.aggregate" @@ fun () ->
   let nitems = Array.length agg.items in
   if Hashtbl.length agg.groups = 0 && q.Ast.group_by = [] then begin
-    let packed = Array.make (3 * nitems) 0.0 in
+    let packed = Array.make (4 * nitems) 0.0 in
     for i = 0 to nitems - 1 do
       packed.(nitems + i) <- infinity;
       packed.((2 * nitems) + i) <- neg_infinity
@@ -259,7 +261,29 @@ let agg_rows spec (q : Ast.query) agg =
                  Dtype.VFloat
                    (if counts.(i) = 0 then 0.0 else packed.(i) /. float_of_int counts.(i))
              | Ast.Aggregate (Ast.Min, _, _) -> Dtype.VFloat packed.(nitems + i)
-             | Ast.Aggregate (Ast.Max, _, _) -> Dtype.VFloat packed.((2 * nitems) + i))
+             | Ast.Aggregate (Ast.Max, _, _) -> Dtype.VFloat packed.((2 * nitems) + i)
+             (* Semiring aggregates: same hardcoded semantics as Oracle
+                (no dependency on the engine's registry). *)
+             | Ast.Aggregate (Ast.Min_plus, Some _, _) -> Dtype.VFloat packed.(nitems + i)
+             | Ast.Aggregate (Ast.Min_plus, None, _) ->
+                 Dtype.VFloat (if !total > 0 then 0.0 else infinity)
+             | Ast.Aggregate (Ast.Reaches, Some _, _) ->
+                 Dtype.VInt (if packed.((3 * nitems) + i) <> 0.0 then 1 else 0)
+             | Ast.Aggregate (Ast.Reaches, None, _) -> Dtype.VInt (if !total > 0 then 1 else 0)
+             | Ast.Aggregate (Ast.Fold "sum_product", Some _, _) -> Dtype.VFloat packed.(i)
+             | Ast.Aggregate (Ast.Fold "sum_product", None, _) ->
+                 Dtype.VFloat (float_of_int !total)
+             | Ast.Aggregate (Ast.Fold ("min" | "min_plus"), Some _, _) ->
+                 Dtype.VFloat packed.(nitems + i)
+             | Ast.Aggregate (Ast.Fold "min_plus", None, _) ->
+                 Dtype.VFloat (if !total > 0 then 0.0 else infinity)
+             | Ast.Aggregate (Ast.Fold "max", Some _, _) -> Dtype.VFloat packed.((2 * nitems) + i)
+             | Ast.Aggregate (Ast.Fold "bool_or_and", Some _, _) ->
+                 Dtype.VInt (if packed.((3 * nitems) + i) <> 0.0 then 1 else 0)
+             | Ast.Aggregate (Ast.Fold "bool_or_and", None, _) ->
+                 Dtype.VInt (if !total > 0 then 1 else 0)
+             | Ast.Aggregate (Ast.Fold name, _, _) ->
+                 failwith (Printf.sprintf "Pairwise: unknown semiring %S" name))
            (Array.to_list agg.items))
 
 let query ~lookup ~mode ?(budget = Lh_util.Budget.unlimited) (q : Ast.query) =

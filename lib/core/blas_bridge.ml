@@ -141,7 +141,7 @@ let match_kernel (lq : Logical.t) ~dense_of =
   let* i2 = dense_of e2.Logical.table in
   (* Exactly one SUM slot owned by both relations via plain float columns. *)
   let* slot = if Array.length lq.Logical.slots = 1 then Some lq.Logical.slots.(0) else None in
-  let* () = if slot.Logical.kind = Lh_storage.Trie.Sum then Some () else None in
+  let* () = if Semiring.is_sum_product slot.Logical.sr then Some () else None in
   let* c1 =
     let* e = List.assoc_opt e1.Logical.alias slot.Logical.owners in
     plain_float_col e1 e

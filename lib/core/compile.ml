@@ -218,8 +218,12 @@ module Leaf = struct
      - every relation whose trie ends at the innermost position has unit
        leaf groups (no owned aggregate slots, no annotation codes, no
        duplicate-key multiplicity), so each of the n matches contributes
-       the same combo vector and sum-style slots scale by n while min/max
-       slots are unaffected;
+       the same combo vector;
+     - every live slot's semiring can absorb that repetition: ⊕-folding n
+       copies of a value must have a closed form — [Semiring.Scale f]
+       slots scale by [f v n] ((+,×): v ×. n), [Idem] slots ((min,×),
+       (min,+), (∨,∧)) are unaffected. An [Opaque] cardinality law has no
+       closed form, so the leaf must stream ([scalable] = false);
      - the emitted group key never reads the innermost position: with a
        sorted-prefix boundary that means the boundary wraps strictly above
        it, and on the hash path no GROUP BY source may be the innermost
@@ -227,10 +231,10 @@ module Leaf = struct
        code sources cannot reach it);
      - the relaxed-tail sparse accumulator is off (it indexes output by the
        innermost value). *)
-  let mode ~leaf_unit ~relaxed_tail ~boundary ~group_uses_last ~npos =
+  let mode ~leaf_unit ~scalable ~relaxed_tail ~boundary ~group_uses_last ~npos =
     if npos < 1 then Generic
     else if
-      leaf_unit && (not relaxed_tail) && (not group_uses_last)
+      leaf_unit && scalable && (not relaxed_tail) && (not group_uses_last)
       && (match boundary with Some m -> m <= npos - 1 | None -> true)
     then Count
     else Stream

@@ -52,6 +52,7 @@ module Leaf : sig
 
   val mode :
     leaf_unit:bool ->
+    scalable:bool ->
     relaxed_tail:bool ->
     boundary:int option ->
     group_uses_last:bool ->
@@ -59,6 +60,10 @@ module Leaf : sig
     mode
   (** [leaf_unit]: every relation whose trie ends at the innermost position
       has unit leaf groups ({!Lh_storage.Trie.t.leaf_unit});
+      [scalable]: every live slot's semiring satisfies {!Semiring.scalable}
+      — ⊕-folding n copies has a closed form ([Scale]) or is idempotent
+      ([Idem]); an [Opaque] cardinality law makes count-only leaves
+      unsound, since the factor n cannot be applied after the fold;
       [relaxed_tail]: the §V-A2 sparse-accumulator tail is active;
       [boundary]: the sorted-emit group-prefix length, when that path runs;
       [group_uses_last]: some GROUP BY source reads attribute position

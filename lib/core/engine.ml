@@ -389,8 +389,13 @@ let finalize_rows (lq : Logical.t) (rows : Executor.row list) ~dict ~name =
         | Logical.Out_group i ->
             T.Icol (Array.init n (fun r -> rows_arr.(r).Executor.gcodes.(i)))
         | Logical.Out_sum slots ->
+            (* All listed slots share one semiring (Logical guarantees it);
+               the decomposed per-slot folds are ⊕-combined here. *)
+            let sr = lq.Logical.slots.(List.hd slots).Logical.sr in
             let value r =
-              List.fold_left (fun acc j -> acc +. rows_arr.(r).Executor.slots.(j)) 0.0 slots
+              List.fold_left
+                (fun acc j -> sr.Semiring.add acc rows_arr.(r).Executor.slots.(j))
+                sr.Semiring.zero slots
             in
             if o.Logical.odtype = Dtype.Int then
               T.Icol (Array.init n (fun r -> int_of_float (Float.round (value r))))
@@ -403,7 +408,11 @@ let finalize_rows (lq : Logical.t) (rows : Executor.row list) ~dict ~name =
                    else
                      List.fold_left (fun acc j -> acc +. rows_arr.(r).Executor.slots.(j)) 0.0 slots
                      /. c))
-        | Logical.Out_minmax j -> T.Fcol (Array.init n (fun r -> rows_arr.(r).Executor.slots.(j))))
+        | Logical.Out_fold j ->
+            let value r = rows_arr.(r).Executor.slots.(j) in
+            if o.Logical.odtype = Dtype.Int then
+              T.Icol (Array.init n (fun r -> int_of_float (Float.round (value r))))
+            else T.Fcol (Array.init n value))
       lq.Logical.outputs
   in
   let schema =
@@ -416,7 +425,7 @@ let finalize_rows (lq : Logical.t) (rows : Executor.row list) ~dict ~name =
                  match lq.Logical.group_by.(i) with
                  | Logical.Group_key _ -> Schema.Key
                  | Logical.Group_ann _ -> Schema.Annotation)
-             | Logical.Out_sum _ | Logical.Out_avg _ | Logical.Out_minmax _ -> Schema.Annotation
+             | Logical.Out_sum _ | Logical.Out_avg _ | Logical.Out_fold _ -> Schema.Annotation
            in
            (o.Logical.oname, o.Logical.odtype, kind))
          lq.Logical.outputs)
@@ -480,7 +489,17 @@ let wcoj_summary (lq : Logical.t) (ghd : Ghd.t) (pnode : Executor.pnode) =
     | Some k -> Printf.sprintf " leaf=%s" (Compile.Leaf.mode_to_string k.Executor.k_mode)
     | None -> ""
   in
-  Printf.sprintf "wcoj fhw=%.2f order=%s%s" ghd.Ghd.fhw (String.concat "," names) kernel
+  (* Chosen semiring per live aggregate slot. *)
+  let aggs =
+    match
+      Array.to_list lq.Logical.slots
+      |> List.filter_map (fun (s : Logical.slot) ->
+             if s.Logical.dead then None else Some s.Logical.sr.Semiring.name)
+    with
+    | [] -> ""
+    | l -> " agg=" ^ String.concat "," l
+  in
+  Printf.sprintf "wcoj fhw=%.2f order=%s%s%s" ghd.Ghd.fhw (String.concat "," names) kernel aggs
 
 let note_decided t (lq : Logical.t) decided =
   match t.prof with
@@ -707,14 +726,36 @@ let run_sql t sql ~want_explain ~name =
           in
           run_query_ast t ast ~want_explain ~name))
 
-let query t sql = wrap (fun () -> fst (run_sql t sql ~want_explain:false ~name:"result"))
+(* The result-typed entry points are canonical: every execution funnels
+   through [caught], which classifies failures exactly once. The raising
+   forms ([query], [Stmt.exec], …) are thin wrappers that re-raise —
+   budget exceptions pass through them raw (callers distinguish OOM from
+   timeout; [test/test_fuzz.ml] holds the engine to that contract), while
+   the result forms map both to [Budget_exceeded]. *)
+type caught_err = Typed of Error.t | Budget of exn
 
-let query_result t sql =
-  match query t sql with
-  | result -> Ok result
-  | exception Error e -> Stdlib.Error e
-  | exception (Lh_util.Budget.Out_of_memory_budget | Lh_util.Budget.Timed_out) ->
-      Stdlib.Error Error.Budget_exceeded
+let caught f =
+  match wrap f with
+  | v -> Ok v
+  | exception Error e -> Stdlib.Error (Typed e)
+  | exception ((Lh_util.Budget.Out_of_memory_budget | Lh_util.Budget.Timed_out) as exn) ->
+      Stdlib.Error (Budget exn)
+
+let unwrap = function
+  | Ok v -> v
+  | Stdlib.Error (Typed e) -> raise (Error e)
+  | Stdlib.Error (Budget exn) -> raise exn
+
+let to_result = function
+  | Ok v -> Ok v
+  | Stdlib.Error (Typed e) -> Stdlib.Error e
+  | Stdlib.Error (Budget _) -> Stdlib.Error Error.Budget_exceeded
+
+let query_caught t sql = caught (fun () -> fst (run_sql t sql ~want_explain:false ~name:"result"))
+let query_result t sql = to_result (query_caught t sql)
+let query t sql = unwrap (query_caught t sql)
+
+let semirings () = Semiring.names ()
 
 let query_into t ~name sql =
   let result = wrap (fun () -> fst (run_sql t sql ~want_explain:false ~name)) in
@@ -755,16 +796,21 @@ let prepare t sql =
           in
           { s_eng = t; s_sql = sql; s_plan = make_plan t ast }))
 
+let prepare_result t sql = to_result (caught (fun () -> prepare t sql))
+
 module Stmt = struct
   let sql s = s.s_sql
   let nparams s = s.s_plan.p_nparams
 
-  let exec ?(name = "result") s params =
-    wrap (fun () ->
+  let exec_caught ~name s params =
+    caught (fun () ->
         profiled s.s_eng ~sql:s.s_sql (fun () ->
             Obs.span "query" (fun () ->
                 note_cache s.s_eng "prepared";
                 fst (exec_plan s.s_eng s.s_plan params ~want_explain:false ~name))))
+
+  let exec ?(name = "result") s params = unwrap (exec_caught ~name s params)
+  let exec_result ?(name = "result") s params = to_result (exec_caught ~name s params)
 
   let exec_analyze ?(name = "result") s params =
     wrap (fun () ->
@@ -777,3 +823,124 @@ module Stmt = struct
         in
         (result, report))
 end
+
+(* ------------------------------------------------------------------ *)
+(* Iterative queries (graph workloads over the SpMV loop)               *)
+
+type merge = Replace | Accumulate of string
+
+(* Key columns of a result table are its [Schema.Key] columns (int codes);
+   everything else is a value column, read as floats for merging. *)
+let split_cols (tbl : T.t) =
+  let n = Schema.ncols tbl.T.schema in
+  let keys = ref [] and vals = ref [] in
+  for i = n - 1 downto 0 do
+    if (Schema.col tbl.T.schema i).Schema.kind = Schema.Key then keys := i :: !keys
+    else vals := i :: !vals
+  done;
+  (!keys, !vals)
+
+let key_reader (tbl : T.t) i =
+  match tbl.T.cols.(i) with
+  | T.Icol a -> fun r -> a.(r)
+  | T.Fcol _ ->
+      semantic "iterate: float-typed key column %S" (Schema.col tbl.T.schema i).Schema.name
+
+let float_reader (tbl : T.t) i =
+  match tbl.T.cols.(i) with
+  | T.Icol a -> fun r -> float_of_int a.(r)
+  | T.Fcol a -> fun r -> a.(r)
+
+let table_map (tbl : T.t) kidx vidx =
+  let h = Hashtbl.create (max 16 (2 * tbl.T.nrows)) in
+  let krs = List.map (key_reader tbl) kidx in
+  let vrs = List.map (float_reader tbl) vidx in
+  for r = 0 to tbl.T.nrows - 1 do
+    let k = List.map (fun f -> f r) krs in
+    let v = Array.of_list (List.map (fun f -> f r) vrs) in
+    Hashtbl.replace h k v
+  done;
+  h
+
+let map_table ~name ~schema ~dict kidx vidx m =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) m [] |> List.sort compare in
+  let n = List.length keys in
+  let ka = Array.of_list keys in
+  let cols = Array.make (Schema.ncols schema) (T.Icol [||]) in
+  List.iteri
+    (fun pos i -> cols.(i) <- T.Icol (Array.init n (fun r -> List.nth ka.(r) pos)))
+    kidx;
+  List.iteri
+    (fun pos i ->
+      let get r = (Hashtbl.find m ka.(r)).(pos) in
+      cols.(i) <-
+        (if (Schema.col schema i).Schema.dtype = Dtype.Float then T.Fcol (Array.init n get)
+         else T.Icol (Array.init n (fun r -> int_of_float (Float.round (get r))))))
+    vidx;
+  T.create ~name ~schema ~dict cols
+
+(* Merge one round's rows into the carried state, tracking the largest
+   per-cell movement (infinite when the key sets differ) so the caller can
+   test convergence against [tolerance]. *)
+let merge_round ~how ~dict ~name (old_t : T.t) (new_t : T.t) =
+  if Schema.ncols new_t.T.schema <> Schema.ncols old_t.T.schema then
+    semantic "iterate: step result shape differs from the carried state (%d vs %d columns)"
+      (Schema.ncols new_t.T.schema) (Schema.ncols old_t.T.schema);
+  let kidx, vidx = split_cols old_t in
+  let old_m = table_map old_t kidx vidx in
+  let new_m = table_map new_t kidx vidx in
+  let delta = ref 0.0 in
+  let bump d = if d > !delta then delta := d in
+  let out =
+    match how with
+    | `Replace ->
+        Hashtbl.iter
+          (fun k (v : float array) ->
+            match Hashtbl.find_opt old_m k with
+            | Some ov -> Array.iteri (fun j x -> bump (Float.abs (x -. ov.(j)))) v
+            | None -> bump Float.infinity)
+          new_m;
+        Hashtbl.iter (fun k _ -> if not (Hashtbl.mem new_m k) then bump Float.infinity) old_m;
+        new_m
+    | `Acc (sr : Semiring.t) ->
+        Hashtbl.iter
+          (fun k (v : float array) ->
+            match Hashtbl.find_opt old_m k with
+            | Some ov ->
+                let merged = Array.mapi (fun j x -> sr.Semiring.add ov.(j) x) v in
+                Array.iteri (fun j x -> bump (Float.abs (x -. ov.(j)))) merged;
+                Hashtbl.replace old_m k merged
+            | None ->
+                bump Float.infinity;
+                Hashtbl.replace old_m k v)
+          new_m;
+        old_m
+  in
+  (map_table ~name ~schema:old_t.T.schema ~dict kidx vidx out, !delta)
+
+let iterate ?(max_rounds = 100) ?(tolerance = 0.0) ?(merge = Replace) t ~name ~init ~step =
+  wrap (fun () ->
+      if max_rounds < 1 then semantic "iterate: max_rounds must be positive";
+      let how =
+        match merge with
+        | Replace -> `Replace
+        | Accumulate srname -> (
+            match Semiring.find srname with
+            | Some sr -> `Acc sr
+            | None ->
+                semantic "iterate: unknown semiring %S (registered: %s)" srname
+                  (String.concat ", " (Semiring.names ())))
+      in
+      let cur = ref (query_into t ~name init) in
+      let stmt = prepare t step in
+      let rounds = ref 0 in
+      let converged = ref false in
+      while (not !converged) && !rounds < max_rounds do
+        incr rounds;
+        let next = Stmt.exec ~name stmt [] in
+        let merged, delta = merge_round ~how ~dict:(Catalog.dict t.cat) ~name !cur next in
+        register t merged;
+        cur := merged;
+        if delta <= tolerance then converged := true
+      done;
+      (!cur, !rounds))

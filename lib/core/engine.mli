@@ -119,16 +119,25 @@ val of_snapshot : ?config:Config.t -> snapshot -> t
     may execute queries concurrently; do not ingest into a view. [config]
     defaults to the source engine's configuration at freeze time. *)
 
+val query_result : t -> string -> (Lh_storage.Table.t, Error.t) result
+(** The canonical one-shot entry point: parse and execute; the result
+    table is named ["result"] (not registered). Every failure mode is a
+    typed {!Error.t}; budget overruns (memory or time) map to
+    [Error Budget_exceeded]. *)
+
 val query : t -> string -> Lh_storage.Table.t
-(** Parse and execute; the result table is named ["result"] (not
-    registered). Raises {!Error} for everything wrong with the statement
+(** Raising wrapper over {!query_result}, kept for callers that prefer
+    exceptions: raises {!Error} for everything wrong with the statement
     itself (see {!module-Error}), and lets the {!Lh_util.Budget}
     exceptions pass through raw so callers can tell OOM from timeout.
-    [test/test_fuzz.ml] holds the engine to exactly this contract. *)
+    [test/test_fuzz.ml] holds the engine to exactly this contract. New
+    code should prefer {!query_result}. *)
 
-val query_result : t -> string -> (Lh_storage.Table.t, Error.t) result
-(** Non-raising variant of {!query}; budget overruns map to
-    [Error Budget_exceeded]. *)
+val semirings : unit -> string list
+(** The names registered in the {!Semiring} registry, sorted — exactly
+    the names [agg('<name>', expr)] accepts in SQL and
+    {!iterate}'s [Accumulate] accepts as a merge operator. Extend the set
+    with {!Semiring.register} before translating queries that use it. *)
 
 val query_into : t -> name:string -> string -> Lh_storage.Table.t
 (** Like {!query} but names the result table [name] and registers it in
@@ -166,6 +175,10 @@ val prepare : t -> string -> stmt
     be mixed) and may appear wherever a literal may. Indices must be
     contiguous from [$1]. Raises {!Error} like {!query}. *)
 
+val prepare_result : t -> string -> (stmt, Error.t) result
+(** Non-raising variant of {!prepare}: the canonical form for callers on
+    the result-typed API. *)
+
 val prepare_ast : t -> Lh_sql.Ast.query -> stmt
 
 module Stmt : sig
@@ -174,11 +187,18 @@ module Stmt : sig
 
   val nparams : stmt -> int
 
+  val exec_result :
+    ?name:string -> stmt -> Lh_storage.Dtype.value list -> (Lh_storage.Table.t, Error.t) result
+  (** The canonical prepared-execution entry point: bind the parameter
+      values (positionally: the i-th value binds [$i]) and execute.
+      Arity mismatches surface as [Error (Semantic _)]; budget overruns
+      as [Error Budget_exceeded]. [name] names the result table (default
+      ["result"]; the result is not registered). *)
+
   val exec : ?name:string -> stmt -> Lh_storage.Dtype.value list -> Lh_storage.Table.t
-  (** Bind the parameter values (positionally: the i-th value binds
-      [$i]) and execute. Raises {!Error} ([Semantic]) on arity mismatch.
-      [name] names the result table (default ["result"]; the result is
-      not registered). *)
+  (** Raising wrapper over {!exec_result}: raises {!Error} ([Semantic])
+      on arity mismatch and lets budget exceptions pass through raw,
+      mirroring {!val:query}. New code should prefer {!exec_result}. *)
 
   val exec_analyze :
     ?name:string -> stmt -> Lh_storage.Dtype.value list -> Lh_storage.Table.t * Lh_obs.Report.t
@@ -190,6 +210,41 @@ end
 val reset_plan_cache : t -> unit
 (** Drop every cached plan (counters are untouched). Prepared statements
     are unaffected. Meant for benchmarks that measure cold planning. *)
+
+(** {2 Iterative queries}
+
+    Semiring aggregates make one WCOJ pass compute a relaxation step
+    (min-plus SpMV for shortest paths, boolean SpMV for reachability, a
+    plain SpMV for power iteration); {!iterate} drives the fixpoint loop
+    around it, reusing the engine's own SpMV machinery each round. *)
+
+type merge =
+  | Replace  (** the step result becomes the new state (power iteration) *)
+  | Accumulate of string
+      (** named semiring: key-wise ⊕-merge of the step result into the
+          carried state — ["min_plus"] for Bellman-Ford style relaxation,
+          ["bool_or_and"] for BFS frontiers. Unknown names are a
+          [Semantic] error listing {!semirings}. *)
+
+val iterate :
+  ?max_rounds:int ->
+  ?tolerance:float ->
+  ?merge:merge ->
+  t ->
+  name:string ->
+  init:string ->
+  step:string ->
+  Lh_storage.Table.t * int
+(** [iterate t ~name ~init ~step] registers the result of [init] as
+    [name], then repeatedly executes [step] (a query reading [name],
+    prepared once and re-executed per round) and merges its rows into the
+    state per [merge] (default [Replace]), re-registering [name] after
+    every round. Rows are keyed by the state's [Schema.Key] columns; the
+    loop stops when the largest per-cell movement is at most [tolerance]
+    (default [0.]; a key appearing or disappearing counts as infinite
+    movement) or after [max_rounds] (default [100]) rounds. Returns the
+    fixpoint table and the number of [step] executions. The state table
+    stays registered under [name] afterwards. Raises like {!query}. *)
 
 (** {2 Per-query profiles}
 

@@ -35,6 +35,12 @@ let fault_scan = Lh_fault.Fault.site "exec.scan.row"
    runs — the crashtest drives a pinned count-mode query into it. *)
 let fault_count = Lh_fault.Fault.site "exec.wcoj.count"
 
+(* Fired once per leaf ⊕-fold into the group accumulator (hash, sorted or
+   sparse path alike) — the semiring fold is the one place every
+   aggregate value passes through, so arming it interrupts any
+   aggregating query mid-fold. *)
+let fault_fold = Lh_fault.Fault.site "exec.semiring.fold"
+
 (* ------------------------------------------------------------------ *)
 (* Physical planning                                                    *)
 
@@ -198,9 +204,7 @@ let trie_signature (lq : Logical.t) ~order (edge : Logical.edge) =
     Array.to_list lq.Logical.slots
     |> List.mapi (fun j (s : Logical.slot) ->
            match List.assoc_opt edge.Logical.alias s.Logical.owners with
-           | Some e -> Format.asprintf "%d:%s:%a" j
-                         (match s.Logical.kind with Trie.Sum -> "+" | Trie.Min -> "m" | Trie.Max -> "M")
-                         Ast.pp_expr e
+           | Some e -> Format.asprintf "%d:%s:%a" j s.Logical.sr.Semiring.name Ast.pp_expr e
            | None -> "")
     |> String.concat ";"
   in
@@ -222,7 +226,7 @@ let build_base_xrel ?cache ~domains (lq : Logical.t) ~order (edge : Logical.edge
     |> List.mapi (fun j s -> (j, s))
     |> List.filter_map (fun (j, (s : Logical.slot)) ->
            match List.assoc_opt edge.Logical.alias s.Logical.owners with
-           | Some e -> Some (j, s.Logical.kind, e)
+           | Some e -> Some (j, s.Logical.sr, e)
            | None -> None)
   in
   let build () =
@@ -244,7 +248,10 @@ let build_base_xrel ?cache ~domains (lq : Logical.t) ~order (edge : Logical.edge
            gitems)
     in
     let aggs =
-      Array.of_list (List.map (fun (_, k, e) -> (k, Compile.scalar table ~resolve e)) owned)
+      Array.of_list
+        (List.map
+           (fun (_, (sr : Semiring.t), e) -> (sr.Semiring.add, Compile.scalar table ~resolve e))
+           owned)
     in
     Trie.build ~domains ~keys ~rows ~group_cols ~aggs ()
   in
@@ -283,9 +290,17 @@ type bag_input = {
   rels : xrel array;
   npos : int;
   nslots_x : int;  (* includes the pseudo-multiplicity slot on child nodes *)
-  kinds_x : Trie.agg_kind array;
+  srs_x : Semiring.t array;
   coeffs_x : float array;
-  sum_like_x : bool array;
+  (* Per-slot semiring operations, pre-extracted so the hot loops never
+     chase the record. *)
+  adds_x : (float -> float -> float) array;  (* ⊕ *)
+  muls_x : (float -> float -> float) array;  (* ⊗ *)
+  zeros_x : float array;  (* ⊕ identity *)
+  scales_x : (float -> float -> float) option array;
+      (* Some f: the Scale cardinality law (⊕ⁿx = f x n); None: Idem or
+         Opaque — see opaque_x *)
+  opaque_x : bool array;  (* Opaque: ⊕ⁿx folded by literal repetition *)
   gb : gsource array;
   boundary : int option;  (* Some m: sorted-emit path with group prefix of length m *)
   spa_bound : int;  (* >=0 only for the relaxed sorted path *)
@@ -321,7 +336,7 @@ let kernel_signature (rels : xrel array) ~npos ~boundary ~relaxed_tail =
    going through the pnode's cache (same signature -> pinned closure set).
    Generic (specialization off) bypasses the cache: the toggle is
    execution-time and must not leak into cached plans. *)
-let resolve_kmode (cfg : Config.t) (node : pnode) (rels : xrel array) ~npos ~gb ~boundary
+let resolve_kmode (cfg : Config.t) (node : pnode) (rels : xrel array) ~npos ~srs ~gb ~boundary
     ~relaxed_tail =
   if (not cfg.Config.leaf_specialization) || npos = 0 then Compile.Leaf.Generic
   else begin
@@ -337,20 +352,18 @@ let resolve_kmode (cfg : Config.t) (node : pnode) (rels : xrel array) ~npos ~gb 
               | _ -> true)
             rels
         in
+        (* Count-only soundness per semiring: every slot must absorb the
+           factor n either by closed form (Scale) or idempotence. *)
+        let scalable = Array.for_all Semiring.scalable srs in
         let group_uses_last =
           Array.exists (function From_pos p -> p = npos - 1 | From_rel _ -> false) gb
         in
         let mode =
-          Compile.Leaf.mode ~leaf_unit ~relaxed_tail ~boundary ~group_uses_last ~npos
+          Compile.Leaf.mode ~leaf_unit ~scalable ~relaxed_tail ~boundary ~group_uses_last ~npos
         in
         node.pkernel <- Some { k_sig = sig_; k_mode = mode };
         mode
   end
-
-let identity_of = function Trie.Sum -> 0.0 | Trie.Min -> infinity | Trie.Max -> neg_infinity
-
-let combine_kind kind a b =
-  match kind with Trie.Sum -> a +. b | Trie.Min -> Float.min a b | Trie.Max -> Float.max a b
 
 (* Per-domain mutable execution state. *)
 type ctx = {
@@ -447,12 +460,32 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
   let emit_combo ctx fold =
     for j = 0 to nslots - 1 do
       let p = ref input.coeffs_x.(j) in
+      let reps = ref 1.0 in
       for ri = 0 to nrels - 1 do
         let g = ctx.picked.(ri) in
         let local = input.rels.(ri).xslot.(j) in
-        if local >= 0 then p := !p *. g.Trie.vec.(local)
-        else if input.sum_like_x.(j) then p := !p *. g.Trie.mult
+        if local >= 0 then p := input.muls_x.(j) !p g.Trie.vec.(local)
+        else
+          (* Non-owner relation: its [mult] collapsed key tuples each
+             contribute this combo once, i.e. the slot value repeats. The
+             cardinality law absorbs the repetition: Scale has the closed
+             form, Idem ignores it, Opaque accumulates the repeat count
+             and ⊕-folds literally below. *)
+          match input.scales_x.(j) with
+          | Some f -> p := f !p g.Trie.mult
+          | None -> if input.opaque_x.(j) then reps := !reps *. g.Trie.mult
       done;
+      if input.opaque_x.(j) && !reps > 1.0 then begin
+        (* ⊕ⁿx by literal repetition (x ⊕ … ⊕ x associates freely, so
+           pre-folding into the scratch value is exact). Opaque semirings
+           require integer multiplicities — base tables always have them;
+           builtins are never Opaque. *)
+        let n = max 1 (int_of_float (Float.round !reps)) in
+        let x = !p in
+        for _ = 2 to n do
+          p := input.adds_x.(j) !p x
+        done
+      end;
       ctx.scratch.(j) <- !p
     done;
     fold ctx
@@ -502,14 +535,14 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
     match Hashtbl.find_opt ctx.hash key with
     | Some acc ->
         for j = 0 to nslots - 1 do
-          acc.(j) <- combine_kind input.kinds_x.(j) acc.(j) ctx.scratch.(j)
+          acc.(j) <- input.adds_x.(j) acc.(j) ctx.scratch.(j)
         done
     | None -> Hashtbl.replace ctx.hash key (Array.copy ctx.scratch)
   in
   let fold_sorted ctx =
     ctx.touched <- true;
     for j = 0 to nslots - 1 do
-      ctx.accum.(j) <- combine_kind input.kinds_x.(j) ctx.accum.(j) ctx.scratch.(j)
+      ctx.accum.(j) <- input.adds_x.(j) ctx.accum.(j) ctx.scratch.(j)
     done
   in
   let fold_spa ctx =
@@ -518,11 +551,11 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
       ctx.spa_in.(v) <- true;
       Vec.Int.push ctx.spa_touched v;
       for j = 0 to nslots - 1 do
-        ctx.spa.(j).(v) <- identity_of input.kinds_x.(j)
+        ctx.spa.(j).(v) <- input.zeros_x.(j)
       done
     end;
     for j = 0 to nslots - 1 do
-      ctx.spa.(j).(v) <- combine_kind input.kinds_x.(j) ctx.spa.(j).(v) ctx.scratch.(j)
+      ctx.spa.(j).(v) <- input.adds_x.(j) ctx.spa.(j).(v) ctx.scratch.(j)
     done
   in
 
@@ -561,19 +594,27 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
   in
 
   let fold_for_leaf =
-    match (input.boundary, input.relaxed_tail) with
-    | None, _ -> fold_hash
-    | Some _, false -> fold_sorted
-    | Some _, true -> fold_spa
+    let fold =
+      match (input.boundary, input.relaxed_tail) with
+      | None, _ -> fold_hash
+      | Some _, false -> fold_sorted
+      | Some _, true -> fold_spa
+    in
+    fun ctx ->
+      Lh_fault.Fault.hit fault_fold;
+      fold ctx
   in
 
   (* Count-only fold: the n innermost matches all contribute the same
-     combo vector (unit leaf groups), so sum-style slots scale by n and
-     min/max slots combine once. *)
+     combo vector (unit leaf groups), so Scale-law slots take the closed
+     form ⊕ⁿx = f x n ((+,×): scale by n) and Idem slots combine once.
+     Opaque slots never reach here — Compile.Leaf.mode forces Stream. *)
   let fold_counted ctx =
     let nf = ctx.count_n in
     for j = 0 to nslots - 1 do
-      if input.sum_like_x.(j) then ctx.scratch.(j) <- ctx.scratch.(j) *. nf
+      match input.scales_x.(j) with
+      | Some f -> ctx.scratch.(j) <- f ctx.scratch.(j) nf
+      | None -> ()
     done;
     fold_for_leaf ctx
   in
@@ -634,7 +675,7 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
       (match input.relaxed_tail with
       | false ->
           for j = 0 to nslots - 1 do
-            ctx.accum.(j) <- identity_of input.kinds_x.(j)
+            ctx.accum.(j) <- input.zeros_x.(j)
           done;
           ctx.touched <- false;
           walk ctx pos ~wrapped:true;
@@ -738,9 +779,10 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
     | None ->
         let rows = Hashtbl.fold (fun k v acc -> { gcodes = k; slots = v } :: acc) ctx.hash [] in
         if rows = [] && Array.length input.gb = 0 then
-          (* scalar aggregate over an empty match set: one identity row,
+          (* scalar aggregate over an empty match set: one identity row
+             (each slot's ⊕ identity: 0 for (+,×), ∞ for (min,+), …),
              same as the sorted-emit pos-0 wrap above *)
-          [ { gcodes = [||]; slots = Array.map identity_of input.kinds_x } ]
+          [ { gcodes = [||]; slots = Array.copy input.zeros_x } ]
         else List.sort (fun a b -> compare a.gcodes b.gcodes) rows
     | Some _ -> List.rev !(ctx.out)
   in
@@ -787,7 +829,7 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
           ~init:(fun () ->
             let ctx = make_ctx input in
             for j = 0 to nslots - 1 do
-              ctx.accum.(j) <- identity_of input.kinds_x.(j)
+              ctx.accum.(j) <- input.zeros_x.(j)
             done;
             ctx)
           ~body:(fun ctx i ->
@@ -797,7 +839,7 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
             walk ctx 1 ~wrapped:true)
           ~merge:(fun a b ->
             for j = 0 to nslots - 1 do
-              a.accum.(j) <- combine_kind input.kinds_x.(j) a.accum.(j) b.accum.(j)
+              a.accum.(j) <- input.adds_x.(j) a.accum.(j) b.accum.(j)
             done;
             a.touched <- a.touched || b.touched;
             merge_stats a b;
@@ -834,7 +876,7 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
                   match Hashtbl.find_opt a.hash k with
                   | Some acc ->
                       for j = 0 to nslots - 1 do
-                        acc.(j) <- combine_kind input.kinds_x.(j) acc.(j) v.(j)
+                        acc.(j) <- input.adds_x.(j) acc.(j) v.(j)
                       done
                   | None -> Hashtbl.replace a.hash k v)
                 b.hash
@@ -850,17 +892,31 @@ let exec_bag (cfg : Config.t) (input : bag_input) : row list =
 (* ------------------------------------------------------------------ *)
 (* Node orchestration (Yannakakis bottom-up)                            *)
 
+(* The pseudo slot (child-bag multiplicity) always folds in (+,×). *)
 let slot_arrays (lq : Logical.t) ~with_pseudo =
   let n = Array.length lq.Logical.slots in
   let total = if with_pseudo then n + 1 else n in
-  let kinds =
-    Array.init total (fun j -> if j < n then lq.Logical.slots.(j).Logical.kind else Trie.Sum)
+  let srs =
+    Array.init total (fun j ->
+        if j < n then lq.Logical.slots.(j).Logical.sr else Semiring.sum_product)
   in
   let coeffs =
     Array.init total (fun j -> if j < n then lq.Logical.slots.(j).Logical.coeff else 1.0)
   in
-  let sum_like = Array.map (fun k -> k = Trie.Sum) kinds in
-  (total, kinds, coeffs, sum_like)
+  (total, srs, coeffs)
+
+(* Per-slot semiring operations unpacked into flat arrays for the hot loop. *)
+let slot_ops (srs : Semiring.t array) =
+  let adds = Array.map (fun sr -> sr.Semiring.add) srs in
+  let muls = Array.map (fun sr -> sr.Semiring.mul) srs in
+  let zeros = Array.map (fun sr -> sr.Semiring.zero) srs in
+  let scales =
+    Array.map
+      (fun sr -> match sr.Semiring.card with Semiring.Scale f -> Some f | _ -> None)
+      srs
+  in
+  let opaque = Array.map (fun sr -> sr.Semiring.card = Semiring.Opaque) srs in
+  (adds, muls, zeros, scales, opaque)
 
 (* Execute a child node and wrap its materialized result as a relation for
    the parent: keys = interface (in the parent's attribute-order order),
@@ -883,7 +939,7 @@ let rec exec_child cfg ?cache (lq : Logical.t) (node : pnode) ~parent_order =
   in
   let aggs =
     Array.init nslots (fun j ->
-        (lq.Logical.slots.(j).Logical.kind, fun r -> rows_arr.(r).slots.(j)))
+        (lq.Logical.slots.(j).Logical.sr.Semiring.add, fun r -> rows_arr.(r).slots.(j)))
   in
   let mults r = rows_arr.(r).slots.(nslots) in
   let xtrie =
@@ -961,7 +1017,8 @@ and run_bag cfg ?cache (lq : Logical.t) (node : pnode) ~gb_prefix ~with_pseudo =
         Array.of_list (List.map fst code_sources) )
     else (Array.of_list gb_prefix, [||])
   in
-  let nslots_x, kinds_x, coeffs_x, sum_like_x = slot_arrays lq ~with_pseudo in
+  let nslots_x, srs_x, coeffs_x = slot_arrays lq ~with_pseudo in
+  let adds_x, muls_x, zeros_x, scales_x, opaque_x = slot_ops srs_x in
   let npos = List.length order in
   (* Sorted-path eligibility (root only): all group sources are positions
      forming a prefix (optionally with the relaxed last-position tail). *)
@@ -1012,14 +1069,18 @@ and run_bag cfg ?cache (lq : Logical.t) (node : pnode) ~gb_prefix ~with_pseudo =
       rels;
       npos;
       nslots_x;
-      kinds_x;
+      srs_x;
       coeffs_x;
-      sum_like_x;
+      adds_x;
+      muls_x;
+      zeros_x;
+      scales_x;
+      opaque_x;
       gb;
       boundary;
       spa_bound;
       relaxed_tail;
-      kmode = resolve_kmode cfg node rels ~npos ~gb ~boundary ~relaxed_tail;
+      kmode = resolve_kmode cfg node rels ~npos ~srs:srs_x ~gb ~boundary ~relaxed_tail;
     }
   in
   let rows =
@@ -1081,7 +1142,8 @@ and run_bag_root (cfg : Config.t) ?cache lq (node : pnode) gb_prefix =
                | None -> failwith "Executor: GROUP BY annotation not carried by any relation"))
          gb_prefix)
   in
-  let nslots_x, kinds_x, coeffs_x, sum_like_x = slot_arrays lq ~with_pseudo:false in
+  let nslots_x, srs_x, coeffs_x = slot_arrays lq ~with_pseudo:false in
+  let adds_x, muls_x, zeros_x, scales_x, opaque_x = slot_ops srs_x in
   let npos = List.length order in
   let boundary, relaxed_tail, spa_bound =
     let positions =
@@ -1111,14 +1173,18 @@ and run_bag_root (cfg : Config.t) ?cache lq (node : pnode) gb_prefix =
       rels;
       npos;
       nslots_x;
-      kinds_x;
+      srs_x;
       coeffs_x;
-      sum_like_x;
+      adds_x;
+      muls_x;
+      zeros_x;
+      scales_x;
+      opaque_x;
       gb;
       boundary;
       spa_bound;
       relaxed_tail;
-      kmode = resolve_kmode cfg node rels ~npos ~gb ~boundary ~relaxed_tail;
+      kmode = resolve_kmode cfg node rels ~npos ~srs:srs_x ~gb ~boundary ~relaxed_tail;
     }
   in
   let rows =
@@ -1156,8 +1222,9 @@ let run_scan cfg (lq : Logical.t) =
         | _ -> failwith "Executor.run_scan: multi-relation slot on a scan query")
       lq.Logical.slots
   in
-  let kinds = Array.map (fun (s : Logical.slot) -> s.Logical.kind) lq.Logical.slots in
+  let srs = Array.map (fun (s : Logical.slot) -> s.Logical.sr) lq.Logical.slots in
   let coeffs = Array.map (fun (s : Logical.slot) -> s.Logical.coeff) lq.Logical.slots in
+  let zeros = Array.map (fun sr -> sr.Semiring.zero) srs in
   let budget = cfg.Config.budget in
   let acc : (int array, float array) Hashtbl.t = Hashtbl.create 64 in
   Array.iteri
@@ -1172,17 +1239,21 @@ let run_scan cfg (lq : Logical.t) =
         match Hashtbl.find_opt acc key with
         | Some d -> d
         | None ->
-            let d = Array.map identity_of kinds in
+            let d = Array.copy zeros in
             Hashtbl.replace acc key d;
             d
       in
       for j = 0 to nslots - 1 do
-        let v = match slot_fns.(j) with Some f -> coeffs.(j) *. f r | None -> coeffs.(j) in
-        dest.(j) <- combine_kind kinds.(j) dest.(j) v
+        let v =
+          match slot_fns.(j) with
+          | Some f -> srs.(j).Semiring.mul coeffs.(j) (f r)
+          | None -> coeffs.(j)
+        in
+        dest.(j) <- srs.(j).Semiring.add dest.(j) v
       done)
     rows;
   if Array.length lq.Logical.group_by = 0 && Hashtbl.length acc = 0 then
-    [ { gcodes = [||]; slots = Array.map identity_of kinds } ]
+    [ { gcodes = [||]; slots = Array.copy zeros } ]
   else
     Hashtbl.fold (fun k v l -> { gcodes = k; slots = v } :: l) acc []
     |> List.sort (fun a b -> compare a.gcodes b.gcodes)

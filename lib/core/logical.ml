@@ -20,7 +20,7 @@ type gitem =
   | Group_ann of { alias : string; expr : Ast.expr; dtype : Dtype.t }
 
 type slot = {
-  kind : Trie.agg_kind;
+  sr : Semiring.t;
   owners : (string * Ast.expr) list;
   coeff : float;
   dead : bool;
@@ -30,7 +30,7 @@ type output =
   | Out_group of int
   | Out_sum of int list
   | Out_avg of int list * int
-  | Out_minmax of int
+  | Out_fold of int
 
 type out_col = { oname : string; okind : output; odtype : Dtype.t }
 
@@ -237,6 +237,56 @@ let rec decompose ~fallback resolve e : term list =
               unsupported "aggregate expression spans relations in a way that cannot be decomposed"))
 
 and negate terms = List.map (fun t -> { t with tcoeff = -.t.tcoeff }) terms
+
+(* Additive decomposition for ⊗ = + semirings (Dplus, e.g. (min,+)):
+   the argument must be a sum of single-relation addends; each addend
+   becomes an owned factor and constants accumulate into the slot
+   coefficient (the ⊗-seed — for (min,+) that is literal addition).
+   Sound because + distributes over min/max unconditionally:
+   min over matches of (f_a + f_b) = (min f_a) + (min f_b). *)
+let decompose_plus ~fallback resolve e =
+  let factors = ref [] in
+  let const = ref 0.0 in
+  let rec go sign e =
+    match const_float e with
+    | Some c -> const := !const +. (if sign then c else -.c)
+    | None -> (
+        let signed e = if sign then e else Ast.Neg e in
+        match expr_aliases resolve e with
+        | [ alias ] -> factors := (alias, signed e) :: !factors
+        | [] when Ast.expr_params e <> [] ->
+            (* Bind-time constant: park it on an arbitrary relation, like
+               the multiplicative decomposition does. *)
+            factors := (fallback, signed e) :: !factors
+        | _ -> (
+            match e with
+            | Ast.Add (a, b) ->
+                go sign a;
+                go sign b
+            | Ast.Sub (a, b) ->
+                go sign a;
+                go (not sign) b
+            | Ast.Neg a -> go (not sign) a
+            | _ ->
+                unsupported
+                  "(min,+) aggregate argument must be a sum of single-relation terms"))
+  in
+  go true e;
+  (* Merge addends of the same alias into one owned expression. *)
+  let tbl = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun (alias, e) ->
+      match Hashtbl.find_opt tbl alias with
+      | None ->
+          Hashtbl.replace tbl alias e;
+          order := alias :: !order
+      | Some prev -> Hashtbl.replace tbl alias (Ast.Add (prev, e)))
+    (List.rev !factors);
+  (List.rev_map (fun alias -> (alias, Hashtbl.find tbl alias)) !order, !const)
+
+(* 0/1 indicator for the boolean semiring: [e <> 0]. *)
+let booleanize e = Ast.Case_when (Ast.Cmp (Ast.Ne, e, Ast.Int_lit 0), Ast.Int_lit 1, Ast.Int_lit 0)
 
 (* ------------------------------------------------------------------ *)
 (* GROUP BY signatures: used to match plain SELECT items to GROUP BY
@@ -480,17 +530,18 @@ let translate catalog ~attribute_elimination (q : Ast.query) =
     match !count_slot with
     | Some j -> j
     | None ->
-        let j = add_slot { kind = Trie.Sum; owners = []; coeff = 1.0; dead = false } in
+        let j = add_slot { sr = Semiring.sum_product; owners = []; coeff = 1.0; dead = false } in
         count_slot := Some j;
         j
   in
   (* Owner for bind-time constants (pure-parameter factors); any edge works. *)
   let fallback = match bindings with (alias, _) :: _ -> alias | [] -> assert false in
   let decompose = decompose ~fallback in
-  let slots_of_terms terms =
+  let decompose_plus = decompose_plus ~fallback in
+  let slots_of_terms sr terms =
     List.map
       (fun t ->
-        if t.tfactors = [] then add_slot { kind = Trie.Sum; owners = []; coeff = t.tcoeff; dead = false }
+        if t.tfactors = [] then add_slot { sr; owners = []; coeff = t.tcoeff; dead = false }
         else
           let owners =
             match t.tfactors with
@@ -498,8 +549,38 @@ let translate catalog ~attribute_elimination (q : Ast.query) =
                 (alias, Ast.Mul (Ast.Float_lit t.tcoeff, e)) :: rest
             | fs -> fs
           in
-          add_slot { kind = Trie.Sum; owners; coeff = 1.0; dead = false })
+          add_slot { sr; owners; coeff = sr.Semiring.one; dead = false })
       terms
+  in
+  (* One slot per decomposition class of the argument, given the semiring:
+     Dtimes distributes ⊕ over +/- (possibly several slots, ⊕-folded by
+     Out_sum); the others build a single slot read back by Out_fold. *)
+  let fold_slot (sr : Semiring.t) arg what =
+    match (sr.Semiring.decomp, arg) with
+    | Semiring.Dplus, Some e ->
+        let owners, const = decompose_plus resolve e in
+        add_slot { sr; owners; coeff = sr.Semiring.mul sr.Semiring.one const; dead = false }
+    | Semiring.Dbool, Some e -> (
+        match expr_aliases resolve e with
+        | [ alias ] ->
+            add_slot { sr; owners = [ (alias, booleanize e) ]; coeff = sr.Semiring.one; dead = false }
+        | [] -> (
+            match const_float e with
+            | Some c ->
+                add_slot
+                  { sr; owners = []; coeff = (if c <> 0.0 then 1.0 else 0.0); dead = false }
+            | None -> unsupported "%s argument must reference a single relation" what)
+        | _ -> unsupported "%s argument must reference a single relation" what)
+    | Semiring.Dsingle, Some e -> (
+        match expr_aliases resolve e with
+        | [ alias ] ->
+            add_slot { sr; owners = [ (alias, e) ]; coeff = sr.Semiring.one; dead = false }
+        | _ -> unsupported "%s over multiple relations" what)
+    | (Semiring.Dplus | Semiring.Dbool), None ->
+        (* star argument: ⊗-identity per match — "does the group have a match". *)
+        add_slot { sr; owners = []; coeff = sr.Semiring.one; dead = false }
+    | Semiring.Dsingle, None -> unsupported "%s requires an argument" what
+    | Semiring.Dtimes, _ -> assert false (* handled via slots_of_terms *)
   in
   let outputs =
     List.map
@@ -523,17 +604,56 @@ let translate catalog ~attribute_elimination (q : Ast.query) =
             | Ast.Count, _ ->
                 { oname = name; okind = Out_sum [ get_count_slot () ]; odtype = Dtype.Int }
             | Ast.Sum, Some e ->
-                { oname = name; okind = Out_sum (slots_of_terms (decompose resolve e)); odtype = Dtype.Float }
+                {
+                  oname = name;
+                  okind = Out_sum (slots_of_terms Semiring.sum_product (decompose resolve e));
+                  odtype = Dtype.Float;
+                }
             | Ast.Avg, Some e ->
-                let sums = slots_of_terms (decompose resolve e) in
+                (* AVG is the (sum, count) product semiring: two (+,×)
+                   slots finalized as their quotient. *)
+                let sums = slots_of_terms Semiring.sum_product (decompose resolve e) in
                 { oname = name; okind = Out_avg (sums, get_count_slot ()); odtype = Dtype.Float }
-            | (Ast.Min | Ast.Max), Some e -> (
-                match expr_aliases resolve e with
-                | [ alias ] ->
-                    let kind = if agg = Ast.Min then Trie.Min else Trie.Max in
-                    let j = add_slot { kind; owners = [ (alias, e) ]; coeff = 1.0; dead = false } in
-                    { oname = name; okind = Out_minmax j; odtype = Dtype.Float }
-                | _ -> unsupported "MIN/MAX over multiple relations")
+            | Ast.Min, Some _ ->
+                let j = fold_slot Semiring.min_times arg "MIN" in
+                { oname = name; okind = Out_fold j; odtype = Dtype.Float }
+            | Ast.Max, Some _ ->
+                let j = fold_slot Semiring.max_times arg "MAX" in
+                { oname = name; okind = Out_fold j; odtype = Dtype.Float }
+            | Ast.Min_plus, _ ->
+                let j = fold_slot Semiring.min_plus arg "MIN_PLUS" in
+                { oname = name; okind = Out_fold j; odtype = Dtype.Float }
+            | Ast.Reaches, _ ->
+                let j = fold_slot Semiring.bool_or_and arg "REACHES" in
+                { oname = name; okind = Out_fold j; odtype = Dtype.Int }
+            | Ast.Fold srname, _ -> (
+                match Semiring.find srname with
+                | None ->
+                    unsupported "unknown semiring %S (registered: %s)" srname
+                      (String.concat ", " (Semiring.names ()))
+                | Some sr -> (
+                    match (sr.Semiring.decomp, arg) with
+                    | Semiring.Dtimes, Some e ->
+                        {
+                          oname = name;
+                          okind = Out_sum (slots_of_terms sr (decompose resolve e));
+                          odtype = Dtype.Float;
+                        }
+                    | Semiring.Dtimes, None ->
+                        (* ⊕-fold of ⊗-identity per match (COUNT generalized). *)
+                        let j =
+                          add_slot
+                            { sr; owners = []; coeff = sr.Semiring.one; dead = false }
+                        in
+                        { oname = name; okind = Out_sum [ j ]; odtype = Dtype.Float }
+                    | (Semiring.Dplus | Semiring.Dsingle), _ ->
+                        let what = Printf.sprintf "agg('%s', ...)" srname in
+                        let j = fold_slot sr arg what in
+                        { oname = name; okind = Out_fold j; odtype = Dtype.Float }
+                    | Semiring.Dbool, _ ->
+                        let what = Printf.sprintf "agg('%s', ...)" srname in
+                        let j = fold_slot sr arg what in
+                        { oname = name; okind = Out_fold j; odtype = Dtype.Int }))
             | (Ast.Sum | Ast.Avg | Ast.Min | Ast.Max), None ->
                 unsupported "%s requires an argument" name))
       q.Ast.select
@@ -561,7 +681,7 @@ let translate catalog ~attribute_elimination (q : Ast.query) =
               ignore
                 (add_slot
                    {
-                     kind = Trie.Sum;
+                     sr = Semiring.sum_product;
                      owners = [ (alias, Ast.Col { Ast.relation = Some alias; column = c.Schema.name }) ];
                      coeff = 1.0;
                      dead = true;
@@ -620,6 +740,15 @@ let pp fmt t =
     t.edges;
   Format.fprintf fmt "slots: %d (%d dead)@," (Array.length t.slots)
     (Array.length (Array.of_list (List.filter (fun s -> s.dead) (Array.to_list t.slots))));
+  (* One line per live aggregate slot so EXPLAIN shows the semiring the
+     executor folds it in. *)
+  Array.iteri
+    (fun j s ->
+      if not s.dead then
+        Format.fprintf fmt "  s%d: %s coeff=%g owners=[%s]@," j s.sr.Semiring.name s.coeff
+          (String.concat "; "
+             (List.map (fun (a, e) -> Format.asprintf "%s: %a" a Ast.pp_expr e) s.owners)))
+    t.slots;
   Format.fprintf fmt "group by:";
   Array.iter
     (fun g ->

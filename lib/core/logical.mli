@@ -37,17 +37,19 @@ type gitem =
       (** GROUP BY on an annotation (or EXTRACT-of-date) of one relation *)
 
 type slot = {
-  kind : Lh_storage.Trie.agg_kind;
-  owners : (string * Lh_sql.Ast.expr) list;  (** per-alias owned factor, coefficient folded in *)
-  coeff : float;  (** applied at finalization when [owners] is empty *)
+  sr : Semiring.t;  (** the semiring this slot folds in *)
+  owners : (string * Lh_sql.Ast.expr) list;  (** per-alias owned ⊗-factor, coefficient folded in *)
+  coeff : float;  (** the ⊗-seed of every match's value (defaults to [sr.one]) *)
   dead : bool;  (** true only for the -attribute-elimination ablation *)
 }
 
 type output =
   | Out_group of int  (** index into [group_by] *)
-  | Out_sum of int list  (** Σ of slot values (SUM / COUNT / decomposed sums) *)
-  | Out_avg of int list * int  (** (sum slots, count slot) *)
-  | Out_minmax of int
+  | Out_sum of int list
+      (** ⊕-fold of slot values (SUM / COUNT / decomposed sums); all listed
+          slots share one semiring *)
+  | Out_avg of int list * int  (** (sum slots, count slot): the (sum,count) product semiring *)
+  | Out_fold of int  (** the slot's ⊕-fold read back directly (MIN/MAX/MIN_PLUS/REACHES/agg) *)
 
 type out_col = { oname : string; okind : output; odtype : Lh_storage.Dtype.t }
 

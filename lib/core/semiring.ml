@@ -1,0 +1,118 @@
+(* First-class semirings for the aggregation layer.
+
+   A slot's value is folded as
+
+     acc ⊕ (coeff ⊗ f₁ ⊗ f₂ ⊗ …)
+
+   where the fᵢ are the per-relation owned factors materialized in the
+   trie annotation vectors. The classic BI/LA aggregates are instances:
+   SUM/COUNT are (+,×), MIN/MAX are (min,×)/(max,×) with a single owned
+   factor, AVG is the (sum,count) product semiring (two slots), and the
+   graph workloads ride on (min,+) and the boolean (∨,∧).
+
+   Two laws beyond the ring ops matter to the executor:
+
+   - [card] says what x ⊕ x ⊕ … ⊕ x (n copies) is. [Scale f] gives the
+     closed form [f x n] (for (+,×) that is x ×. n); [Idem] says the fold
+     is idempotent so n copies collapse to x; [Opaque] admits no closed
+     form, which disables the count-only leaf kernel and the
+     multiplicity shortcut (see {!Compile.Leaf.mode} and DESIGN.md
+     "Semiring execution core").
+   - [decomp] says how an SQL expression under the aggregate is split
+     into per-relation factors: [Dtimes] distributes ⊕ over +/- and owns
+     multiplicative factors (the (+,×) path), [Dplus] owns additive
+     terms (the (min,+) path: + *is* ⊗), [Dbool] booleanizes a
+     single-alias argument into a 0/1 indicator, and [Dsingle] requires
+     a single-alias argument taken verbatim (MIN/MAX: (min,×) does not
+     distribute over × once factors can be negative). *)
+
+type card = Scale of (float -> float -> float) | Idem | Opaque
+type decomp = Dtimes | Dplus | Dbool | Dsingle
+
+type t = {
+  name : string;
+  zero : float;
+  one : float;
+  add : float -> float -> float;
+  mul : float -> float -> float;
+  card : card;
+  decomp : decomp;
+}
+
+let as_bool v = v <> 0.0
+
+let sum_product =
+  {
+    name = "sum_product";
+    zero = 0.0;
+    one = 1.0;
+    add = ( +. );
+    mul = ( *. );
+    card = Scale ( *. );
+    decomp = Dtimes;
+  }
+
+let min_times =
+  {
+    name = "min";
+    zero = infinity;
+    one = 1.0;
+    add = Float.min;
+    mul = ( *. );
+    card = Idem;
+    decomp = Dsingle;
+  }
+
+let max_times =
+  {
+    name = "max";
+    zero = neg_infinity;
+    one = 1.0;
+    add = Float.max;
+    mul = ( *. );
+    card = Idem;
+    decomp = Dsingle;
+  }
+
+let min_plus =
+  {
+    name = "min_plus";
+    zero = infinity;
+    one = 0.0;
+    add = Float.min;
+    mul = ( +. );
+    card = Idem;
+    decomp = Dplus;
+  }
+
+let bool_or_and =
+  {
+    name = "bool_or_and";
+    zero = 0.0;
+    one = 1.0;
+    add = (fun a b -> if as_bool a || as_bool b then 1.0 else 0.0);
+    mul = (fun a b -> if as_bool a && as_bool b then 1.0 else 0.0);
+    card = Idem;
+    decomp = Dbool;
+  }
+
+(* Registry: named semirings selectable per query via agg('name', e).
+   Top-k / argmax semirings need a widened slot state (k floats per
+   slot); the product-slot mechanism AVG uses is the extension point —
+   see DESIGN.md. Scalar user semirings register here directly. *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let register sr =
+  if Hashtbl.mem registry sr.name then
+    invalid_arg (Printf.sprintf "Semiring.register: %S already registered" sr.name);
+  Hashtbl.add registry sr.name sr
+
+let () = List.iter register [ sum_product; min_times; max_times; min_plus; bool_or_and ]
+let find name = Hashtbl.find_opt registry name
+let names () = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry [])
+
+(* [scalable sr] is the count-only-leaf soundness condition: folding n
+   copies of x must have a closed form (Scale) or be a no-op (Idem). *)
+let scalable sr = match sr.card with Scale _ | Idem -> true | Opaque -> false
+let is_sum_product sr = sr.name = sum_product.name

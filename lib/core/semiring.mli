@@ -1,0 +1,59 @@
+(** First-class semirings for the aggregation layer.
+
+    The executor folds every aggregate slot as
+    [acc ⊕ (coeff ⊗ f₁ ⊗ … ⊗ fₖ)] over the matches of the join, where
+    the [fᵢ] are per-relation owned factors. Instantiating ⊕/⊗ turns the
+    single WCOJ walk into SUM/COUNT/AVG/MIN/MAX (BI/LA), shortest paths
+    ((min,+)), or reachability ((∨,∧)). See DESIGN.md "Semiring
+    execution core". *)
+
+(** What [x ⊕ x ⊕ … ⊕ x] (n copies) is. [Scale f] gives the closed form
+    [f x n]; [Idem] collapses n copies to [x]; [Opaque] has no closed
+    form and forces the streaming leaf (no count-only kernel, no
+    multiplicity shortcut). *)
+type card = Scale of (float -> float -> float) | Idem | Opaque
+
+(** How an SQL expression under the aggregate splits into per-relation
+    factors: [Dtimes] = ⊕ over +/-, ⊗ over × (the (+,×) path); [Dplus] =
+    ⊗ over +/- (the (min,+) path); [Dbool] = single-alias 0/1 indicator;
+    [Dsingle] = single-alias argument taken verbatim (MIN/MAX). *)
+type decomp = Dtimes | Dplus | Dbool | Dsingle
+
+type t = {
+  name : string;
+  zero : float;  (** ⊕ identity; the value of an empty fold *)
+  one : float;  (** ⊗ identity; default slot coefficient *)
+  add : float -> float -> float;  (** ⊕ *)
+  mul : float -> float -> float;  (** ⊗ *)
+  card : card;
+  decomp : decomp;
+}
+
+val sum_product : t
+(** (+,×): SUM / COUNT / AVG and the BLAS-dispatched LA path. *)
+
+val min_times : t
+(** (min,×), single-alias: the MIN aggregate. *)
+
+val max_times : t
+(** (max,×), single-alias: the MAX aggregate. *)
+
+val min_plus : t
+(** (min,+): shortest paths; the [MIN_PLUS(...)] aggregate. *)
+
+val bool_or_and : t
+(** Boolean (∨,∧) on 0/1 floats: reachability; [REACHES(...)]. *)
+
+val register : t -> unit
+(** Add a semiring to the global registry, selectable per query as
+    [agg('name', expr)]. Raises [Invalid_argument] on a duplicate name. *)
+
+val find : string -> t option
+val names : unit -> string list
+
+val scalable : t -> bool
+(** Count-only-leaf soundness: true iff ⊕-folding n copies of a value
+    has a closed form ([Scale]) or is idempotent ([Idem]). *)
+
+val is_sum_product : t -> bool
+val as_bool : float -> bool

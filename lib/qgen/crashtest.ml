@@ -29,6 +29,13 @@ let triangle_count_sql =
   "select count(*) as a0 from ls_d r0, ls_d r1, ls_d r2 \
    where r0.col = r1.row and r1.col = r2.row and r2.col = r0.row"
 
+(* A (min,+) path-relaxation join: the owned annotation factors keep the
+   leaf in stream mode, so every group's value passes through the
+   per-leaf semiring ⊕-fold — the [exec.semiring.fold] site. *)
+let semiring_fold_sql =
+  "select r0.row as a0, min_plus(r0.v + r1.v) as a1 from ls_d r0, ls_d r1 \
+   where r0.col = r1.row group by r0.row"
+
 let scenarios =
   [
     ("engine.query", Query [ Gen.Scan; Gen.Chain ]);
@@ -38,6 +45,7 @@ let scenarios =
     ("exec.scan.row", Query [ Gen.Scan ]);
     ("exec.wcoj.leaf", Query [ Gen.Chain; Gen.Star; Gen.Cycle ]);
     ("exec.wcoj.count", Pinned triangle_count_sql);
+    ("exec.semiring.fold", Pinned semiring_fold_sql);
     ("set.inter_into", Pinned triangle_count_sql);
     ("trie.build.node", Query [ Gen.Chain; Gen.Star ]);
     ("blas.dispatch", Query [ Gen.La ]);
@@ -191,7 +199,7 @@ let query_site ~attempts ~seed site shapes =
   if site = "pool.chunk" && dflt.L.Config.domains <= 1 then
     Excused "requires domains > 1 (covered by the LH_DOMAINS=4 leg)"
   else begin
-    let spec = { Gen.shapes; Gen.max_relations = 3 } in
+    let spec = { Gen.shapes; Gen.max_relations = 3; Gen.semiring = true } in
     let profile =
       Fault.disarm_all ();
       Dataset.profile (Dataset.build ())

@@ -14,9 +14,9 @@ let shape_of_string = function
   | "scan" -> Some Scan | "chain" -> Some Chain | "star" -> Some Star
   | "cycle" -> Some Cycle | "la" -> Some La | _ -> None
 
-type spec = { shapes : shape list; max_relations : int }
+type spec = { shapes : shape list; max_relations : int; semiring : bool }
 
-let default_spec = { shapes = all_shapes; max_relations = 4 }
+let default_spec = { shapes = all_shapes; max_relations = 4; semiring = false }
 
 (* ------------------------------------------------------------------ *)
 (* Profile classification                                               *)
@@ -180,22 +180,62 @@ let single_alias_arg rng rels =
       let r = Prng.pick rng (Array.of_list withnum) in
       Option.map (factor rng r) (pick_numeric rng r)
 
-let aggregate rng rels i =
-  let name = Printf.sprintf "a%d" i in
-  match Prng.int rng 6 with
-  | 0 -> Ast.Aggregate (Ast.Count, None, name)
-  | 1 -> (
-      match single_alias_arg rng rels with
-      | Some e -> Ast.Aggregate ((if Prng.bool rng then Ast.Min else Ast.Max), Some e, name)
-      | None -> Ast.Aggregate (Ast.Count, None, name))
-  | 2 -> (
-      match agg_arg rng rels with
-      | Some e -> Ast.Aggregate (Ast.Avg, Some e, name)
-      | None -> Ast.Aggregate (Ast.Count, None, name))
+(* A sum of single-relation addends over 1..3 distinct relations: the
+   shape [Logical.decompose_plus] accepts for ⊗ = + semirings. *)
+let dplus_arg rng rels =
+  let withnum = List.filter (fun r -> pick_numeric rng r <> None) rels in
+  match withnum with
+  | [] -> None
+  | _ ->
+      let arr = Array.of_list withnum in
+      Prng.shuffle rng arr;
+      let n = min (Array.length arr) (1 + Prng.int rng 3) in
+      let fs =
+        List.init n (fun i ->
+            let r = arr.(i) in
+            match pick_numeric rng r with
+            | Some c -> factor rng r c
+            | None -> assert false)
+      in
+      Some (List.fold_left (fun acc f -> Ast.Add (acc, f)) (List.hd fs) (List.tl fs))
+
+(* Registered-semiring names the baselines also know how to fold; the
+   star forms Fold "min"/"max" would reject are never drawn. *)
+let fold_names = [| "sum_product"; "min"; "max"; "min_plus"; "bool_or_and" |]
+
+let semiring_aggregate rng rels name =
+  match Prng.int rng 3 with
+  | 0 -> Ast.Aggregate (Ast.Min_plus, dplus_arg rng rels, name)
+  | 1 -> Ast.Aggregate (Ast.Reaches, single_alias_arg rng rels, name)
   | _ -> (
-      match agg_arg rng rels with
-      | Some e -> Ast.Aggregate (Ast.Sum, Some e, name)
-      | None -> Ast.Aggregate (Ast.Count, None, name))
+      match Prng.pick rng fold_names with
+      | "sum_product" -> Ast.Aggregate (Ast.Fold "sum_product", agg_arg rng rels, name)
+      | "min_plus" -> Ast.Aggregate (Ast.Fold "min_plus", dplus_arg rng rels, name)
+      | "bool_or_and" -> Ast.Aggregate (Ast.Fold "bool_or_and", single_alias_arg rng rels, name)
+      | ("min" | "max") as n -> (
+          match single_alias_arg rng rels with
+          | Some e -> Ast.Aggregate (Ast.Fold n, Some e, name)
+          | None -> Ast.Aggregate (Ast.Count, None, name))
+      | _ -> assert false)
+
+let aggregate rng ~semiring rels i =
+  let name = Printf.sprintf "a%d" i in
+  if semiring && Prng.int rng 3 = 0 then semiring_aggregate rng rels name
+  else
+    match Prng.int rng 6 with
+    | 0 -> Ast.Aggregate (Ast.Count, None, name)
+    | 1 -> (
+        match single_alias_arg rng rels with
+        | Some e -> Ast.Aggregate ((if Prng.bool rng then Ast.Min else Ast.Max), Some e, name)
+        | None -> Ast.Aggregate (Ast.Count, None, name))
+    | 2 -> (
+        match agg_arg rng rels with
+        | Some e -> Ast.Aggregate (Ast.Avg, Some e, name)
+        | None -> Ast.Aggregate (Ast.Count, None, name))
+    | _ -> (
+        match agg_arg rng rels with
+        | Some e -> Ast.Aggregate (Ast.Sum, Some e, name)
+        | None -> Ast.Aggregate (Ast.Count, None, name))
 
 (* ------------------------------------------------------------------ *)
 (* GROUP BY                                                             *)
@@ -354,7 +394,7 @@ let la_query rng profile =
 
 (* ------------------------------------------------------------------ *)
 
-let assemble rng rels joins =
+let assemble rng ~semiring rels joins =
   let gb = group_by_exprs rng rels in
   let plains = List.mapi (fun i e -> Ast.Plain (e, Printf.sprintf "g%d" i)) gb in
   (* occasionally group by more than is selected *)
@@ -364,7 +404,7 @@ let assemble rng rels joins =
     | l -> l
   in
   let naggs = Prng.int_in rng 1 3 in
-  let aggs = List.init naggs (fun i -> aggregate rng rels i) in
+  let aggs = List.init naggs (fun i -> aggregate rng ~semiring rels i) in
   let filters =
     List.concat_map
       (fun r -> if Prng.int rng 100 < 45 then [ filter_pred rng r ] else [])
@@ -386,24 +426,25 @@ let generate profile ~seed ~index spec =
   let rng = Prng.create (seed + (index * 1_000_003)) in
   let shapes = if spec.shapes = [] then all_shapes else spec.shapes in
   let shape = Prng.pick rng (Array.of_list shapes) in
+  let semiring = spec.semiring in
   let q =
     match shape with
     | Scan ->
         let t = Prng.pick rng profile in
-        assemble rng [ { alias = alias 0; info = t } ] []
+        assemble rng ~semiring [ { alias = alias 0; info = t } ] []
     | Chain ->
         let rels, joins = chain_rels rng profile spec.max_relations in
-        assemble rng rels joins
+        assemble rng ~semiring rels joins
     | Star ->
         let rels, joins = star_rels rng profile spec.max_relations in
-        assemble rng rels joins
+        assemble rng ~semiring rels joins
     | Cycle ->
         let rels, joins = cycle_rels rng profile spec.max_relations in
-        assemble rng rels joins
+        assemble rng ~semiring rels joins
     | La -> (
         match la_query rng profile with
         | `Done q -> q
-        | `Generic (rels, joins) -> assemble rng rels joins)
+        | `Generic (rels, joins) -> assemble rng ~semiring rels joins)
   in
   (q, shape)
 
@@ -413,9 +454,10 @@ let vocabulary profile =
   let keywords =
     [
       "select"; "from"; "where"; "group"; "by"; "and"; "or"; "not"; "sum"; "count"; "avg";
-      "min"; "max"; "("; ")"; ","; "."; "*"; "+"; "-"; "/"; "="; "<"; ">"; "<="; ">="; "<>";
-      "as"; "between"; "like"; "case"; "when"; "then"; "else"; "end"; "date"; "interval";
-      "extract"; "year"; "0"; "1"; "2"; "0.25"; "'1994-01-01'"; "'%a%'";
+      "min"; "max"; "min_plus"; "reaches"; "agg"; "("; ")"; ","; "."; "*"; "+"; "-"; "/";
+      "="; "<"; ">"; "<="; ">="; "<>"; "as"; "between"; "like"; "case"; "when"; "then";
+      "else"; "end"; "date"; "interval"; "extract"; "year"; "0"; "1"; "2"; "0.25";
+      "'1994-01-01'"; "'%a%'"; "'min_plus'"; "'bool_or_and'";
     ]
   in
   let names =

@@ -20,7 +20,14 @@ val all_shapes : shape list
 val shape_to_string : shape -> string
 val shape_of_string : string -> shape option
 
-type spec = { shapes : shape list; max_relations : int }
+type spec = {
+  shapes : shape list;
+  max_relations : int;
+  semiring : bool;
+      (** also draw semiring aggregates — [MIN_PLUS(...)], [REACHES(...)]
+          and [agg('name', ...)] over the builtin registry — with argument
+          shapes each semiring's decomposition class accepts *)
+}
 
 val default_spec : spec
 

@@ -27,7 +27,7 @@ and pred =
   | Or of pred * pred
   | Not of pred
 
-type agg = Sum | Count | Avg | Min | Max
+type agg = Sum | Count | Avg | Min | Max | Min_plus | Reaches | Fold of string
 
 type select_item =
   | Aggregate of agg * expr option * string
@@ -77,6 +77,16 @@ and pp_pred fmt = function
 
 let agg_to_string = function
   | Sum -> "sum" | Count -> "count" | Avg -> "avg" | Min -> "min" | Max -> "max"
+  | Min_plus -> "min_plus" | Reaches -> "reaches"
+  (* Fold prints as the generic registry-dispatch form; see pp_query. *)
+  | Fold name -> Printf.sprintf "agg('%s', …)" name
+
+let pp_agg_call fmt a arg =
+  match (a, arg) with
+  | Fold name, Some e -> Format.fprintf fmt "agg('%s', %a)" name pp_expr e
+  | Fold name, None -> Format.fprintf fmt "agg('%s', *)" name
+  | _, Some e -> Format.fprintf fmt "%s(%a)" (agg_to_string a) pp_expr e
+  | _, None -> Format.fprintf fmt "%s(*)" (agg_to_string a)
 
 let pp_query fmt q =
   Format.fprintf fmt "select ";
@@ -84,9 +94,8 @@ let pp_query fmt q =
     (fun i item ->
       if i > 0 then Format.fprintf fmt ", ";
       match item with
-      | Aggregate (a, Some e, alias) ->
-          Format.fprintf fmt "%s(%a) as %s" (agg_to_string a) pp_expr e alias
-      | Aggregate (a, None, alias) -> Format.fprintf fmt "%s(*) as %s" (agg_to_string a) alias
+      | Aggregate (a, arg, alias) ->
+          Format.fprintf fmt "%a as %s" (fun fmt () -> pp_agg_call fmt a arg) () alias
       | Plain (e, alias) -> Format.fprintf fmt "%a as %s" pp_expr e alias)
     q.select;
   Format.fprintf fmt " from ";

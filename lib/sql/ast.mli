@@ -33,7 +33,17 @@ and pred =
   | Or of pred * pred
   | Not of pred
 
-type agg = Sum | Count | Avg | Min | Max
+type agg =
+  | Sum
+  | Count
+  | Avg
+  | Min
+  | Max
+  | Min_plus  (** [MIN_PLUS(e)]: min over matches of [e] in the (min,+) semiring *)
+  | Reaches  (** [REACHES(e)]: 1 iff some match has [e <> 0]; (∨,∧) semiring *)
+  | Fold of string
+      (** [agg('name', e)]: fold [e] in the named registered semiring
+          (see {!Levelheaded.Semiring}); resolved at planning time *)
 
 type select_item =
   | Aggregate of agg * expr option * string

@@ -51,7 +51,16 @@ let is_keyword s =
     [ "select"; "from"; "where"; "group"; "by"; "and"; "or"; "not"; "as"; "between"; "like";
       "case"; "when"; "then"; "else"; "end"; "date"; "interval"; "extract" ]
 
-let aggregates = [ ("sum", Ast.Sum); ("count", Ast.Count); ("avg", Ast.Avg); ("min", Ast.Min); ("max", Ast.Max) ]
+let aggregates =
+  [
+    ("sum", Ast.Sum);
+    ("count", Ast.Count);
+    ("avg", Ast.Avg);
+    ("min", Ast.Min);
+    ("max", Ast.Max);
+    ("min_plus", Ast.Min_plus);
+    ("reaches", Ast.Reaches);
+  ]
 
 let parse_col_ref st =
   let first = expect_ident st "column name" in
@@ -226,18 +235,38 @@ and parse_comparison st =
     Ast.Cmp (op, lhs, rhs)
 
 let parse_select_item st idx =
+  let parse_agg_arg st =
+    if accept st Lexer.STAR then None else Some (Ast.fold_intervals (parse_expr_prec st))
+  in
   let item =
     match peek st with
     | Lexer.IDENT name when List.mem_assoc name aggregates && peek2 st = Lexer.LPAREN ->
         let agg = List.assoc name aggregates in
         advance st;
         advance st;
-        let arg =
-          if accept st Lexer.STAR then None
-          else Some (Ast.fold_intervals (parse_expr_prec st))
-        in
+        let arg = parse_agg_arg st in
         expect st Lexer.RPAREN ")";
         `Agg (agg, arg)
+    | Lexer.IDENT "agg" when peek2 st = Lexer.LPAREN ->
+        (* agg('name', e): fold [e] in the named registered semiring. The
+           name must be a string literal — the parser cannot consult the
+           registry, so resolution happens at planning time. *)
+        advance st;
+        advance st;
+        let name =
+          match peek st with
+          | Lexer.STRING s ->
+              advance st;
+              s
+          | t ->
+              fail
+                (Printf.sprintf "expected a semiring name string in agg(...), found %s"
+                   (Lexer.token_to_string t))
+        in
+        expect st Lexer.COMMA ",";
+        let arg = parse_agg_arg st in
+        expect st Lexer.RPAREN ")";
+        `Agg (Ast.Fold name, arg)
     | _ -> `Plain (Ast.fold_intervals (parse_expr_prec st))
   in
   let alias =

@@ -1,5 +1,3 @@
-type agg_kind = Sum | Min | Max
-
 type group = { codes : int array; vec : float array; mult : float }
 
 type node = {
@@ -18,9 +16,6 @@ type t = {
   level_nodes : int array;
 }
 
-let combine kind a b =
-  match kind with Sum -> a +. b | Min -> Float.min a b | Max -> Float.max a b
-
 (* Aggregate the rows of one leaf segment into groups keyed by their
    GROUP BY annotation codes.  The overwhelmingly common case (no
    annotation GROUP BY) avoids the hash table entirely. *)
@@ -29,8 +24,8 @@ let make_groups ~rows ~group_cols ~aggs ~mults lo hi =
   let eval_vec r = Array.map (fun (_, f) -> f r) aggs in
   let fold_into g r =
     for j = 0 to naggs - 1 do
-      let kind, f = aggs.(j) in
-      g.(j) <- combine kind g.(j) (f r)
+      let comb, f = aggs.(j) in
+      g.(j) <- comb g.(j) (f r)
     done
   in
   if Array.length group_cols = 0 then begin

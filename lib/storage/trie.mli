@@ -19,8 +19,6 @@
     query references: this is the physical half of attribute elimination
     (§IV-A). *)
 
-type agg_kind = Sum | Min | Max
-
 type group = { codes : int array; vec : float array; mult : float }
 
 type node = {
@@ -50,14 +48,16 @@ val build :
   keys:int array array ->
   rows:int array ->
   ?group_cols:int array array ->
-  ?aggs:(agg_kind * (int -> float)) array ->
+  ?aggs:((float -> float -> float) * (int -> float)) array ->
   ?mults:(int -> float) ->
   unit ->
   t
 (** [build ~keys ~rows ()] sorts [rows] by the key tuple
     [(keys.(0).(r), keys.(1).(r), ...)] and constructs the trie.
     [group_cols.(g).(r)] supplies GROUP BY annotation codes; [aggs.(j)] is
-    the ⊕ kind and per-row evaluator of owned aggregate slot [j]; [mults]
+    the ⊕ combine function (the owning slot's semiring [add]) and per-row
+    evaluator of owned aggregate slot [j] — pre-⊕-folding duplicate key
+    tuples here is valid for any semiring by distributivity; [mults]
     gives each row's multiplicity (default 1.0, i.e. [mult] counts rows).
     At least one key level is required.
 

@@ -84,7 +84,7 @@ let test_generator_deterministic () =
 let test_shape_restriction () =
   List.iter
     (fun shape ->
-      let spec = { Gen.shapes = [ shape ]; max_relations = 3 } in
+      let spec = { Gen.shapes = [ shape ]; max_relations = 3; semiring = false } in
       for index = 0 to 19 do
         let _, got = Gen.generate (Lazy.force profile) ~seed:3 ~index spec in
         if got <> shape then

@@ -274,6 +274,158 @@ let qcheck_random_triangle =
       let got = Table.to_rows (L.Engine.query e sql) in
       List.for_all2 (fun er gr -> List.for_all2 Helpers.value_close er gr) expect got)
 
+(* ---- semiring aggregates ---- *)
+
+let test_semiring_aggregates () =
+  let e = fresh_engine () in
+  (* 2-hop paths; the (2,3) edge has weight 0 so REACHES over y.v is
+     exercised on both outcomes *)
+  register_matrix e "g" [ (0, 1, 1.0); (0, 2, 4.0); (1, 2, 1.5); (2, 3, 0.0) ];
+  let t =
+    L.Engine.query e
+      "select x.row, min_plus(x.v + y.v) d, reaches(y.v) r, count(*) c from g x, g y where x.col = y.row group by x.row"
+  in
+  Alcotest.(check bool) "two-hop rows" true
+    (Table.to_rows t
+    = [
+        [ Dtype.VInt 0; Dtype.VFloat 2.5; Dtype.VInt 1; Dtype.VInt 2 ];
+        [ Dtype.VInt 1; Dtype.VFloat 1.5; Dtype.VInt 0; Dtype.VInt 1 ];
+      ])
+
+let test_semiring_empty_scalar () =
+  (* a scalar fold over an empty input yields the semiring's ⊕-identity *)
+  let e = fresh_engine () in
+  register_matrix e "m" [];
+  let t = L.Engine.query e "select min_plus(m.v) d, reaches(m.v) r from m" in
+  Alcotest.(check bool) "identities" true
+    (Table.to_rows t = [ [ Dtype.VFloat infinity; Dtype.VInt 0 ] ])
+
+let test_agg_generic_syntax () =
+  let e = fresh_engine () in
+  register_matrix e "m" [ (0, 0, 5.0); (0, 1, -3.0); (1, 0, 7.5) ];
+  let t =
+    L.Engine.query e "select m.row, agg('max', m.v) hi, agg('min_plus', m.v) lo from m group by m.row"
+  in
+  Alcotest.(check bool) "agg('name', e) rows" true
+    (Table.to_rows t
+    = [
+        [ Dtype.VInt 0; Dtype.VFloat 5.0; Dtype.VFloat (-3.0) ];
+        [ Dtype.VInt 1; Dtype.VFloat 7.5; Dtype.VFloat 7.5 ];
+      ])
+
+let test_custom_semiring_registry () =
+  (* (max,+): longest 2-hop path, via a user-registered semiring *)
+  (if L.Semiring.find "max_plus" = None then
+     L.Semiring.register
+       {
+         L.Semiring.name = "max_plus";
+         zero = neg_infinity;
+         one = 0.0;
+         add = Float.max;
+         mul = ( +. );
+         card = L.Semiring.Idem;
+         decomp = L.Semiring.Dplus;
+       });
+  let listed = L.Engine.semirings () in
+  Alcotest.(check bool) "registered name listed" true (List.mem "max_plus" listed);
+  Alcotest.(check bool) "builtins listed" true
+    (List.for_all
+       (fun n -> List.mem n listed)
+       [ "sum_product"; "min"; "max"; "min_plus"; "bool_or_and" ]);
+  let e = fresh_engine () in
+  register_matrix e "g" [ (0, 1, 1.0); (0, 2, 4.0); (1, 2, 1.5); (2, 3, 0.5) ];
+  let t =
+    L.Engine.query e
+      "select x.row, agg('max_plus', x.v + y.v) d from g x, g y where x.col = y.row group by x.row"
+  in
+  Alcotest.(check bool) "longest 2-hop" true
+    (Table.to_rows t
+    = [ [ Dtype.VInt 0; Dtype.VFloat 4.5 ]; [ Dtype.VInt 1; Dtype.VFloat 2.0 ] ])
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_explain_semiring () =
+  let e = fresh_engine () in
+  register_matrix e "g" [ (0, 1, 1.0); (1, 2, 2.0) ];
+  let ex =
+    L.Engine.explain e
+      "select x.row, min_plus(x.v + y.v) d from g x, g y where x.col = y.row group by x.row"
+  in
+  Alcotest.(check bool) "plan names the semiring" true (contains ~sub:"min_plus" ex.L.Engine.etext)
+
+let test_result_api () =
+  let e = fresh_engine () in
+  register_matrix e "m" [ (0, 0, 2.0) ];
+  (match L.Engine.query_result e "select sum(m.v) s from m" with
+  | Ok t -> Alcotest.(check bool) "ok rows" true (Table.to_rows t = [ [ Dtype.VFloat 2.0 ] ])
+  | Error _ -> Alcotest.fail "expected Ok");
+  (match L.Engine.query_result e "select sum(nope.v) s from nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error on unknown table");
+  (match L.Engine.prepare_result e "select sum(m.v) s from m where m.row = $1" with
+  | Error _ -> Alcotest.fail "expected Ok prepared stmt"
+  | Ok st -> (
+      match L.Engine.Stmt.exec_result st [ Dtype.VInt 0 ] with
+      | Ok t -> Alcotest.(check bool) "bound rows" true (Table.to_rows t = [ [ Dtype.VFloat 2.0 ] ])
+      | Error _ -> Alcotest.fail "expected Ok exec"));
+  match L.Engine.prepare_result e "select sum(" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error on parse failure"
+
+let test_iterate_sssp () =
+  let e = fresh_engine () in
+  register_matrix e "g" [ (0, 1, 1.0); (1, 2, 2.0); (0, 2, 5.0); (2, 3, 1.0) ];
+  let dist, rounds =
+    L.Engine.iterate e ~name:"dist" ~merge:(L.Engine.Accumulate "min_plus")
+      ~init:"select g.row, min_plus(0.0) d from g where g.row = 0 group by g.row"
+      ~step:"select g.col, min_plus(d.d + g.v) d from dist d, g where d.row = g.row group by g.col"
+  in
+  Alcotest.(check bool) "distances" true
+    (Table.to_rows dist
+    = [
+        [ Dtype.VInt 0; Dtype.VFloat 0.0 ];
+        [ Dtype.VInt 1; Dtype.VFloat 1.0 ];
+        [ Dtype.VInt 2; Dtype.VFloat 3.0 ];
+        [ Dtype.VInt 3; Dtype.VFloat 4.0 ];
+      ]);
+  Alcotest.(check int) "rounds to fixpoint" 4 rounds
+
+let test_iterate_reachability () =
+  let e = fresh_engine () in
+  (* 0 -> 1 -> 2; 4 -> 3 is disconnected from 0 *)
+  register_matrix e "g" [ (0, 1, 1.0); (1, 2, 1.0); (4, 3, 1.0) ];
+  (* every row in vis is already reached (r = 1), so relaxing only needs
+     the edge indicator *)
+  let vis, _rounds =
+    L.Engine.iterate e ~name:"vis" ~merge:(L.Engine.Accumulate "bool_or_and")
+      ~init:"select g.row, reaches(g.v) r from g where g.row = 0 group by g.row"
+      ~step:"select g.col, reaches(g.v) r from vis s, g where s.row = g.row group by g.col"
+  in
+  Alcotest.(check bool) "reachable set" true
+    (Table.to_rows vis
+    = [
+        [ Dtype.VInt 0; Dtype.VInt 1 ];
+        [ Dtype.VInt 1; Dtype.VInt 1 ];
+        [ Dtype.VInt 2; Dtype.VInt 1 ];
+      ])
+
+let qcheck_semiring_joins =
+  Helpers.qtest ~count:120 "random semiring join = oracle" random_db_gen (fun (ta, tb) ->
+      let e = fresh_engine () in
+      register_matrix e "a" ta;
+      register_matrix e "b" tb;
+      let lookup = Helpers.lookup_in e in
+      let sql =
+        "select a.row, min_plus(a.v + b.v) d, reaches(b.v) r, agg('max', b.v) hi from a, b where a.col = b.row group by a.row"
+      in
+      let expect = Lh_baseline.Oracle.query ~lookup (Lh_sql.Parser.parse sql) in
+      let got = Table.to_rows (L.Engine.query e sql) in
+      List.length expect = List.length got
+      && List.for_all2 (fun er gr -> List.for_all2 Helpers.value_close er gr) expect got)
+
 let () =
   Alcotest.run "levelheaded-exec"
     [
@@ -298,5 +450,16 @@ let () =
           Alcotest.test_case "budget oom" `Quick test_budget_oom_smm;
           Alcotest.test_case "budget timeout" `Quick test_budget_timeout;
         ] );
-      ("property", [ qcheck_random_joins; qcheck_random_triangle ]);
+      ( "semiring",
+        [
+          Alcotest.test_case "min_plus/reaches join" `Quick test_semiring_aggregates;
+          Alcotest.test_case "empty scalar identities" `Quick test_semiring_empty_scalar;
+          Alcotest.test_case "agg('name', e) syntax" `Quick test_agg_generic_syntax;
+          Alcotest.test_case "custom registered semiring" `Quick test_custom_semiring_registry;
+          Alcotest.test_case "explain shows semiring" `Quick test_explain_semiring;
+          Alcotest.test_case "result-first api" `Quick test_result_api;
+          Alcotest.test_case "iterate sssp" `Quick test_iterate_sssp;
+          Alcotest.test_case "iterate reachability" `Quick test_iterate_reachability;
+        ] );
+      ("property", [ qcheck_random_joins; qcheck_random_triangle; qcheck_semiring_joins ]);
     ]

@@ -108,6 +108,25 @@ let test_parse_count_star () =
   | [ Ast.Aggregate (Ast.Count, None, "c") ] -> ()
   | _ -> Alcotest.fail "count(*)"
 
+let test_parse_semiring_aggs () =
+  let q =
+    Parser.parse "select min_plus(a.v + b.v) d, reaches(*) r, agg('max_plus', a.v) m from a, b"
+  in
+  (match q.Ast.select with
+  | [
+   Ast.Aggregate (Ast.Min_plus, Some _, "d");
+   Ast.Aggregate (Ast.Reaches, None, "r");
+   Ast.Aggregate (Ast.Fold "max_plus", Some _, "m");
+  ] ->
+      ()
+  | _ -> Alcotest.fail "semiring aggregate parse");
+  (* pp output is the plan-cache key: it must reparse to the same AST *)
+  let printed = Format.asprintf "%a" Ast.pp_query q in
+  if Parser.parse printed <> q then Alcotest.failf "semiring roundtrip failed:\n%s" printed;
+  match Parser.parse "select agg(x, a.v) from a" with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "agg() must take a string-literal semiring name"
+
 let test_parse_errors () =
   List.iter
     (fun sql ->
@@ -198,6 +217,7 @@ let () =
           Alcotest.test_case "shape" `Quick test_parse_query_shape;
           Alcotest.test_case "aliases" `Quick test_parse_aliases;
           Alcotest.test_case "count star" `Quick test_parse_count_star;
+          Alcotest.test_case "semiring aggregates" `Quick test_parse_semiring_aggs;
           Alcotest.test_case "errors" `Quick test_parse_errors;
           Alcotest.test_case "pp/reparse roundtrip" `Quick test_pp_reparse_roundtrip;
         ] );

@@ -178,9 +178,9 @@ let test_trie_aggregation () =
     Trie.build ~keys ~rows:[| 0; 1; 2; 3; 4 |]
       ~aggs:
         [|
-          (Trie.Sum, fun r -> vals.(r));
-          (Trie.Min, fun r -> vals.(r));
-          (Trie.Max, fun r -> vals.(r));
+          (( +. ), fun r -> vals.(r));
+          (Float.min, fun r -> vals.(r));
+          (Float.max, fun r -> vals.(r));
         |]
       ()
   in
@@ -203,7 +203,7 @@ let test_trie_group_codes () =
   let vals = [| 1.0; 2.0; 4.0 |] in
   let trie =
     Trie.build ~keys ~rows:[| 0; 1; 2 |] ~group_cols:codes
-      ~aggs:[| (Trie.Sum, fun r -> vals.(r)) |]
+      ~aggs:[| (( +. ), fun r -> vals.(r)) |]
       ()
   in
   let got = ref [] in
