@@ -29,7 +29,7 @@ let fig1 bi la =
       C.print_row (C.system_name s) [ cell bi; cell la ])
     [ C.Lh; C.Hyper_like; C.Monet_like; C.Lh_logicblox; C.Mkl_like ]
 
-let all_ids = [ "table2-bi"; "table2-la"; "table3"; "table4"; "fig1"; "fig5a"; "fig5b"; "fig5c"; "fig6"; "ablations"; "repeated"; "concurrency"; "layouts"; "graph" ]
+let all_ids = [ "table2-bi"; "table2-la"; "table3"; "table4"; "fig1"; "fig5a"; "fig5b"; "fig5c"; "fig6"; "ablations"; "repeated"; "concurrency"; "layouts"; "graph"; "durability" ]
 
 let run_ids params ids =
   let wants id = List.mem id ids in
@@ -62,6 +62,7 @@ let run_ids params ids =
   if wants "concurrency" then tagged "concurrency" (fun () -> ignore (Exp_serve.run params));
   if wants "layouts" then tagged "layouts" (fun () -> ignore (Exp_layouts.run params));
   if wants "graph" then tagged "graph" (fun () -> ignore (Exp_graph.run params));
+  if wants "durability" then tagged "durability" (fun () -> ignore (Exp_durable.run params));
   C.write_json ()
 
 (* ---------------- smoke: one query per experiment family, telemetry on,
@@ -199,6 +200,65 @@ let smoke params =
    if not (List.mem_assoc "serve.queue_wait" srep.Report.hists) then
      fail "serve: serve.queue_wait histogram absent from report";
    reports := ("serve/service", srep) :: !reports);
+  (* durability: a scripted ingest → torn-tail "kill" → recover cycle over
+     a throwaway store directory. Three batches (Group 2 sync) with a
+     checkpoint after the second, then garbage appended to the WAL — a
+     torn in-flight record, what a SIGKILL mid-append leaves behind — then
+     restart recovery: checkpoint + suffix replay must land on the last
+     acknowledged batch and truncate the torn tail. *)
+  let bad_durable = ref [] in
+  (let module Serve = Lh_serve.Serve in
+   let module Store = Lh_durable.Store in
+   let fail fmt = Printf.ksprintf (fun m -> bad_durable := m :: !bad_durable) fmt in
+   let d_schema =
+     Lh_storage.Schema.create
+       [ ("k", Lh_storage.Dtype.Int, Lh_storage.Schema.Key);
+         ("v", Lh_storage.Dtype.Float, Lh_storage.Schema.Annotation) ]
+   in
+   let d_rows g =
+     List.init 8 (fun i ->
+         [ Lh_storage.Dtype.VInt i; Lh_storage.Dtype.VFloat (float_of_int (i * g)) ])
+   in
+   let (), drep =
+     Report.with_session (fun () ->
+         Exp_durable.with_temp_dir (fun dir ->
+             let store, _ = Store.open_dir ~sync:(Lh_durable.Wal.Group 2) dir in
+             let d_eng = L.Engine.create () in
+             let svc = Serve.create ~store ~checkpoint_every:2 d_eng in
+             List.iter
+               (fun g ->
+                 match Serve.ingest_rows svc ~name:"durable_t" ~schema:d_schema (d_rows g) with
+                 | Ok _ -> ()
+                 | Error e -> fail "durable: ingest %d failed: %s" g (Serve.error_to_string e))
+               [ 1; 2; 3 ];
+             let wal = Store.wal_path store in
+             Serve.close svc;
+             let fd = Unix.openfile wal [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+             ignore (Unix.write fd (Bytes.make 32 '\xff') 0 32);
+             Unix.close fd;
+             let store, rc = Store.open_dir dir in
+             if not rc.Store.rc_torn then fail "durable: torn WAL tail not detected";
+             if rc.Store.rc_seq <> 3 then fail "durable: recovered seq %d (want 3)" rc.Store.rc_seq;
+             if rc.Store.rc_checkpoint_seq <> 2 then
+               fail "durable: checkpoint seq %d (want 2)" rc.Store.rc_checkpoint_seq;
+             let r_eng = L.Engine.create () in
+             Store.replay_into rc (fun ~name ~schema rows ->
+                 ignore (L.Engine.register_rows r_eng ~name ~schema rows));
+             Store.close store;
+             match L.Engine.query r_eng "select sum(v) as s from durable_t" with
+             | t when t.Lh_storage.Table.nrows = 1 ->
+                 (* last acknowledged batch is g=3: sum(i*3, i<8) = 84 *)
+                 let v = Lh_storage.Table.number t 0 0 in
+                 if Float.abs (v -. 84.0) > 1e-9 then
+                   fail "durable: recovered sum %.17g (want 84)" v
+             | t -> fail "durable: recovered query returned %d rows" t.Lh_storage.Table.nrows
+             | exception e -> fail "durable: recovered query raised %s" (Printexc.to_string e)))
+   in
+   Printf.printf "smoke %-24s %6d rows  %s\n%!" "durable/recover" 1
+     (Lh_util.Timing.duration_to_string drep.Report.total_s);
+   if not (List.mem_assoc "recover.replay" drep.Report.hists) then
+     fail "durable: recover.replay histogram absent from report";
+   reports := ("durable/recover", drep) :: !reports);
   let par_reports = ref [] in
   let saved = L.Engine.config eng in
   L.Engine.set_config eng { saved with L.Config.domains = 2 };
@@ -235,6 +295,9 @@ let smoke params =
       "serve.admitted"; "serve.rejected"; "serve.ingests"; "epoch.published";
       "epoch.retired"; "set.inter.bb"; "set.inter.bu"; "set.inter.uu";
       "set.count_only"; "set.buffer_reuse";
+      "wal.appended"; "wal.bytes"; "wal.fsyncs"; "wal.replayed"; "wal.truncated";
+      "wal.checkpoints"; "recover.opens"; "recover.replayed";
+      "recover.checkpoint_tables"; "recover.torn_tails";
     ]
   in
   let missing = List.filter (fun nm -> not (present nm)) required in
@@ -248,6 +311,8 @@ let smoke params =
       "serve.admitted"; "serve.rejected"; "serve.ingests"; "epoch.published";
       "epoch.retired"; "set.inter.bb"; "set.inter.bu"; "set.inter.uu";
       "set.count_only"; "set.buffer_reuse";
+      "wal.appended"; "wal.fsyncs"; "wal.replayed"; "recover.opens";
+      "recover.replayed"; "recover.torn_tails";
     ]
   in
   let zero = List.filter (fun nm -> present nm && sum nm = 0) must_be_nonzero in
@@ -266,11 +331,14 @@ let smoke params =
           && String.sub label 0 (String.length prefix) = prefix
         in
         (* serve/ cells spend real time in service bookkeeping (admission,
-           epoch bookkeeping) outside engine spans, by design; the layouts/
+           epoch bookkeeping) outside engine spans, by design; durable/ is
+           dominated by WAL/checkpoint file IO, also unspanned; the layouts/
            triangles are cold sub-millisecond runs where GHD search for the
            3-cycle dominates and span coverage is noise *)
-        if (not (skipped "parallel/" || skipped "serve/" || skipped "layouts/"))
-           && r.Report.total_s > 1e-4
+        (* the 0.5ms floor: under it (e.g. the ~200us BLAS cell) fixed
+           per-span overheads and scheduler noise dominate the ratio *)
+        if (not (skipped "parallel/" || skipped "serve/" || skipped "layouts/" || skipped "durable/"))
+           && r.Report.total_s > 5e-4
            && accounted < 0.9 *. r.Report.total_s
         then
           Some (Printf.sprintf "%s: phases cover %.0f%% of %s" label
@@ -358,7 +426,7 @@ let smoke params =
      would degrade every query report. Warn on one, fail on two. *)
   let coverage_failures = if List.length bad_coverage >= 2 then bad_coverage else [] in
   if missing = [] && zero = [] && coverage_failures = [] && bad_parallel = [] && bad_plancache = []
-     && bad_profile = [] && !bad_serve = []
+     && bad_profile = [] && !bad_serve = [] && !bad_durable = []
   then begin
     List.iter
       (fun msg -> Printf.printf "smoke warn: %s (single stall tolerated)\n" msg)
@@ -375,13 +443,14 @@ let smoke params =
     List.iter (fun msg -> Printf.eprintf "smoke FAIL: %s\n" msg) bad_plancache;
     List.iter (fun msg -> Printf.eprintf "smoke FAIL: %s\n" msg) bad_profile;
     List.iter (fun msg -> Printf.eprintf "smoke FAIL: %s\n" msg) !bad_serve;
+    List.iter (fun msg -> Printf.eprintf "smoke FAIL: %s\n" msg) !bad_durable;
     1
   end
 
 open Cmdliner
 
 let ids_arg =
-  let doc = "Experiments to run: table2-bi table2-la table3 table4 fig1 fig5a fig5b fig5c fig6 ablations repeated concurrency layouts graph. Default: all." in
+  let doc = "Experiments to run: table2-bi table2-la table3 table4 fig1 fig5a fig5b fig5c fig6 ablations repeated concurrency layouts graph durability. Default: all." in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let sf_arg =

@@ -42,9 +42,9 @@ let run_concurrent seed count domains ingests quiet =
     1
   end
 
-let run_crashtest seed attempts quiet =
+let run_crashtest seed attempts site quiet =
   let progress line = if not quiet then Printf.eprintf "... %s\n%!" line in
-  let summary = Crashtest.run ~progress ~attempts ~seed () in
+  let summary = Crashtest.run ~progress ~attempts ?site ~seed () in
   print_string (Crashtest.to_text summary);
   if Crashtest.ok summary then begin
     print_endline "OK: every fault site recovered";
@@ -55,9 +55,23 @@ let run_crashtest seed attempts quiet =
     1
   end
 
+let run_kill_restart seed quiet =
+  let progress line = if not quiet then Printf.eprintf "... %s\n%!" line in
+  let summary = Crashtest.run_kill ~progress ~seed () in
+  print_string (Crashtest.to_text summary);
+  if Crashtest.ok summary then begin
+    print_endline "OK: every acknowledged batch survived kill and restart";
+    0
+  end
+  else begin
+    print_endline "FAIL: kill-and-restart recovery violations";
+    1
+  end
+
 let run seed count first_index shapes max_relations semiring inject_bug layout_stress
-    inject_fault attempts concurrent domains ingests quiet =
-  if inject_fault then run_crashtest seed attempts quiet
+    inject_fault attempts site kill_restart concurrent domains ingests quiet =
+  if kill_restart then run_kill_restart seed quiet
+  else if inject_fault then run_crashtest seed attempts site quiet
   else if concurrent then run_concurrent seed count domains ingests quiet
   else
   let shapes =
@@ -147,6 +161,20 @@ let cmd =
            ~doc:"With --inject-fault: per-site bound on the search for a generated query \
                  that reaches the site")
   in
+  let site =
+    Arg.(value & opt (some string) None & info [ "site" ] ~docv:"GLOB"
+           ~doc:"With --inject-fault: only run scenarios for fault sites matching GLOB \
+                 ('*' wildcards, e.g. 'wal.*') — the single-site repro loop")
+  in
+  let kill_restart =
+    Arg.(value & flag & info [ "kill-restart" ]
+           ~doc:"Run the kill-and-restart durability harness: spawn a real lhserve child \
+                 on a temp --data-dir, SIGKILL it mid-ingest at LH_KILL-selected fault \
+                 sites (including torn writes and kills during recovery itself), restart \
+                 on the same directory and assert every acknowledged batch is \
+                 query-visible and bit-identical to a sequential oracle rebuild \
+                 (\\$LH_KILL_COUNT batches per scenario, default 6)")
+  in
   let concurrent =
     Arg.(value & flag & info [ "concurrent" ]
            ~doc:"Run the concurrent-sessions evaluator instead of differential fuzzing: \
@@ -168,6 +196,7 @@ let cmd =
     (Cmd.info "lhfuzz" ~doc:"Differential query fuzzer for the LevelHeaded engine")
     Term.(
       const run $ seed $ count $ index $ shape $ max_relations $ semiring $ inject_bug
-      $ layout_stress $ inject_fault $ attempts $ concurrent $ domains $ ingests $ quiet)
+      $ layout_stress $ inject_fault $ attempts $ site $ kill_restart $ concurrent $ domains
+      $ ingests $ quiet)
 
 let () = exit (Cmd.eval' cmd)

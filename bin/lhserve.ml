@@ -22,10 +22,20 @@
      epochs                       -> ok epochs <k>  (then k "id pins retired" lines)
      stats                        -> ok sessions=S inflight=I epochs=E current=C
      quit                         -> ok bye
+     shutdown                     -> ok bye   (graceful: drain, fsync WAL)
 
    Schemas are comma-separated "name:dtype[:key]" specs (no spaces), e.g.
    row:int:key,col:int:key,v:float. Typed service failures come back as
    one "error <kind>: ..." line; the server never exits on a bad command.
+
+   With --data-dir the server is durable: every acknowledged ingest is
+   in the directory's write-ahead log (fsync policy from --wal-sync /
+   LH_WAL_SYNC) before the "ok epoch" line is printed, checkpoints are
+   taken every --checkpoint-every ingests, and a restart on the same
+   directory recovers to the last acknowledged epoch (torn WAL tails
+   from a crash are truncated, never fatal). SIGINT/SIGTERM trigger a
+   graceful shutdown: new work is refused, in-flight queries get a
+   bounded drain window, the WAL is fsynced, and the process exits 0.
 
    Example:
 
@@ -221,6 +231,13 @@ let handle st line =
       respond "ok bye";
       Serve.close st.svc;
       exit 0
+  | "shutdown" ->
+      (* Graceful variant of quit: drain in-flight queries (bounded),
+         then close — which fsyncs the WAL's group-commit remainder. *)
+      if not (Serve.shutdown st.svc) then
+        Printf.eprintf "lhserve: shutdown drain deadline expired\n%!";
+      respond "ok bye";
+      exit 0
   | other -> raise (Bad (Printf.sprintf "unknown command %S" other))
 
 (* ---- startup ---- *)
@@ -240,9 +257,45 @@ let parse_table_arg arg =
         Schema.create (List.map colspec (String.split_on_char ',' (String.concat ":" rest))) )
   | _ -> failwith (Printf.sprintf "bad --table %S (want name:path:schema)" arg)
 
-let serve tables sep domains max_sessions queue_depth =
-  let config = { L.Config.default with L.Config.domains = max 1 domains } in
+let serve tables sep domains max_sessions queue_depth data_dir wal_sync checkpoint_every =
+  let wal_sync =
+    match wal_sync with
+    | None -> None
+    | Some s -> (
+        match Lh_durable.Wal.sync_of_string s with
+        | Ok m -> Some m
+        | Error m -> failwith m)
+  in
+  let config =
+    {
+      L.Config.default with
+      L.Config.domains = max 1 domains;
+      wal_sync =
+        (match wal_sync with Some m -> m | None -> L.Config.default.L.Config.wal_sync);
+    }
+  in
   let eng = L.Engine.create ~config () in
+  (* Durable boot: recover the store before any preloads — recovered
+     state is the base, --table files then layer on top (and get logged
+     like any other ingest below, via the service). All chatter goes to
+     stderr; stdout carries only protocol responses. *)
+  let store =
+    match data_dir with
+    | None -> None
+    | Some dir ->
+        let store, recovered =
+          Lh_durable.Store.open_dir ~sync:config.L.Config.wal_sync dir
+        in
+        Lh_durable.Store.replay_into recovered (fun ~name ~schema rows ->
+            ignore (L.Engine.register_rows eng ~name ~schema rows));
+        Printf.eprintf
+          "lhserve: recovered %s: %d checkpoint table(s), %d wal batch(es), seq %d%s\n%!" dir
+          (List.length recovered.Lh_durable.Store.rc_tables)
+          (List.length recovered.Lh_durable.Store.rc_batches)
+          recovered.Lh_durable.Store.rc_seq
+          (if recovered.Lh_durable.Store.rc_torn then " (torn tail truncated)" else "");
+        Some store
+  in
   List.iter
     (fun arg ->
       let name, path, schema = parse_table_arg arg in
@@ -251,12 +304,24 @@ let serve tables sep domains max_sessions queue_depth =
     tables;
   let st =
     {
-      svc = Serve.create ?max_sessions ?queue_depth eng;
+      svc = Serve.create ?max_sessions ?queue_depth ?store ?checkpoint_every eng;
       sessions = Hashtbl.create 8;
       stmts = Hashtbl.create 8;
       next_stmt = 0;
     }
   in
+  (* SIGINT/SIGTERM: graceful shutdown. The handler runs on the main
+     thread at a safe point (typically while blocked reading stdin);
+     Serve.shutdown bounds the drain, so a query wedged past the
+     deadline cannot hold the exit hostage. *)
+  let graceful _ =
+    if not (Serve.shutdown st.svc) then
+      Printf.eprintf "lhserve: shutdown drain deadline expired\n%!";
+    Printf.eprintf "lhserve: shutting down\n%!";
+    exit 0
+  in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful) with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle graceful) with Invalid_argument _ -> ());
   Printf.eprintf "lhserve: epoch %d, reading commands from stdin\n%!"
     (Serve.current_epoch st.svc);
   let rec loop () =
@@ -294,9 +359,25 @@ let cmd =
     Arg.(value & opt (some int) None & info [ "queue-depth" ] ~docv:"N"
            ~doc:"Service-wide admitted-query cap (default: \\$LH_QUEUE_DEPTH if set, else 32)")
   in
+  let data_dir =
+    Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR"
+           ~doc:"Durable store directory: recover it on boot, write-ahead-log every ingest \
+                 (acknowledged batches survive SIGKILL), checkpoint periodically")
+  in
+  let wal_sync =
+    Arg.(value & opt (some string) None & info [ "wal-sync" ] ~docv:"MODE"
+           ~doc:"WAL fsync discipline: always | group[:N] | none (default: \\$LH_WAL_SYNC if \
+                 set, else group:8)")
+  in
+  let checkpoint_every =
+    Arg.(value & opt (some int) None & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Checkpoint the catalog and reset the WAL every N durable ingests (default: \
+                 \\$LH_CHECKPOINT_EVERY if set, else never)")
+  in
   Cmd.v
     (Cmd.info "lhserve"
        ~doc:"Line-protocol query server with snapshot-isolated epoch reads")
-    Term.(const serve $ tables $ sep $ domains $ max_sessions $ queue_depth)
+    Term.(const serve $ tables $ sep $ domains $ max_sessions $ queue_depth $ data_dir
+          $ wal_sync $ checkpoint_every)
 
 let () = exit (Cmd.eval' cmd)

@@ -46,6 +46,36 @@ if [ "$lhserve_out" != "$lhserve_want" ]; then
   exit 1
 fi
 echo "lhserve pipe smoke ok"
+# Durable lhserve smoke: two server runs over one --data-dir. Run 1
+# ingests three epochs (checkpoint after the second, so recovery takes
+# the checkpoint + a one-batch WAL suffix) and exits via the graceful
+# "shutdown" verb; run 2 recovers the directory and must answer the
+# last acknowledged state before any new ingest. stdout is diffed
+# exactly; recovery chatter goes to stderr.
+lh_data=$(mktemp -d)
+durable_out1=$(printf 'open\ningest t k:int:key,v:float\n0,1.5\n1,2.5\n.\ningest t k:int:key,v:float\n0,4\n1,6\n.\ningest t k:int:key,v:float\n0,7\n1,3\n.\nquery 0 select sum(v) as s from t\nshutdown\n' \
+  | dune exec bin/lhserve.exe -- --data-dir "$lh_data" --wal-sync always --checkpoint-every 2 2>/dev/null)
+durable_want1='ok session 0
+ok epoch 1
+ok epoch 2
+ok epoch 3
+ok epoch 3 rows 1
+10
+ok bye'
+durable_out2=$(printf 'open\nquery 0 select sum(v) as s from t\nquit\n' \
+  | dune exec bin/lhserve.exe -- --data-dir "$lh_data" 2>/dev/null)
+durable_want2='ok session 0
+ok epoch 2 rows 1
+10
+ok bye'
+rm -rf "$lh_data"
+if [ "$durable_out1" != "$durable_want1" ] || [ "$durable_out2" != "$durable_want2" ]; then
+  echo "ci FAIL: durable lhserve transcript mismatch" >&2
+  printf 'run1 got:\n%s\n\nrun1 want:\n%s\n\nrun2 got:\n%s\n\nrun2 want:\n%s\n' \
+    "$durable_out1" "$durable_want1" "$durable_out2" "$durable_want2" >&2
+  exit 1
+fi
+echo "lhserve durable restart smoke ok"
 # Differential fuzzing leg: a pinned seed so CI is deterministic; raise
 # LH_FUZZ_COUNT locally for a longer hunt. Exits non-zero on any
 # discrepancy between the engine configurations, the pairwise baselines
@@ -84,23 +114,31 @@ LH_DOMAINS=4 dune exec bin/lhfuzz.exe -- --concurrent --seed 42 --count 30 --dom
 # unreachable at domains=1 and excused there).
 dune exec bin/lhfuzz.exe -- --inject-fault --seed 42 --attempts "${LH_FAULT_COUNT:-40}" --quiet
 LH_DOMAINS=4 dune exec bin/lhfuzz.exe -- --inject-fault --seed 42 --attempts "${LH_FAULT_COUNT:-40}" --quiet
-# Bench-baseline regression gate (see BENCH_9.json / EXPERIMENTS.md).
+# Kill-and-restart recovery leg: spawn real lhserve children, SIGKILL
+# them mid-ingest at WAL/checkpoint/manifest fault sites (including
+# torn-write variants and kills during recovery itself), restart on the
+# same --data-dir and require every acknowledged batch to be
+# query-visible and bit-identical to a sequential oracle — unacked
+# batches may be absent or complete, never partial. LH_KILL_COUNT
+# scales the batches per scenario (default 6); pinned seed for CI.
+dune exec bin/lhfuzz.exe -- --kill-restart --seed 42 --quiet
+# Bench-baseline regression gate (see BENCH_10.json / EXPERIMENTS.md).
 # Deterministic legs first: the baseline must compare clean against
 # itself, and the gate must actually fire on a synthetic 3x slowdown.
-dune exec bench/main.exe -- --compare BENCH_9.json --compare-with BENCH_9.json
-if dune exec bench/main.exe -- --compare BENCH_9.json --compare-with BENCH_9.json --compare-slowdown 3 > /dev/null; then
+dune exec bench/main.exe -- --compare BENCH_10.json --compare-with BENCH_10.json
+if dune exec bench/main.exe -- --compare BENCH_10.json --compare-with BENCH_10.json --compare-slowdown 3 > /dev/null; then
   echo "ci FAIL: --compare accepted a 3x slowdown" >&2
   exit 1
 fi
 # Live leg: re-run the baseline's experiment subset (now including the
-# service-concurrency, set-layout kernel and semiring graph-iteration
-# cells) on this machine and compare. Warn-only —
+# service-concurrency, set-layout kernel, semiring graph-iteration and
+# durable ingest/recovery cells) on this machine and compare. Warn-only —
 # shared CI runners are too noisy for a hard wall-clock gate; the
 # comparison text still lands in the CI log.
-if dune exec bench/main.exe -- fig5a fig5c fig6 table4 repeated concurrency layouts graph --sf 0.01 --runs 3 \
-     --json /tmp/lh_bench_ci.json --compare BENCH_9.json > /tmp/lh_bench_ci.log 2>&1; then
+if dune exec bench/main.exe -- fig5a fig5c fig6 table4 repeated concurrency layouts graph durability --sf 0.01 --runs 3 \
+     --json /tmp/lh_bench_ci.json --compare BENCH_10.json > /tmp/lh_bench_ci.log 2>&1; then
   tail -n 1 /tmp/lh_bench_ci.log
 else
-  echo "ci warn: bench regressed vs BENCH_9.json (soft gate):" >&2
+  echo "ci warn: bench regressed vs BENCH_10.json (soft gate):" >&2
   grep -E '^(REGRESSION|baseline compare)' /tmp/lh_bench_ci.log >&2 || tail -n 20 /tmp/lh_bench_ci.log >&2
 fi

@@ -19,6 +19,7 @@ let find_exn t name =
   | None -> failwith (Printf.sprintf "Catalog: unknown table %S" name)
 
 let names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [] |> List.sort compare
+let tables t = List.map (fun name -> Hashtbl.find t.tables name) (names t)
 
 let load_csv t ~name ~schema ?domains ?sep path =
   let table = Lh_storage.Table.load_csv ~name ~schema ~dict:t.dict ?domains ?sep path in

@@ -20,6 +20,10 @@ val find : t -> string -> Lh_storage.Table.t option
 val find_exn : t -> string -> Lh_storage.Table.t
 val names : t -> string list
 
+val tables : t -> Lh_storage.Table.t list
+(** Every registered table, in {!names} (sorted) order — the
+    deterministic enumeration the durable checkpoint writer snapshots. *)
+
 val load_csv :
   t ->
   name:string ->

@@ -89,6 +89,17 @@ val register_rows : t -> name:string -> schema:Lh_storage.Schema.t -> Lh_storage
 val load_csv : t -> name:string -> schema:Lh_storage.Schema.t -> ?sep:char -> string -> Lh_storage.Table.t
 val dict : t -> Lh_storage.Dict.t
 
+val dump : t -> (string * Lh_storage.Schema.t * Lh_storage.Dtype.value list list) list
+(** Every relation decoded back to rows, in sorted-name order — the
+    checkpoint writer's input (see [Lh_durable.Store.checkpoint]). *)
+
+val restore :
+  t -> (string * Lh_storage.Schema.t * Lh_storage.Dtype.value list list) list -> unit
+(** The checkpoint/WAL loader: registers each batch in order (ordinary
+    {!register_rows} semantics — whole-table replacement, so replaying a
+    recovered log lands on the state at the last durable sequence).
+    Raises {!Error} like any ingest. *)
+
 (** {2 Snapshots}
 
     A snapshot freezes the engine's catalog at one epoch: a deep copy of

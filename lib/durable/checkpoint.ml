@@ -1,0 +1,140 @@
+(* Checkpoint file writer/loader. See checkpoint.mli. *)
+
+module Obs = Lh_obs.Obs
+module Fault = Lh_fault.Fault
+
+let c_written = Obs.counter "wal.checkpoints"
+let fault_write = Fault.site "checkpoint.write"
+let fault_load = Fault.site "checkpoint.load"
+
+type table = string * Lh_storage.Schema.t * Lh_storage.Dtype.value list list
+
+let magic = "LHCKPT01"
+
+let filename ~seq = Printf.sprintf "ckpt-%012d.lhc" seq
+
+let seq_of_filename name =
+  if
+    String.length name = String.length (filename ~seq:0)
+    && String.sub name 0 5 = "ckpt-"
+    && Filename.check_suffix name ".lhc"
+  then int_of_string_opt (String.sub name 5 12)
+  else None
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+(* The header frame carries (seq, ntables) as a payload of two i64s. *)
+let encode_header ~seq ~ntables =
+  let buf = Buffer.create 16 in
+  Buffer.add_int64_le buf (Int64.of_int seq);
+  Buffer.add_int64_le buf (Int64.of_int ntables);
+  Buffer.contents buf
+
+let write ~dir ~seq tables =
+  Fault.hit fault_write;
+  let name = filename ~seq in
+  let tmp = Filename.concat dir (name ^ ".tmp") in
+  let final = Filename.concat dir name in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_string buf (Wal.frame (encode_header ~seq ~ntables:(List.length tables)));
+  List.iter
+    (fun (tname, schema, rows) ->
+      Buffer.add_string buf
+        (Wal.frame
+           (Wal.encode_payload
+              { Wal.b_seq = seq; b_name = tname; b_schema = schema; b_rows = rows })))
+    tables;
+  let data = Buffer.contents buf in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (match
+     (match Kill.probe "checkpoint.write" with
+     | Some torn ->
+         (* Torn checkpoint simulation: partial temp file, then death —
+            recovery must ignore the .tmp leftover. *)
+         write_all fd (String.sub data 0 (min torn (String.length data)));
+         Kill.now ()
+     | None -> ());
+     write_all fd data;
+     Unix.fsync fd
+   with
+  | () -> Unix.close fd
+  | exception exn ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise exn);
+  Unix.rename tmp final;
+  Obs.incr c_written;
+  name
+
+exception Bad of string
+
+let load path =
+  Fault.hit fault_load;
+  (match Kill.probe "checkpoint.load" with Some _ -> Kill.now () | None -> ());
+  match
+    match open_in_bin path with
+    | exception Sys_error m -> Error m
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let data = really_input_string ic (in_channel_length ic) in
+            let len = String.length data in
+            if len < String.length magic || String.sub data 0 (String.length magic) <> magic
+            then Error "bad checkpoint magic"
+            else begin
+              let off = ref (String.length magic) in
+              let take_frame () =
+                if !off + Wal.frame_header_len > len then raise (Bad "short frame header");
+                let plen = Int32.to_int (String.get_int32_le data !off) in
+                let crc = String.get_int32_le data (!off + 4) in
+                if plen <= 0 || !off + Wal.frame_header_len + plen > len then
+                  raise (Bad "short frame");
+                if Crc32.sub data ~pos:(!off + Wal.frame_header_len) ~len:plen <> crc then
+                  raise (Bad "frame checksum mismatch");
+                let payload = String.sub data (!off + Wal.frame_header_len) plen in
+                off := !off + Wal.frame_header_len + plen;
+                payload
+              in
+              match
+                let header = take_frame () in
+                if String.length header <> 16 then raise (Bad "bad checkpoint header");
+                let seq = Int64.to_int (String.get_int64_le header 0) in
+                let ntables = Int64.to_int (String.get_int64_le header 8) in
+                if seq < 0 || ntables < 0 then raise (Bad "bad checkpoint header");
+                let tables =
+                  List.init ntables (fun _ ->
+                      match Wal.decode_payload (take_frame ()) with
+                      | Ok b -> (b.Wal.b_name, b.Wal.b_schema, b.Wal.b_rows)
+                      | Error m -> raise (Bad m))
+                in
+                if !off <> len then raise (Bad "trailing garbage in checkpoint");
+                (seq, tables)
+              with
+              | r -> Ok r
+              | exception Bad m -> Error m
+            end)
+  with
+  | Ok r -> Ok r
+  | Error m -> Error m
+  | exception Sys_error m -> Error m
+  | exception End_of_file -> Error "truncated checkpoint"
+
+let scan ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun n ->
+             match seq_of_filename n with Some s -> Some (s, n) | None -> None)
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+let truncate_file ~path ~len =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.ftruncate fd len)

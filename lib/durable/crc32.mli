@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial [0xEDB88320]) over strings
+    and byte ranges — the checksum guarding every WAL record and
+    checkpoint frame. Table-driven, one table computed at module init. *)
+
+val string : string -> int32
+(** Checksum of the whole string. *)
+
+val sub : string -> pos:int -> len:int -> int32
+(** Checksum of [len] bytes starting at [pos]. *)

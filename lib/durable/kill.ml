@@ -1,0 +1,69 @@
+(* Self-SIGKILL crash points for the restart harness. See kill.mli. *)
+
+type spec = { k_site : string; k_nth : int; k_torn : int }
+
+let parse s =
+  let s = String.trim s in
+  if s = "" then Error "empty LH_KILL spec"
+  else
+    let parts = String.split_on_char ':' s in
+    match parts with
+    | [] -> Error "empty LH_KILL spec"
+    | site :: opts ->
+        let rec go acc = function
+          | [] -> Ok acc
+          | o :: rest -> (
+              match String.index_opt o '=' with
+              | None -> Error (Printf.sprintf "LH_KILL: bad option %S" o)
+              | Some i -> (
+                  let k = String.sub o 0 i in
+                  let v = String.sub o (i + 1) (String.length o - i - 1) in
+                  match (k, int_of_string_opt v) with
+                  | "nth", Some n when n >= 1 -> go { acc with k_nth = n } rest
+                  | "torn", Some n when n >= 0 -> go { acc with k_torn = n } rest
+                  | _ -> Error (Printf.sprintf "LH_KILL: bad option %S" o)))
+        in
+        go { k_site = site; k_nth = 1; k_torn = 0 } opts
+
+let armed_spec =
+  lazy
+    (match Sys.getenv_opt "LH_KILL" with
+    | None | Some "" -> None
+    | Some s -> (
+        match parse s with
+        | Ok sp -> Some sp
+        | Error m ->
+            prerr_endline m;
+            None))
+
+let armed () = Lazy.force armed_spec
+
+(* Single writer thread holds the WAL lock at every kill point, so a
+   plain ref is enough; the count must survive across store reopens
+   within one process (recovery kill points), hence global. *)
+let hits : (string, int ref) Hashtbl.t = Hashtbl.create 7
+
+let probe site =
+  match armed () with
+  | None -> None
+  | Some sp when not (Lh_fault.Fault.glob_match ~pattern:sp.k_site site) -> None
+  | Some sp ->
+      let c =
+        match Hashtbl.find_opt hits sp.k_site with
+        | Some c -> c
+        | None ->
+            let c = ref 0 in
+            Hashtbl.add hits sp.k_site c;
+            c
+      in
+      incr c;
+      if !c = sp.k_nth then Some sp.k_torn else None
+
+let now () =
+  Unix.kill (Unix.getpid ()) Sys.sigkill;
+  (* SIGKILL is not deliverable-to-self-synchronously on all kernels
+     before the next scheduling point; pause until it lands. *)
+  while true do
+    Unix.sleepf 0.01
+  done;
+  assert false

@@ -1,0 +1,72 @@
+(** A durable store directory: one manifest, one WAL, and installed
+    checkpoint files.
+
+    {v
+      <dir>/MANIFEST          "LHMANIFEST001\ncheckpoint <file|-> <seq>\n"
+      <dir>/wal.log           magic + framed records (see Wal)
+      <dir>/ckpt-<seq>.lhc    installed checkpoints (see Checkpoint)
+    v}
+
+    Recovery state machine ({!open_dir}):
+    + no manifest → fresh store (manifest written, empty WAL created);
+    + manifest names a checkpoint → load it; if invalid, fall back to
+      the newest valid installed checkpoint (corrupt ones are skipped);
+    + replay the WAL suffix: records with [seq <=] the checkpoint's or
+      with an already-seen [seq] are skipped; replay stops at the first
+      bad frame and the torn tail is truncated in place;
+    + the writer resumes at the end of the last good frame and the next
+      durable sequence number is one past the highest recovered.
+
+    A checkpoint ({!checkpoint}) writes the file install-on-success,
+    swaps the manifest (write temp + fsync + rename — the [manifest.swap]
+    fault site fires between the two), truncates the WAL to its header
+    and prunes older checkpoints. A crash anywhere in that sequence
+    recovers to either the old or the new checkpoint, never between.
+
+    Acknowledgement contract: {!log_batch} returns only after the
+    record has reached the OS (and the disk, under [Wal.Always]) — the
+    caller may acknowledge the batch as soon as it returns. *)
+
+type t
+
+type recovered = {
+  rc_tables : Checkpoint.table list;  (** from the winning checkpoint *)
+  rc_batches : Wal.batch list;  (** WAL suffix, file order, deduped *)
+  rc_seq : int;  (** highest durable sequence recovered, 0 if none *)
+  rc_checkpoint_seq : int;  (** 0 when no checkpoint was loaded *)
+  rc_torn : bool;  (** a torn WAL tail was truncated *)
+}
+
+val open_dir : ?sync:Wal.sync -> string -> t * recovered
+(** Opens (creating if needed) the store at [dir] and runs recovery.
+    [sync] defaults to {!Wal.default_sync}. *)
+
+val replay_into :
+  recovered ->
+  (name:string -> schema:Lh_storage.Schema.t -> Lh_storage.Dtype.value list list -> unit) ->
+  unit
+(** Applies the recovered state in order: checkpoint tables first, then
+    each WAL batch. With a register function whose semantics are
+    whole-table replacement (the engine's), the result is exactly the
+    state at the last durable sequence. *)
+
+val log_batch :
+  t -> name:string -> schema:Lh_storage.Schema.t -> Lh_storage.Dtype.value list list -> int
+(** Appends one batch under the next sequence number and observes the
+    writer's sync point; returns the sequence. *)
+
+val checkpoint : t -> Checkpoint.table list -> unit
+(** Snapshot [tables] at the current sequence and reset the WAL. *)
+
+val flush : t -> unit
+(** fsync the WAL (shutdown path). *)
+
+val close : t -> unit
+(** {!flush} then release the WAL descriptor. Idempotent. *)
+
+val dir : t -> string
+val seq : t -> int
+(** Last durable sequence number handed out. *)
+
+val sync_mode : t -> Wal.sync
+val wal_path : t -> string

@@ -1,0 +1,100 @@
+(** Append-only write-ahead log of ingest batches.
+
+    File layout: an 8-byte magic header ({!magic}) followed by framed
+    records. Each record is [u32 len ++ u32 crc ++ payload] (all
+    little-endian); [crc] is CRC-32 ({!Crc32}) of the payload. The
+    payload serializes one {!batch}: durable sequence number, relation
+    name, schema, and the full row set (values carry a 1-byte tag, so a
+    frame is self-describing and replay never consults the catalog).
+
+    Durability discipline ({!sync}): [Always] fsyncs after every append
+    (power-safe); [Group n] fsyncs every [n] appends (kill-safe — the
+    [write(2)] has reached the page cache before the ack, so a SIGKILL
+    of the process loses nothing, only a machine crash can); [Never]
+    leaves syncing to the OS. The default comes from [LH_WAL_SYNC]
+    ([always] | [group] | [group:N] | [none]).
+
+    Replay walks frames until end-of-file or the first bad frame —
+    short header, impossible length, zero-length tail (preallocated
+    blocks), CRC mismatch, or undecodable payload — and reports the
+    byte offset of the last good frame so the caller can truncate the
+    torn tail. A torn tail is an expected crash artifact, never fatal.
+
+    Fault sites: [wal.append] (before a frame is written), [wal.fsync]
+    (before fsync), [wal.replay] (per frame during replay). Kill points
+    (see {!Kill}) share those names. *)
+
+type sync = Always | Group of int | Never
+
+val sync_of_string : string -> (sync, string) result
+val sync_to_string : sync -> string
+
+val default_sync : unit -> sync
+(** From [LH_WAL_SYNC]; [Group 8] when unset or unparsable. *)
+
+type batch = {
+  b_seq : int;  (** durable sequence number, 1-based, monotone *)
+  b_name : string;
+  b_schema : Lh_storage.Schema.t;
+  b_rows : Lh_storage.Dtype.value list list;
+}
+
+val magic : string
+val header_len : int
+val frame_header_len : int
+
+(** {1 Record codec} — exposed for the property tests. *)
+
+val encode_payload : batch -> string
+val decode_payload : string -> (batch, string) result
+val frame : string -> string
+(** [frame payload] = [len ++ crc ++ payload]. *)
+
+(** {1 Writer} *)
+
+type writer
+
+val create : path:string -> sync:sync -> writer
+(** Truncates (or creates) the file and writes the magic header. *)
+
+val open_at : path:string -> sync:sync -> valid_len:int -> writer
+(** Opens an existing log, truncates it to [valid_len] (dropping any
+    torn tail found by {!replay}) and positions the writer there. *)
+
+val append : writer -> batch -> unit
+(** Write one frame, then observe the sync point per the writer's
+    {!sync} mode. On any write failure the file is truncated back to
+    the last good offset (best-effort) before the exception escapes, so
+    a failed append never leaves a torn middle. *)
+
+val flush : writer -> unit
+(** fsync regardless of mode (shutdown path). *)
+
+val close : writer -> unit
+(** {!flush} then close the descriptor. Idempotent. *)
+
+val path : writer -> string
+val tell : writer -> int
+(** Byte offset of the end of the last complete frame. *)
+
+(** {1 Replay} *)
+
+type replayed = {
+  r_batches : batch list;  (** in file order *)
+  r_valid_len : int;  (** offset just past the last good frame *)
+  r_torn : bool;  (** a bad tail was detected after [r_valid_len] *)
+}
+
+val replay : string -> replayed
+(** A missing file replays as empty ([r_valid_len = header_len] so a
+    subsequent {!open_at} recreates it); a file with a corrupt magic
+    header replays as empty-and-torn. *)
+
+(** {1 Test helpers} *)
+
+val append_torn : writer -> batch -> keep:int -> unit
+(** Writes only the first [keep] bytes of the frame — a deterministic
+    torn write, used by the adversarial corpus and the bench smoke. *)
+
+val corrupt_byte : path:string -> off:int -> unit
+(** XOR-flips one byte in place (checksum-corruption corpus). *)

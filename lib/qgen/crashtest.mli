@@ -40,10 +40,29 @@ type summary = {
   s_sites : site_report list;  (** one report per registered site *)
 }
 
-val run : ?progress:(string -> unit) -> ?attempts:int -> seed:int -> unit -> summary
+val run :
+  ?progress:(string -> unit) -> ?attempts:int -> ?site:string -> seed:int -> unit -> summary
 (** Run every scenario. [attempts] (default 40) bounds the per-site search
-    for a generated query that reaches the site. [progress] is called with
-    a short line as each site starts. Leaves the fault registry disarmed. *)
+    for a generated query that reaches the site. [site] is a glob pattern
+    (see {!Lh_fault.Fault.glob_match}) restricting the run to matching
+    sites — the repro loop behind [lhfuzz --inject-fault --site]; the
+    uncovered-site coverage check is restricted the same way. [progress]
+    is called with a short line as each site starts. Leaves the fault
+    registry disarmed. *)
+
+val run_kill : ?progress:(string -> unit) -> ?count:int -> seed:int -> unit -> summary
+(** Kill-and-restart harness: spawns a real [lhserve] child on a
+    temporary [--data-dir], streams [count] deterministic ingest batches
+    (default [LH_KILL_COUNT], 6), SIGKILLs it at an [LH_KILL]-selected
+    point — every durable fault site, as both a pre-write kill and a
+    deterministic torn write, plus kills {e during} a restart's own
+    recovery — then restarts on the same directory and asserts every
+    {e acknowledged} batch is query-visible and bit-identical to a
+    sequential oracle rebuilt from the ack transcript. The batch in
+    flight at the kill may be absent or (once its WAL frame completed)
+    present — never partial. Scenarios are [Excused] when the [lhserve]
+    binary cannot be found next to the running executable (override with
+    [LH_SERVE_BIN]). *)
 
 val ok : summary -> bool
 (** No [Failed] site ([Excused] is acceptable). *)

@@ -15,6 +15,7 @@ module Hist = Lh_obs.Hist
 module Fault = Lh_fault.Fault
 module Pool = Lh_util.Pool
 module Timing = Lh_util.Timing
+module Store = Lh_durable.Store
 
 let c_sessions = Obs.counter "serve.sessions"
 let c_queries = Obs.counter "serve.queries"
@@ -69,7 +70,7 @@ type epoch = {
 }
 
 type t = {
-  writer : Engine.t;
+  mutable writer : Engine.t;  (* mutated only on durable-ingest rollback *)
   w_lock : Mutex.t;
   lock : Mutex.t;
   mutable current : epoch;
@@ -83,6 +84,9 @@ type t = {
   session_depth : int;
   view_cfg : Config.t;
   slow_log : (Profile.t -> unit) option;
+  store : Store.t option;  (* durable WAL + checkpoints; None = in-memory *)
+  checkpoint_every : int;  (* durable ingests between checkpoints; 0 = never *)
+  mutable since_checkpoint : int;
 }
 
 and session = {
@@ -114,7 +118,8 @@ let epoch_of_snapshot snap =
     e_reclaimed = false;
   }
 
-let create ?config ?max_sessions ?queue_depth ?(session_depth = 8) ?slow_log writer =
+let create ?config ?max_sessions ?queue_depth ?(session_depth = 8) ?slow_log ?store
+    ?checkpoint_every writer =
   let view_cfg = Option.value config ~default:(Engine.config writer) in
   let e = epoch_of_snapshot (Engine.snapshot writer) in
   {
@@ -133,6 +138,12 @@ let create ?config ?max_sessions ?queue_depth ?(session_depth = 8) ?slow_log wri
     session_depth;
     view_cfg;
     slow_log;
+    store;
+    checkpoint_every =
+      (match checkpoint_every with
+      | Some n -> max 0 n
+      | None -> env_int "LH_CHECKPOINT_EVERY" 0);
+    since_checkpoint = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -441,25 +452,85 @@ let close t =
   List.iter close_session sessions;
   locked t.lock (fun () ->
       try sweep_locked t with
-      | Fault.Injected _ | Lh_util.Budget.Timed_out | Lh_util.Budget.Out_of_memory_budget -> ())
+      | Fault.Injected _ | Lh_util.Budget.Timed_out | Lh_util.Budget.Out_of_memory_budget -> ());
+  (* Release the WAL last: every acknowledged batch is already at its
+     sync point, this only forces the group-commit remainder down. *)
+  match t.store with Some st -> (try Store.close st with Unix.Unix_error _ -> ()) | None -> ()
+
+(* Graceful shutdown: refuse new work immediately, give in-flight
+   queries a bounded drain window, then flush and fsync the WAL. Safe to
+   call from a signal handler's main-loop continuation (not from the
+   handler itself) and idempotent — a second call finds the service
+   closed and inflight already drained. Returns [true] when the drain
+   completed inside the deadline. *)
+let shutdown ?(deadline = 5.0) t =
+  locked t.lock (fun () -> t.closed <- true);
+  let t0 = Timing.monotonic_now () in
+  let rec drain () =
+    if locked t.lock (fun () -> t.inflight) = 0 then true
+    else if Timing.monotonic_now () -. t0 >= deadline then false
+    else begin
+      Unix.sleepf 0.005;
+      drain ()
+    end
+  in
+  let drained = drain () in
+  close t;
+  drained
 
 (* ------------------------------------------------------------------ *)
 (* Ingest                                                              *)
+
+(* Durable half of an ingest: append the committed table to the WAL
+   (the record has reached the OS — the sync point — when [log_batch]
+   returns) and take a periodic checkpoint of the whole catalog. Runs
+   between writer commit and publish, so the acknowledgement the caller
+   sees is ordered log → publish → ack. *)
+let log_durable t (tbl : Lh_storage.Table.t) =
+  match t.store with
+  | None -> ()
+  | Some st ->
+      ignore
+        (Store.log_batch st ~name:tbl.Lh_storage.Table.name
+           ~schema:tbl.Lh_storage.Table.schema (Lh_storage.Table.to_rows tbl));
+      t.since_checkpoint <- t.since_checkpoint + 1;
+      if t.checkpoint_every > 0 && t.since_checkpoint >= t.checkpoint_every then begin
+        Store.checkpoint st (Engine.dump t.writer);
+        t.since_checkpoint <- 0
+      end
 
 let ingest_with t ingest =
   locked t.w_lock (fun () ->
       if locked t.lock (fun () -> t.closed) then Result.Error (Closed "service")
       else begin
         Obs.incr c_ingests;
+        (* With a durable store attached, a failure after the writer
+           committed but before the ack must leave no trace in memory:
+           the recovered state may legitimately contain the unacked
+           batch (it is complete on disk once logged), but the live
+           writer rolls back to the published snapshot so a later
+           checkpoint cannot leak never-logged state. *)
+        let pre = match t.store with None -> None | Some _ -> Some (Engine.snapshot t.writer) in
+        let rollback () =
+          match pre with
+          | Some snap -> t.writer <- Engine.of_snapshot ~config:(Engine.config t.writer) snap
+          | None -> ()
+        in
         match ingest () with
         | exception exn -> Result.Error (error_of_exn exn)
-        | (_ : Lh_storage.Table.t) -> (
-            (* The writer has committed. A fault here means the new state
-               exists but was never published: the caller gets a typed
-               error, readers keep the old epoch, and retrying the ingest
-               (idempotent re-register) publishes both changes. *)
-            match Fault.hit fault_publish with
-            | exception exn -> Result.Error (error_of_exn exn)
+        | (tbl : Lh_storage.Table.t) -> (
+            (* The writer has committed. A fault in the durable log, the
+               checkpoint or the publish probe means the new state was
+               never acknowledged: the caller gets a typed error, readers
+               keep the old epoch, and retrying the ingest (idempotent
+               re-register, a fresh WAL sequence) publishes it. *)
+            match
+              log_durable t tbl;
+              Fault.hit fault_publish
+            with
+            | exception exn ->
+                rollback ();
+                Result.Error (error_of_exn exn)
             | () -> (
                 let e = epoch_of_snapshot (Engine.snapshot t.writer) in
                 locked t.lock (fun () ->

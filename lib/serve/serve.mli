@@ -58,6 +58,8 @@ val create :
   ?queue_depth:int ->
   ?session_depth:int ->
   ?slow_log:(Levelheaded.Profile.t -> unit) ->
+  ?store:Lh_durable.Store.t ->
+  ?checkpoint_every:int ->
   Engine.t ->
   t
 (** Wrap a writer engine and freeze its current catalog as the first
@@ -68,11 +70,29 @@ val create :
     service-wide cap on admitted-but-unfinished queries — to
     [LH_QUEUE_DEPTH] (32), [session_depth] — outstanding queries per
     session — to 8. [slow_log] receives the {!Levelheaded.Profile.t} of
-    every query crossing [Config.slow_log_ms], any session. *)
+    every query crossing [Config.slow_log_ms], any session.
+
+    [store] attaches a durable store (see {!Lh_durable.Store}): every
+    ingest is then logged to the WAL {e before} it is published, and the
+    caller's acknowledgement implies the batch reached the configured
+    sync point — restart recovery ({!Lh_durable.Store.open_dir} +
+    {!Engine.restore} before [create]) lands on the last acknowledged
+    state. [checkpoint_every] (default [LH_CHECKPOINT_EVERY], 0 = never)
+    snapshots the whole catalog and resets the WAL every that many
+    durable ingests. *)
 
 val close : t -> unit
 (** Close every session and refuse new work. Idempotent. In-flight
-    queries finish; their sessions then report [Closed]. *)
+    queries finish; their sessions then report [Closed]. Closes the
+    attached durable store (group-commit remainder fsynced). *)
+
+val shutdown : ?deadline:float -> t -> bool
+(** Graceful shutdown: mark the service closed (new sessions and queries
+    get [Closed]), wait up to [deadline] seconds (default 5) for
+    in-flight queries to drain, then {!close} — which flushes and fsyncs
+    the WAL. Returns [false] when the deadline expired with queries
+    still in flight (they still finish, but were not waited for).
+    Idempotent. *)
 
 val current_epoch : t -> int
 (** The epoch new queries pin. Monotone non-decreasing. *)

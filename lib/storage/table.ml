@@ -86,18 +86,29 @@ let fresh_builders schema =
       | Dtype.Float -> `F (Lh_util.Vec.Float.create ())
       | Dtype.Int | Dtype.String | Dtype.Date -> `I (Lh_util.Vec.Int.create ()))
 
-let ingest_fields ~name ~schema ~dict builders fields =
+let ingest_fields ~name ~schema ~dict ~line builders fields =
   Lh_fault.Fault.hit fault_row;
   let ncols = Schema.ncols schema in
   (* TPC-H '|'-terminated lines produce a trailing empty field; accept it. *)
   let navail =
     if Array.length fields = ncols + 1 && fields.(ncols) = "" then ncols else Array.length fields
   in
-  if navail < ncols then failwith (Printf.sprintf "Table.load_csv %s: short row" name);
+  if navail < ncols then
+    failwith
+      (Printf.sprintf "Table.load_csv %s: line %d: row has %d fields, schema has %d columns"
+         name line (Array.length fields) ncols);
   for i = 0 to ncols - 1 do
-    match builders.(i) with
-    | `F b -> Lh_util.Vec.Float.push b (float_of_string (String.trim fields.(i)))
-    | `I b -> Lh_util.Vec.Int.push b (encode_cell dict (Schema.col schema i).Schema.dtype fields.(i))
+    try
+      match builders.(i) with
+      | `F b -> Lh_util.Vec.Float.push b (float_of_string (String.trim fields.(i)))
+      | `I b ->
+          Lh_util.Vec.Int.push b (encode_cell dict (Schema.col schema i).Schema.dtype fields.(i))
+    with Failure _ | Invalid_argument _ ->
+      failwith
+        (Printf.sprintf "Table.load_csv %s: line %d: cannot parse %S as %s (column %s)" name
+           line fields.(i)
+           (Dtype.to_string (Schema.col schema i).Schema.dtype)
+           (Schema.col schema i).Schema.name)
   done
 
 let finish_builders builders =
@@ -118,8 +129,9 @@ let load_csv_parallel ~name ~schema ~dict ~domains ~sep path =
     Lh_util.Parfor.map_reduce ~domains ~n:(Array.length lines)
       ~init:(fun () -> (Dict.create (), fresh_builders schema))
       ~body:(fun (ldict, builders) i ->
-        let fields = Array.of_list (Lh_util.Csv.split_line ~sep lines.(i)) in
-        ingest_fields ~name ~schema ~dict:ldict builders fields)
+        let lineno, raw = lines.(i) in
+        let fields = Array.of_list (Lh_util.Csv.split_line ~sep raw) in
+        ingest_fields ~name ~schema ~dict:ldict ~line:lineno builders fields)
       ~merge:(fun (adict, abuilders) (bdict, bbuilders) ->
         let remap = Dict.merge_into ~into:adict bdict in
         Array.iteri
@@ -160,8 +172,8 @@ let load_csv ~name ~schema ~dict ?(domains = 1) ?(sep = ',') path =
   if domains > 1 then load_csv_parallel ~name ~schema ~dict ~domains ~sep path
   else begin
     let builders = fresh_builders schema in
-    Lh_util.Csv.fold_file ~sep path ~init:() ~f:(fun () row ->
-        ingest_fields ~name ~schema ~dict builders (Array.of_list row));
+    Lh_util.Csv.fold_file ~sep path ~init:() ~f:(fun () ~line row ->
+        ingest_fields ~name ~schema ~dict ~line builders (Array.of_list row));
     create ~name ~schema ~dict (finish_builders builders)
   end
 

@@ -42,10 +42,10 @@ let split_line ~sep line =
 
 let fold_file ?(sep = ',') path ~init ~f =
   let ic = open_in path in
-  let rec loop acc =
+  let rec loop lineno acc =
     match input_line ic with
     | exception End_of_file -> acc
-    | "" -> loop acc
+    | "" -> loop (lineno + 1) acc
     | line ->
         Lh_fault.Fault.hit fault_line;
         let line =
@@ -53,30 +53,30 @@ let fold_file ?(sep = ',') path ~init ~f =
           let n = String.length line in
           if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
         in
-        loop (f acc (split_line ~sep line))
+        loop (lineno + 1) (f acc ~line:lineno (split_line ~sep line))
   in
-  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> loop init)
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> loop 1 init)
 
 let read_file ?sep path =
-  List.rev (fold_file ?sep path ~init:[] ~f:(fun acc row -> row :: acc))
+  List.rev (fold_file ?sep path ~init:[] ~f:(fun acc ~line:_ row -> row :: acc))
 
 let read_lines path =
   let ic = open_in path in
   let lines = ref [] in
-  let rec loop () =
+  let rec loop lineno =
     match input_line ic with
     | exception End_of_file -> ()
-    | "" -> loop ()
+    | "" -> loop (lineno + 1)
     | line ->
         Lh_fault.Fault.hit fault_line;
         let line =
           let n = String.length line in
           if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
         in
-        lines := line :: !lines;
-        loop ()
+        lines := (lineno, line) :: !lines;
+        loop (lineno + 1)
   in
-  Fun.protect ~finally:(fun () -> close_in_noerr ic) loop;
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> loop 1);
   let arr = Array.of_list !lines in
   let n = Array.length arr in
   (* !lines is in reverse file order; flip in place. *)

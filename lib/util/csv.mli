@@ -12,12 +12,17 @@ val read_file : ?sep:char -> string -> string list list
 (** All rows of a file; empty lines are skipped. Default separator [','].
     TPC-H-style files use [~sep:'|']. *)
 
-val fold_file : ?sep:char -> string -> init:'a -> f:('a -> string list -> 'a) -> 'a
-(** Streaming fold over rows, for files too large to hold as string lists. *)
+val fold_file : ?sep:char -> string -> init:'a -> f:('a -> line:int -> string list -> 'a) -> 'a
+(** Streaming fold over rows, for files too large to hold as string lists.
+    [f] receives the 1-based file line number of each row, so a malformed
+    row can be reported by position (empty lines are skipped but still
+    counted). *)
 
-val read_lines : string -> string array
-(** All non-empty lines of a file, CR-stripped but {e not} split — the raw
-    material for a parallel ingest that calls {!split_line} per chunk. *)
+val read_lines : string -> (int * string) array
+(** All non-empty lines of a file as [(line_number, line)] pairs (1-based,
+    counting skipped empty lines), CR-stripped but {e not} split — the raw
+    material for a parallel ingest that calls {!split_line} per chunk and
+    reports malformed rows by file position. *)
 
 val write_file : ?sep:char -> string -> string list list -> unit
 (** Write rows; fields containing the separator or quotes are quoted. *)

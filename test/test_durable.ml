@@ -1,0 +1,308 @@
+(* Durable-ingest tests: the WAL record codec (property round-trip plus
+   an adversarial corruption corpus), checkpoint files, and the store's
+   recovery state machine. The process-level counterpart — SIGKILL at
+   fault-selected points against a real lhserve — lives in
+   Lh_qgen.Crashtest.run_kill (lhfuzz --kill-restart). *)
+
+module Wal = Lh_durable.Wal
+module Checkpoint = Lh_durable.Checkpoint
+module Store = Lh_durable.Store
+module Schema = Lh_storage.Schema
+module Dtype = Lh_storage.Dtype
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "lh_durable_test" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let schema =
+  Schema.create
+    [
+      ("k", Dtype.Int, Schema.Key);
+      ("s", Dtype.String, Schema.Key);
+      ("v", Dtype.Float, Schema.Annotation);
+      ("d", Dtype.Date, Schema.Annotation);
+    ]
+
+let rows g =
+  List.init (3 + (g mod 3)) (fun i ->
+      [
+        Dtype.VInt (i * (g + 1));
+        Dtype.VString (Printf.sprintf "s%d_%d" g i);
+        Dtype.VFloat (float_of_int ((i + 1) * (g + 2)) *. 0.5);
+        Dtype.VDate ((g * 31) + i);
+      ])
+
+let batch ?(name = "t") g = { Wal.b_seq = g + 1; b_name = name; b_schema = schema; b_rows = rows g }
+
+(* ---- codec: property round-trip ---- *)
+
+let gen_batch =
+  let open QCheck2.Gen in
+  let value =
+    oneof
+      [
+        map (fun i -> Dtype.VInt i) (int_range (-1_000_000) 1_000_000);
+        map (fun f -> Dtype.VFloat f) (float_bound_inclusive 1e9);
+        map (fun s -> Dtype.VString s) (string_size ~gen:printable (int_range 0 12));
+        map (fun d -> Dtype.VDate d) (int_range 0 40_000);
+      ]
+  in
+  let* ncols = int_range 1 4 in
+  let* dtypes = list_repeat ncols (oneofl [ Dtype.Int; Dtype.Float; Dtype.String; Dtype.Date ]) in
+  let coerce dt v =
+    (* keep values type-consistent with the column so decode round-trips *)
+    match (dt, v) with
+    | Dtype.Int, _ -> Dtype.VInt (Hashtbl.hash v mod 100_000)
+    | Dtype.Float, Dtype.VFloat f -> Dtype.VFloat f
+    | Dtype.Float, _ -> Dtype.VFloat (float_of_int (Hashtbl.hash v mod 1000) *. 0.25)
+    | Dtype.String, Dtype.VString s -> Dtype.VString s
+    | Dtype.String, _ -> Dtype.VString (string_of_int (Hashtbl.hash v mod 1000))
+    | Dtype.Date, _ -> Dtype.VDate (Hashtbl.hash v mod 40_000)
+  in
+  let* nrows = int_range 0 12 in
+  let* raw = list_repeat nrows (list_repeat ncols value) in
+  let* seq = int_range 0 1_000_000 in
+  let* name = string_size ~gen:(char_range 'a' 'z') (int_range 1 10) in
+  let sch =
+    Schema.create
+      (List.mapi
+         (fun i dt ->
+           (Printf.sprintf "c%d" i, dt, if i = 0 && dt <> Dtype.Float then Schema.Key else Schema.Annotation))
+         dtypes)
+  in
+  let rows = List.map (List.mapi (fun i v -> coerce (List.nth dtypes i) v)) raw in
+  return { Wal.b_seq = seq; b_name = name; b_schema = sch; b_rows = rows }
+
+let schema_eq a b =
+  Schema.ncols a = Schema.ncols b
+  && List.for_all (fun i -> Schema.col a i = Schema.col b i)
+       (List.init (Schema.ncols a) Fun.id)
+
+let qcheck_codec_roundtrip =
+  Helpers.qtest ~count:300 "wal payload round-trip" gen_batch (fun b ->
+      match Wal.decode_payload (Wal.encode_payload b) with
+      | Ok b' ->
+          b'.Wal.b_seq = b.Wal.b_seq
+          && b'.Wal.b_name = b.Wal.b_name
+          && schema_eq b'.Wal.b_schema b.Wal.b_schema
+          && b'.Wal.b_rows = b.Wal.b_rows
+      | Error _ -> false)
+
+(* ---- writer/replay basics ---- *)
+
+let test_append_replay () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.create ~path ~sync:Wal.Never in
+      List.iter (fun g -> Wal.append w (batch g)) [ 0; 1; 2 ];
+      Wal.close w;
+      let r = Wal.replay path in
+      Alcotest.(check int) "batches" 3 (List.length r.Wal.r_batches);
+      Alcotest.(check bool) "torn" false r.Wal.r_torn;
+      Alcotest.(check bool) "content" true (List.map (fun g -> batch g) [ 0; 1; 2 ] = r.Wal.r_batches);
+      (* resume appending at the replayed offset *)
+      let w = Wal.open_at ~path ~sync:Wal.Never ~valid_len:r.Wal.r_valid_len in
+      Wal.append w (batch 3);
+      Wal.close w;
+      let r = Wal.replay path in
+      Alcotest.(check int) "after resume" 4 (List.length r.Wal.r_batches))
+
+let test_missing_file_replays_empty () =
+  with_temp_dir (fun dir ->
+      let r = Wal.replay (Filename.concat dir "nope.log") in
+      Alcotest.(check int) "no batches" 0 (List.length r.Wal.r_batches);
+      Alcotest.(check bool) "not torn" false r.Wal.r_torn;
+      Alcotest.(check int) "header only" Wal.header_len r.Wal.r_valid_len)
+
+(* ---- adversarial corpus ---- *)
+
+(* Truncated final record: replay keeps the good prefix, reports the torn
+   tail, and open_at truncates it so the log is clean again. *)
+let test_truncated_record () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.create ~path ~sync:Wal.Never in
+      Wal.append w (batch 0);
+      Wal.append w (batch 1);
+      Wal.append_torn w (batch 2) ~keep:7;
+      Wal.close w;
+      let r = Wal.replay path in
+      Alcotest.(check int) "good prefix" 2 (List.length r.Wal.r_batches);
+      Alcotest.(check bool) "torn tail" true r.Wal.r_torn;
+      let w = Wal.open_at ~path ~sync:Wal.Never ~valid_len:r.Wal.r_valid_len in
+      Wal.append w (batch 2);
+      Wal.close w;
+      let r = Wal.replay path in
+      Alcotest.(check int) "healed" 3 (List.length r.Wal.r_batches);
+      Alcotest.(check bool) "no longer torn" false r.Wal.r_torn)
+
+(* A flipped byte inside a record's payload fails the CRC: replay stops
+   there, keeping everything before it. *)
+let test_flipped_checksum_byte () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.create ~path ~sync:Wal.Never in
+      Wal.append w (batch 0);
+      let off_before_b1 = Wal.tell w in
+      Wal.append w (batch 1);
+      Wal.close w;
+      Wal.corrupt_byte ~path ~off:(off_before_b1 + Wal.frame_header_len + 3);
+      let r = Wal.replay path in
+      Alcotest.(check int) "stops at corruption" 1 (List.length r.Wal.r_batches);
+      Alcotest.(check bool) "torn" true r.Wal.r_torn;
+      Alcotest.(check int) "valid_len is last good frame" off_before_b1 r.Wal.r_valid_len)
+
+(* A zero-filled tail (preallocated blocks after a crash) parses as a
+   zero-length frame: replay must stop, not loop or allocate. *)
+let test_zero_length_tail () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.create ~path ~sync:Wal.Never in
+      Wal.append w (batch 0);
+      Wal.close w;
+      let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+      let zeros = Bytes.make 64 '\000' in
+      ignore (Unix.write fd zeros 0 (Bytes.length zeros));
+      Unix.close fd;
+      let r = Wal.replay path in
+      Alcotest.(check int) "good prefix" 1 (List.length r.Wal.r_batches);
+      Alcotest.(check bool) "torn" true r.Wal.r_torn)
+
+(* A corrupt magic header invalidates the whole file. *)
+let test_bad_magic () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.create ~path ~sync:Wal.Never in
+      Wal.append w (batch 0);
+      Wal.close w;
+      Wal.corrupt_byte ~path ~off:0;
+      let r = Wal.replay path in
+      Alcotest.(check int) "nothing replayed" 0 (List.length r.Wal.r_batches);
+      Alcotest.(check bool) "torn" true r.Wal.r_torn)
+
+(* Duplicate sequence numbers (a retried batch whose first attempt did
+   reach the disk) are deduplicated by the store on replay. *)
+let test_duplicate_seq_skipped () =
+  with_temp_dir (fun dir ->
+      let store, _ = Store.open_dir ~sync:Wal.Never dir in
+      ignore (Store.log_batch store ~name:"t" ~schema (rows 0));
+      ignore (Store.log_batch store ~name:"t" ~schema (rows 1));
+      Store.close store;
+      (* forge a duplicate of seq 2 at the tail *)
+      let r = Wal.replay (Store.wal_path store) in
+      let w =
+        Wal.open_at ~path:(Store.wal_path store) ~sync:Wal.Never ~valid_len:r.Wal.r_valid_len
+      in
+      Wal.append w { Wal.b_seq = 2; b_name = "t"; b_schema = schema; b_rows = rows 2 };
+      Wal.close w;
+      let store, recovered = Store.open_dir ~sync:Wal.Never dir in
+      Store.close store;
+      Alcotest.(check int) "first wins, duplicate skipped" 2
+        (List.length recovered.Store.rc_batches);
+      Alcotest.(check bool) "kept the first seq-2 payload" true
+        ((List.nth recovered.Store.rc_batches 1).Wal.b_rows = rows 1);
+      Alcotest.(check int) "seq" 2 recovered.Store.rc_seq)
+
+(* ---- store recovery ---- *)
+
+let test_store_reopen () =
+  with_temp_dir (fun dir ->
+      let store, recovered = Store.open_dir ~sync:Wal.Never dir in
+      Alcotest.(check int) "fresh" 0 recovered.Store.rc_seq;
+      ignore (Store.log_batch store ~name:"a" ~schema (rows 0));
+      ignore (Store.log_batch store ~name:"b" ~schema (rows 1));
+      ignore (Store.log_batch store ~name:"a" ~schema (rows 2));
+      Store.close store;
+      let store, recovered = Store.open_dir ~sync:Wal.Never dir in
+      Alcotest.(check int) "seq" 3 recovered.Store.rc_seq;
+      Alcotest.(check int) "batches" 3 (List.length recovered.Store.rc_batches);
+      (* whole-table replacement semantics: replay lands on the last
+         batch per table *)
+      let tbl = Hashtbl.create 4 in
+      Store.replay_into recovered (fun ~name ~schema:_ rows -> Hashtbl.replace tbl name rows);
+      Alcotest.(check bool) "a = rows 2" true (Hashtbl.find tbl "a" = rows 2);
+      Alcotest.(check bool) "b = rows 1" true (Hashtbl.find tbl "b" = rows 1);
+      (* sequence numbers continue past recovery *)
+      Alcotest.(check int) "next seq" 4 (Store.log_batch store ~name:"c" ~schema (rows 0));
+      Store.close store)
+
+let test_checkpoint_and_suffix () =
+  with_temp_dir (fun dir ->
+      let store, _ = Store.open_dir ~sync:Wal.Never dir in
+      ignore (Store.log_batch store ~name:"a" ~schema (rows 0));
+      ignore (Store.log_batch store ~name:"b" ~schema (rows 1));
+      Store.checkpoint store [ ("a", schema, rows 0); ("b", schema, rows 1) ];
+      ignore (Store.log_batch store ~name:"a" ~schema (rows 2));
+      Store.close store;
+      let store, recovered = Store.open_dir ~sync:Wal.Never dir in
+      Store.close store;
+      Alcotest.(check int) "checkpoint tables" 2 (List.length recovered.Store.rc_tables);
+      Alcotest.(check int) "wal suffix" 1 (List.length recovered.Store.rc_batches);
+      Alcotest.(check int) "checkpoint seq" 2 recovered.Store.rc_checkpoint_seq;
+      Alcotest.(check int) "seq" 3 recovered.Store.rc_seq;
+      let tbl = Hashtbl.create 4 in
+      Store.replay_into recovered (fun ~name ~schema:_ rows -> Hashtbl.replace tbl name rows);
+      Alcotest.(check bool) "a overridden by suffix" true (Hashtbl.find tbl "a" = rows 2);
+      Alcotest.(check bool) "b from checkpoint" true (Hashtbl.find tbl "b" = rows 1))
+
+(* A truncated (torn) checkpoint file is skipped; recovery falls back to
+   the WAL. *)
+let test_corrupt_checkpoint_skipped () =
+  with_temp_dir (fun dir ->
+      let store, _ = Store.open_dir ~sync:Wal.Never dir in
+      ignore (Store.log_batch store ~name:"a" ~schema (rows 0));
+      Store.checkpoint store [ ("a", schema, rows 0) ];
+      ignore (Store.log_batch store ~name:"a" ~schema (rows 1));
+      Store.close store;
+      let ckpt = Filename.concat dir (Checkpoint.filename ~seq:1) in
+      Checkpoint.truncate_file ~path:ckpt ~len:20;
+      let store, recovered = Store.open_dir ~sync:Wal.Never dir in
+      Store.close store;
+      Alcotest.(check int) "no checkpoint tables" 0 (List.length recovered.Store.rc_tables);
+      (* the post-checkpoint WAL only holds the suffix: seq 2 *)
+      Alcotest.(check int) "wal suffix" 1 (List.length recovered.Store.rc_batches);
+      Alcotest.(check int) "seq" 2 recovered.Store.rc_seq)
+
+let test_sync_of_string () =
+  Alcotest.(check bool) "always" true (Wal.sync_of_string "always" = Ok Wal.Always);
+  Alcotest.(check bool) "group" true (Wal.sync_of_string "group" = Ok (Wal.Group 8));
+  Alcotest.(check bool) "group:3" true (Wal.sync_of_string "group:3" = Ok (Wal.Group 3));
+  Alcotest.(check bool) "none" true (Wal.sync_of_string "none" = Ok Wal.Never);
+  Alcotest.(check bool) "junk rejected" true (Result.is_error (Wal.sync_of_string "sometimes"));
+  Alcotest.(check bool) "group:0 rejected" true (Result.is_error (Wal.sync_of_string "group:0"))
+
+let () =
+  Alcotest.run "lh_durable"
+    [
+      ("codec", [ qcheck_codec_roundtrip ]);
+      ( "wal",
+        [
+          Alcotest.test_case "append/replay" `Quick test_append_replay;
+          Alcotest.test_case "missing file" `Quick test_missing_file_replays_empty;
+          Alcotest.test_case "sync modes" `Quick test_sync_of_string;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "truncated record" `Quick test_truncated_record;
+          Alcotest.test_case "flipped checksum byte" `Quick test_flipped_checksum_byte;
+          Alcotest.test_case "zero-length tail" `Quick test_zero_length_tail;
+          Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "duplicate seq skipped" `Quick test_duplicate_seq_skipped;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "reopen" `Quick test_store_reopen;
+          Alcotest.test_case "checkpoint + wal suffix" `Quick test_checkpoint_and_suffix;
+          Alcotest.test_case "corrupt checkpoint skipped" `Quick test_corrupt_checkpoint_skipped;
+        ] );
+    ]

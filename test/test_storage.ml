@@ -238,6 +238,52 @@ let test_trie_mults_override () =
   let trie = Trie.build ~keys ~rows:[| 0; 1 |] ~mults:(fun r -> float_of_int (r + 1) *. 2.0) () in
   Trie.iter_tuples trie (fun _ g -> Alcotest.(check (float 1e-9)) "summed mults" 6.0 g.Trie.mult)
 
+(* Regression: a malformed row aborts the load as a typed
+   [Engine.Error Semantic] carrying the 1-based file line number (empty
+   lines are skipped but still counted), the catalog is left without the
+   table, and the sequential and parallel ingest paths agree. *)
+let test_csv_malformed_line () =
+  let module L = Levelheaded in
+  let schema =
+    Schema.create [ ("k", Dtype.Int, Schema.Key); ("v", Dtype.Float, Schema.Annotation) ]
+  in
+  let write lines =
+    let path = Filename.temp_file "lh_badcsv" ".csv" in
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc;
+    path
+  in
+  let contains ~sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let check name ~domains path expect =
+    let eng = L.Engine.create ~config:{ L.Config.default with L.Config.domains } () in
+    (match L.Engine.load_csv eng ~name:"bad" ~schema path with
+    | _ -> Alcotest.failf "%s: malformed load succeeded" name
+    | exception L.Engine.Error (L.Engine.Error.Semantic m) ->
+        if not (contains ~sub:expect m) then
+          Alcotest.failf "%s: error %S does not name %S" name m expect
+    | exception e -> Alcotest.failf "%s: untyped exception %s" name (Printexc.to_string e));
+    Alcotest.(check bool)
+      (name ^ ": table not registered")
+      true
+      (L.Catalog.find (L.Engine.catalog eng) "bad" = None)
+  in
+  let bad_cell = write [ "1,1.5"; "2,2.5"; "3,oops"; "4,4.5" ] in
+  let short_row = write [ "1,1.5"; ""; "7"; "2,2.5" ] in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove bad_cell;
+      Sys.remove short_row)
+    (fun () ->
+      check "sequential bad cell" ~domains:1 bad_cell "line 3";
+      check "parallel bad cell" ~domains:4 bad_cell "line 3";
+      check "sequential short row" ~domains:1 short_row "line 3";
+      check "parallel short row" ~domains:4 short_row "line 3")
+
 let () =
   Alcotest.run "lh_storage"
     [
@@ -261,6 +307,7 @@ let () =
         [
           Alcotest.test_case "of_rows" `Quick test_table_of_rows;
           Alcotest.test_case "csv roundtrip" `Quick test_table_csv_roundtrip;
+          Alcotest.test_case "csv malformed row line numbers" `Quick test_csv_malformed_line;
           Alcotest.test_case "encode_const" `Quick test_table_encode_const;
           Alcotest.test_case "validation" `Quick test_table_validation;
         ] );
