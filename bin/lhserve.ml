@@ -310,31 +310,50 @@ let serve tables sep domains max_sessions queue_depth data_dir wal_sync checkpoi
       next_stmt = 0;
     }
   in
-  (* SIGINT/SIGTERM: graceful shutdown. The handler runs on the main
-     thread at a safe point (typically while blocked reading stdin);
-     Serve.shutdown bounds the drain, so a query wedged past the
-     deadline cannot hold the exit hostage. *)
+  (* SIGINT/SIGTERM: graceful shutdown. The handler itself must NOT call
+     Serve.shutdown — OCaml runs handlers at safe points on the main
+     thread, possibly inside a Serve call that already holds the service
+     lock, and re-locking there deadlocks (or raises from the
+     error-checking mutex at an arbitrary point). So the handler only
+     sets a flag and closes the stdin fd: a blocked input_line wakes
+     with Sys_error, and the main loop — outside every lock — performs
+     the bounded drain. Serve.shutdown bounds that drain, so a query
+     wedged past the deadline cannot hold the exit hostage. *)
+  let stop = Atomic.make false in
   let graceful _ =
-    if not (Serve.shutdown st.svc) then
-      Printf.eprintf "lhserve: shutdown drain deadline expired\n%!";
-    Printf.eprintf "lhserve: shutting down\n%!";
-    exit 0
+    if not (Atomic.exchange stop true) then
+      try Unix.close Unix.stdin with Unix.Unix_error _ -> ()
   in
   (try Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful) with Invalid_argument _ -> ());
   (try Sys.set_signal Sys.sigint (Sys.Signal_handle graceful) with Invalid_argument _ -> ());
   Printf.eprintf "lhserve: epoch %d, reading commands from stdin\n%!"
     (Serve.current_epoch st.svc);
+  let graceful_exit () =
+    if not (Serve.shutdown st.svc) then
+      Printf.eprintf "lhserve: shutdown drain deadline expired\n%!";
+    Printf.eprintf "lhserve: shutting down\n%!";
+    0
+  in
   let rec loop () =
-    match input_line stdin with
-    | exception End_of_file ->
-        Serve.close st.svc;
-        0
-    | line ->
-        (try handle st line with
-        | Bad msg -> respond "error protocol: %s" msg
-        | Serve.Error e -> respond "error %s: %s" (err_kind e) (Serve.error_to_string e)
-        | Failure msg -> respond "error protocol: %s" msg);
-        loop ()
+    if Atomic.get stop then graceful_exit ()
+    else
+      match input_line stdin with
+      | exception (End_of_file | Sys_error _) ->
+          if Atomic.get stop then graceful_exit ()
+          else begin
+            Serve.close st.svc;
+            0
+          end
+      | line ->
+          (try handle st line with
+          | Bad msg -> respond "error protocol: %s" msg
+          | Serve.Error e -> respond "error %s: %s" (err_kind e) (Serve.error_to_string e)
+          | Failure msg -> respond "error protocol: %s" msg
+          (* stdin was closed by the signal handler mid-command (e.g.
+             while slurping ingest rows): fall through to the shutdown
+             check at the top of the loop *)
+          | Sys_error _ when Atomic.get stop -> ());
+          loop ()
   in
   loop ()
 

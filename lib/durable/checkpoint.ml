@@ -13,12 +13,19 @@ let magic = "LHCKPT01"
 
 let filename ~seq = Printf.sprintf "ckpt-%012d.lhc" seq
 
+(* Variable-width digit parse: %012d pads, it does not cap, so once the
+   sequence outgrows 12 digits the names widen and a fixed-length match
+   would stop recognizing installed checkpoints. *)
 let seq_of_filename name =
-  if
-    String.length name = String.length (filename ~seq:0)
-    && String.sub name 0 5 = "ckpt-"
-    && Filename.check_suffix name ".lhc"
-  then int_of_string_opt (String.sub name 5 12)
+  let prefix = "ckpt-" and suffix = ".lhc" in
+  let plen = String.length prefix and slen = String.length suffix in
+  let n = String.length name in
+  if n > plen + slen && String.sub name 0 plen = prefix && Filename.check_suffix name suffix
+  then begin
+    let digits = String.sub name plen (n - plen - slen) in
+    if String.for_all (fun c -> c >= '0' && c <= '9') digits then int_of_string_opt digits
+    else None
+  end
   else None
 
 let write_all fd s =

@@ -19,6 +19,8 @@ val filename : seq:int -> string
 (** [ckpt-%012d.lhc]. *)
 
 val seq_of_filename : string -> int option
+(** Inverse of {!filename}, accepting any digit width — [%012d] pads
+    but does not cap, so names widen past sequence [10{^12}]. *)
 
 val write : dir:string -> seq:int -> table list -> string
 (** Writes and installs [ckpt-<seq>.lhc] in [dir]; returns the

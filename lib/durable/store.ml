@@ -11,6 +11,7 @@ let c_recover_skipped = Obs.counter "recover.skipped"
 let c_recover_tables = Obs.counter "recover.checkpoint_tables"
 let c_recover_torn = Obs.counter "recover.torn_tails"
 let c_recover_opens = Obs.counter "recover.opens"
+let c_recover_fallbacks = Obs.counter "recover.manifest_fallbacks"
 let h_replay = Hist.histogram "recover.replay"
 let fault_manifest = Fault.site "manifest.swap"
 
@@ -89,28 +90,36 @@ let write_manifest ~dir ~ckpt_file ~ckpt_seq =
   Unix.rename tmp final;
   fsync_dir dir
 
+(* A missing manifest means a genuinely fresh directory (it is the first
+   file ever written there); a present-but-unreadable one means the
+   durable state on disk may still be intact, so the two must recover
+   differently. *)
+type manifest = M_absent | M_invalid | M_ok of string option * int
+
 let read_manifest dir =
   let path = Filename.concat dir manifest_name in
-  match open_in_bin path with
-  | exception Sys_error _ -> None
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          match input_line ic with
-          | exception End_of_file -> None
-          | m when m <> manifest_magic -> None
-          | _ -> (
-              match input_line ic with
-              | exception End_of_file -> None
-              | line -> (
-                  match String.split_on_char ' ' (String.trim line) with
-                  | [ "checkpoint"; file; seq ] -> (
-                      match int_of_string_opt seq with
-                      | Some s when s >= 0 ->
-                          Some ((if file = "-" then None else Some file), s)
-                      | _ -> None)
-                  | _ -> None)))
+  if not (Sys.file_exists path) then M_absent
+  else
+    match open_in_bin path with
+    | exception Sys_error _ -> M_invalid
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match input_line ic with
+            | exception End_of_file -> M_invalid
+            | m when m <> manifest_magic -> M_invalid
+            | _ -> (
+                match input_line ic with
+                | exception End_of_file -> M_invalid
+                | line -> (
+                    match String.split_on_char ' ' (String.trim line) with
+                    | [ "checkpoint"; file; seq ] -> (
+                        match int_of_string_opt seq with
+                        | Some s when s >= 0 ->
+                            M_ok ((if file = "-" then None else Some file), s)
+                        | _ -> M_invalid)
+                    | _ -> M_invalid)))
 
 (* ------------------------------------------------------------------ *)
 (* Recovery *)
@@ -125,10 +134,10 @@ let load_checkpoint dir named =
     | None -> scanned
   in
   let rec go = function
-    | [] -> (0, [])
+    | [] -> (0, [], None)
     | f :: rest -> (
         match Checkpoint.load (Filename.concat dir f) with
-        | Ok (seq, tables) -> (seq, tables)
+        | Ok (seq, tables) -> (seq, tables, Some f)
         | Error _ -> go rest)
   in
   go candidates
@@ -139,51 +148,72 @@ let open_dir ?sync dir =
   Obs.incr c_recover_opens;
   let wal_path = Filename.concat dir wal_name in
   let t0 = Timing.monotonic_now () in
+  let recover ~ckpt_seq ~tables =
+    Obs.add c_recover_tables (List.length tables);
+    let r = Wal.replay wal_path in
+    if r.Wal.r_torn then Obs.incr c_recover_torn;
+    (* Duplicate sequence numbers arise only from a failed append whose
+       frame nevertheless survived on disk; the retry — the later
+       record — is the acknowledged content, so dedup keeps the LAST
+       occurrence. (Wal.append also truncates such frames eagerly; this
+       is the replay-side backstop for the crash window.) *)
+    let last = Hashtbl.create 64 in
+    List.iteri (fun i (b : Wal.batch) -> Hashtbl.replace last b.Wal.b_seq i) r.Wal.r_batches;
+    let batches =
+      List.filteri
+        (fun i (b : Wal.batch) ->
+          if b.Wal.b_seq <= ckpt_seq || Hashtbl.find last b.Wal.b_seq <> i then begin
+            Obs.incr c_recover_skipped;
+            false
+          end
+          else begin
+            Obs.incr c_recover_replayed;
+            true
+          end)
+        r.Wal.r_batches
+    in
+    let top =
+      List.fold_left (fun acc (b : Wal.batch) -> max acc b.Wal.b_seq) ckpt_seq batches
+    in
+    ( {
+        rc_tables = tables;
+        rc_batches = batches;
+        rc_seq = top;
+        rc_checkpoint_seq = ckpt_seq;
+        rc_torn = r.Wal.r_torn;
+      },
+      ckpt_seq,
+      r.Wal.r_valid_len )
+  in
   let recovered, ckpt_seq, valid_len =
     match read_manifest dir with
-    | None ->
+    | M_absent ->
         (* Fresh store (or a crash before the very first manifest swap —
            nothing was ever acknowledged, so starting empty is correct). *)
         write_manifest ~dir ~ckpt_file:None ~ckpt_seq:0;
         ( { rc_tables = []; rc_batches = []; rc_seq = 0; rc_checkpoint_seq = 0; rc_torn = false },
           0,
           Wal.header_len )
-    | Some (ckpt_file, manifest_seq) ->
+    | M_ok (ckpt_file, manifest_seq) ->
         let ckpt_seq, tables =
           match ckpt_file with
           | None -> (manifest_seq, [])
-          | Some f -> load_checkpoint dir (Some f)
+          | Some f ->
+              let seq, tables, _ = load_checkpoint dir (Some f) in
+              (seq, tables)
         in
-        Obs.add c_recover_tables (List.length tables);
-        let r = Wal.replay wal_path in
-        if r.Wal.r_torn then Obs.incr c_recover_torn;
-        let seen = Hashtbl.create 64 in
-        let batches =
-          List.filter
-            (fun (b : Wal.batch) ->
-              if b.Wal.b_seq <= ckpt_seq || Hashtbl.mem seen b.Wal.b_seq then begin
-                Obs.incr c_recover_skipped;
-                false
-              end
-              else begin
-                Hashtbl.add seen b.Wal.b_seq ();
-                Obs.incr c_recover_replayed;
-                true
-              end)
-            r.Wal.r_batches
-        in
-        let top =
-          List.fold_left (fun acc (b : Wal.batch) -> max acc b.Wal.b_seq) ckpt_seq batches
-        in
-        ( {
-            rc_tables = tables;
-            rc_batches = batches;
-            rc_seq = top;
-            rc_checkpoint_seq = ckpt_seq;
-            rc_torn = r.Wal.r_torn;
-          },
-          ckpt_seq,
-          r.Wal.r_valid_len )
+        recover ~ckpt_seq ~tables
+    | M_invalid ->
+        (* The manifest is present but corrupt or unreadable. The
+           checkpoints and WAL it pointed at are still on disk, so fall
+           back to the newest loadable checkpoint plus a full WAL
+           replay, then heal the manifest — never truncate durable
+           state because its tiny index file was damaged. *)
+        Obs.incr c_recover_fallbacks;
+        let ckpt_seq, tables, ckpt_file = load_checkpoint dir None in
+        let res = recover ~ckpt_seq ~tables in
+        write_manifest ~dir ~ckpt_file ~ckpt_seq;
+        res
   in
   Hist.observe h_replay (Timing.monotonic_now () -. t0);
   let wal = Wal.open_at ~path:wal_path ~sync ~valid_len in

@@ -8,12 +8,20 @@
     v}
 
     Recovery state machine ({!open_dir}):
-    + no manifest → fresh store (manifest written, empty WAL created);
+    + no manifest → fresh store (manifest written, empty WAL created) —
+      the manifest is the first file ever written to the directory, so
+      its absence means nothing was ever acknowledged;
+    + manifest present but corrupt/unreadable → fall back to the newest
+      loadable installed checkpoint plus a full WAL replay, then
+      rewrite the manifest (a damaged index file never discards the
+      durable state it pointed at);
     + manifest names a checkpoint → load it; if invalid, fall back to
       the newest valid installed checkpoint (corrupt ones are skipped);
-    + replay the WAL suffix: records with [seq <=] the checkpoint's or
-      with an already-seen [seq] are skipped; replay stops at the first
-      bad frame and the torn tail is truncated in place;
+    + replay the WAL suffix: records with [seq <=] the checkpoint's are
+      skipped; of records sharing a [seq] (a failed-then-retried append
+      whose first frame survived) only the last — the acknowledged
+      retry — is kept; replay stops at the first bad frame and the torn
+      tail is truncated in place;
     + the writer resumes at the end of the last good frame and the next
       durable sequence number is one past the highest recovered.
 

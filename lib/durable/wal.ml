@@ -217,16 +217,44 @@ let create ~path ~sync =
 let open_at ~path ~sync ~valid_len =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   let size = (Unix.fstat fd).Unix.st_size in
-  if size < header_len then begin
-    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
-    Unix.ftruncate fd 0;
-    write_all fd magic
-  end
-  else if size > valid_len then begin
-    Unix.ftruncate fd valid_len;
-    Obs.incr c_truncated
-  end;
-  let off = max header_len valid_len in
+  let header_ok =
+    size >= header_len
+    && begin
+         ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+         let b = Bytes.create header_len in
+         let rec fill off =
+           off >= header_len
+           ||
+           match Unix.read fd b off (header_len - off) with
+           | 0 -> false
+           | n -> fill (off + n)
+         in
+         fill 0 && Bytes.to_string b = magic
+       end
+  in
+  let off =
+    if header_ok then begin
+      if size > valid_len then begin
+        Unix.ftruncate fd valid_len;
+        Obs.incr c_truncated
+      end;
+      max header_len valid_len
+    end
+    else begin
+      (* Short or unrecognizable header: replay recovered nothing from
+         this file, so rewrite it from scratch — appending frames after
+         garbage bytes would make every later batch unreachable on the
+         next replay. *)
+      ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+      Unix.ftruncate fd 0;
+      write_all fd magic;
+      if size > 0 then Obs.incr c_truncated;
+      (match sync with
+      | Never -> ()
+      | _ -> ( try Unix.fsync fd with Unix.Unix_error _ -> ()));
+      header_len
+    end
+  in
   ignore (Unix.lseek fd off Unix.SEEK_SET);
   { w_path = path; w_fd = fd; w_sync = sync; w_off = off; w_pending = 0; w_closed = false }
 
@@ -260,13 +288,29 @@ let append_frame w fr =
 
 let append w b =
   if w.w_closed then failwith "Wal.append: closed writer";
+  let off0 = w.w_off in
   append_frame w (frame (encode_payload b));
-  match w.w_sync with
-  | Always -> fsync w
-  | Group n ->
-      w.w_pending <- w.w_pending + 1;
-      if w.w_pending >= n then fsync w
-  | Never -> ()
+  match
+    match w.w_sync with
+    | Always -> fsync w
+    | Group n ->
+        w.w_pending <- w.w_pending + 1;
+        if w.w_pending >= n then fsync w
+    | Never -> ()
+  with
+  | () -> ()
+  | exception exn ->
+      (* The frame is complete and CRC-valid in the file, but the caller
+         treats a failed append as never-acknowledged and reuses its
+         sequence number for the retry. Remove the frame so replay after
+         a later crash cannot register this unacknowledged content in
+         place of the acknowledged retry. *)
+      w.w_off <- off0;
+      (match w.w_sync with
+      | Group _ -> w.w_pending <- max 0 (w.w_pending - 1)
+      | Always | Never -> ());
+      truncate_to_good w;
+      raise exn
 
 let flush w = if not w.w_closed then fsync w
 

@@ -59,13 +59,18 @@ val create : path:string -> sync:sync -> writer
 
 val open_at : path:string -> sync:sync -> valid_len:int -> writer
 (** Opens an existing log, truncates it to [valid_len] (dropping any
-    torn tail found by {!replay}) and positions the writer there. *)
+    torn tail found by {!replay}) and positions the writer there. A
+    missing, short or bad-magic header (the empty-and-torn replay case)
+    rewrites the file to a fresh header first — frames are never
+    appended after garbage that replay would refuse to walk. *)
 
 val append : writer -> batch -> unit
 (** Write one frame, then observe the sync point per the writer's
-    {!sync} mode. On any write failure the file is truncated back to
-    the last good offset (best-effort) before the exception escapes, so
-    a failed append never leaves a torn middle. *)
+    {!sync} mode. On any failure — a torn write {e or} a failed sync
+    point — the file is truncated back to the last good offset
+    (best-effort) before the exception escapes: a failed append leaves
+    neither a torn middle nor a complete frame that the caller regards
+    as unacknowledged (callers reuse the sequence number on retry). *)
 
 val flush : writer -> unit
 (** fsync regardless of mode (shutdown path). *)

@@ -523,7 +523,11 @@ let ingest_with t ingest =
                checkpoint or the publish probe means the new state was
                never acknowledged: the caller gets a typed error, readers
                keep the old epoch, and retrying the ingest (idempotent
-               re-register, a fresh WAL sequence) publishes it. *)
+               re-register) publishes it. The retry reuses the failed
+               attempt's WAL sequence number — safe because Wal.append
+               truncates a frame whose sync point failed before the
+               error escapes, and replay dedup is last-occurrence-wins
+               as a backstop. *)
             match
               log_durable t tbl;
               Fault.hit fault_publish

@@ -9,6 +9,7 @@ module Checkpoint = Lh_durable.Checkpoint
 module Store = Lh_durable.Store
 module Schema = Lh_storage.Schema
 module Dtype = Lh_storage.Dtype
+module Fault = Lh_fault.Fault
 
 let rec rm_rf path =
   match Unix.lstat path with
@@ -190,15 +191,16 @@ let test_bad_magic () =
       Alcotest.(check int) "nothing replayed" 0 (List.length r.Wal.r_batches);
       Alcotest.(check bool) "torn" true r.Wal.r_torn)
 
-(* Duplicate sequence numbers (a retried batch whose first attempt did
-   reach the disk) are deduplicated by the store on replay. *)
-let test_duplicate_seq_skipped () =
+(* Duplicate sequence numbers (a retried batch whose failed first
+   attempt nevertheless reached the disk) are deduplicated by the store
+   on replay; the LAST occurrence — the acknowledged retry — wins. *)
+let test_duplicate_seq_last_wins () =
   with_temp_dir (fun dir ->
       let store, _ = Store.open_dir ~sync:Wal.Never dir in
       ignore (Store.log_batch store ~name:"t" ~schema (rows 0));
       ignore (Store.log_batch store ~name:"t" ~schema (rows 1));
       Store.close store;
-      (* forge a duplicate of seq 2 at the tail *)
+      (* forge a duplicate of seq 2 at the tail — the "retry" *)
       let r = Wal.replay (Store.wal_path store) in
       let w =
         Wal.open_at ~path:(Store.wal_path store) ~sync:Wal.Never ~valid_len:r.Wal.r_valid_len
@@ -207,11 +209,85 @@ let test_duplicate_seq_skipped () =
       Wal.close w;
       let store, recovered = Store.open_dir ~sync:Wal.Never dir in
       Store.close store;
-      Alcotest.(check int) "first wins, duplicate skipped" 2
+      Alcotest.(check int) "duplicate deduplicated" 2
         (List.length recovered.Store.rc_batches);
-      Alcotest.(check bool) "kept the first seq-2 payload" true
-        ((List.nth recovered.Store.rc_batches 1).Wal.b_rows = rows 1);
+      Alcotest.(check bool) "kept the last seq-2 payload" true
+        ((List.nth recovered.Store.rc_batches 1).Wal.b_rows = rows 2);
       Alcotest.(check int) "seq" 2 recovered.Store.rc_seq)
+
+(* A failed sync point must remove the already-written frame: the caller
+   rolls its sequence counter back and the retry reuses the number, so a
+   surviving first frame would shadow the acknowledged retry on replay. *)
+let test_fsync_failure_removes_frame () =
+  with_temp_dir (fun dir ->
+      let store, _ = Store.open_dir ~sync:Wal.Always dir in
+      ignore (Store.log_batch store ~name:"t" ~schema (rows 0));
+      Fault.arm ~trigger:(Fault.Nth 1) "wal.fsync";
+      (match Store.log_batch store ~name:"t" ~schema (rows 1) with
+      | exception Fault.Injected _ -> ()
+      | _ -> Alcotest.fail "expected the armed wal.fsync site to fire");
+      Fault.disarm_all ();
+      (* the failed frame is gone from the log, so the retried sequence
+         number carries only the acknowledged content *)
+      Alcotest.(check int) "retry reuses the sequence" 2
+        (Store.log_batch store ~name:"t" ~schema (rows 2));
+      Store.close store;
+      let store, recovered = Store.open_dir ~sync:Wal.Never dir in
+      Store.close store;
+      Alcotest.(check int) "two batches recovered" 2 (List.length recovered.Store.rc_batches);
+      Alcotest.(check bool) "seq 2 is the acknowledged retry" true
+        ((List.nth recovered.Store.rc_batches 1).Wal.b_rows = rows 2);
+      Alcotest.(check int) "seq" 2 recovered.Store.rc_seq)
+
+(* A full-length garbage header must be rewritten on open, not appended
+   after — otherwise every batch acknowledged afterwards is invisible to
+   the next boot's replay. *)
+let test_garbage_header_rewritten () =
+  with_temp_dir (fun dir ->
+      let store, _ = Store.open_dir ~sync:Wal.Never dir in
+      ignore (Store.log_batch store ~name:"t" ~schema (rows 0));
+      Store.close store;
+      Wal.corrupt_byte ~path:(Store.wal_path store) ~off:0;
+      (* boot 1: header unrecognizable → recover nothing, rewrite log *)
+      let store, recovered = Store.open_dir ~sync:Wal.Never dir in
+      Alcotest.(check int) "nothing recovered" 0 (List.length recovered.Store.rc_batches);
+      Alcotest.(check bool) "reported torn" true recovered.Store.rc_torn;
+      ignore (Store.log_batch store ~name:"t" ~schema (rows 1));
+      Store.close store;
+      (* boot 2: the batch appended after the rewrite must be recoverable *)
+      let store, recovered = Store.open_dir ~sync:Wal.Never dir in
+      Store.close store;
+      Alcotest.(check int) "batch after rewrite recovered" 1
+        (List.length recovered.Store.rc_batches);
+      Alcotest.(check bool) "content" true
+        ((List.hd recovered.Store.rc_batches).Wal.b_rows = rows 1))
+
+(* A corrupt MANIFEST alone must not discard the durable state it
+   indexed: recovery falls back to the newest loadable checkpoint plus a
+   full WAL replay, and heals the manifest. *)
+let test_corrupt_manifest_falls_back () =
+  with_temp_dir (fun dir ->
+      let store, _ = Store.open_dir ~sync:Wal.Never dir in
+      ignore (Store.log_batch store ~name:"a" ~schema (rows 0));
+      Store.checkpoint store [ ("a", schema, rows 0) ];
+      ignore (Store.log_batch store ~name:"b" ~schema (rows 1));
+      Store.close store;
+      let oc = open_out_bin (Filename.concat dir "MANIFEST") in
+      output_string oc "GARBAGE\nnot a manifest\n";
+      close_out oc;
+      let store, recovered = Store.open_dir ~sync:Wal.Never dir in
+      Alcotest.(check int) "checkpoint found via scan" 1
+        (List.length recovered.Store.rc_tables);
+      Alcotest.(check int) "wal suffix" 1 (List.length recovered.Store.rc_batches);
+      Alcotest.(check int) "seq" 2 recovered.Store.rc_seq;
+      ignore (Store.log_batch store ~name:"c" ~schema (rows 2));
+      Store.close store;
+      (* the manifest was healed: the next boot takes the normal path *)
+      let store, recovered = Store.open_dir ~sync:Wal.Never dir in
+      Store.close store;
+      Alcotest.(check int) "post-heal checkpoint tables" 1
+        (List.length recovered.Store.rc_tables);
+      Alcotest.(check int) "post-heal seq" 3 recovered.Store.rc_seq)
 
 (* ---- store recovery ---- *)
 
@@ -273,6 +349,19 @@ let test_corrupt_checkpoint_skipped () =
       Alcotest.(check int) "wal suffix" 1 (List.length recovered.Store.rc_batches);
       Alcotest.(check int) "seq" 2 recovered.Store.rc_seq)
 
+(* %012d pads but does not cap: scan must keep recognizing checkpoints
+   once the sequence outgrows 12 digits. *)
+let test_checkpoint_filename_width () =
+  let check_opt what exp got = Alcotest.(check (option int)) what exp got in
+  check_opt "normal" (Some 7) (Checkpoint.seq_of_filename "ckpt-000000000007.lhc");
+  check_opt "13 digits" (Some 1_000_000_000_000)
+    (Checkpoint.seq_of_filename "ckpt-1000000000000.lhc");
+  check_opt "filename round-trips past 12 digits" (Some 1_000_000_000_000)
+    (Checkpoint.seq_of_filename (Checkpoint.filename ~seq:1_000_000_000_000));
+  check_opt "tmp rejected" None (Checkpoint.seq_of_filename "ckpt-000000000001.lhc.tmp");
+  check_opt "non-digits rejected" None (Checkpoint.seq_of_filename "ckpt-00000000000x.lhc");
+  check_opt "empty digits rejected" None (Checkpoint.seq_of_filename "ckpt-.lhc")
+
 let test_sync_of_string () =
   Alcotest.(check bool) "always" true (Wal.sync_of_string "always" = Ok Wal.Always);
   Alcotest.(check bool) "group" true (Wal.sync_of_string "group" = Ok (Wal.Group 8));
@@ -297,12 +386,18 @@ let () =
           Alcotest.test_case "flipped checksum byte" `Quick test_flipped_checksum_byte;
           Alcotest.test_case "zero-length tail" `Quick test_zero_length_tail;
           Alcotest.test_case "bad magic" `Quick test_bad_magic;
-          Alcotest.test_case "duplicate seq skipped" `Quick test_duplicate_seq_skipped;
+          Alcotest.test_case "duplicate seq: last wins" `Quick test_duplicate_seq_last_wins;
+          Alcotest.test_case "fsync failure removes frame" `Quick
+            test_fsync_failure_removes_frame;
+          Alcotest.test_case "garbage header rewritten" `Quick test_garbage_header_rewritten;
         ] );
       ( "store",
         [
           Alcotest.test_case "reopen" `Quick test_store_reopen;
           Alcotest.test_case "checkpoint + wal suffix" `Quick test_checkpoint_and_suffix;
           Alcotest.test_case "corrupt checkpoint skipped" `Quick test_corrupt_checkpoint_skipped;
+          Alcotest.test_case "corrupt manifest falls back" `Quick
+            test_corrupt_manifest_falls_back;
+          Alcotest.test_case "checkpoint filename width" `Quick test_checkpoint_filename_width;
         ] );
     ]
